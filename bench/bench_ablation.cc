@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond the
+ * paper's own figures:
+ *
+ *  - data-buffer size (fetch run-ahead depth) vs utilization,
+ *  - batch size vs the roofline crossover (memory- to compute-bound),
+ *  - channel count scaling,
+ *  - dies-per-channel vs the sense/bus balance,
+ *  - hot-degree predictor noise vs layout quality,
+ *  - candidate temporal stability (hot-set fraction) sensitivity.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+xclass::BenchmarkSpec
+baseSpec()
+{
+    return xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 65536);
+}
+
+accel::RunResult
+run(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
+    unsigned batches = 2)
+{
+    EcssdSystem system(spec, options);
+    return system.runInference(batches);
+}
+
+void
+bufferSweep()
+{
+    bench::banner("Ablation: data-buffer size (fetch run-ahead)");
+    for (const std::uint64_t kib : {256, 1024, 4096, 16384}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.ssd.dataBufferBytes = kib * 1024;
+        const accel::RunResult r = run(baseSpec(), options);
+        bench::row("buffer " + std::to_string(kib)
+                       + " KiB: utilization",
+                   r.channelUtilization * 100.0, "%");
+    }
+}
+
+void
+batchSweep()
+{
+    bench::banner("Ablation: batch size (roofline crossover at "
+                  "~12.8 queries)");
+    for (const std::uint32_t batch : {1, 4, 8, 16, 32}) {
+        xclass::BenchmarkSpec spec = baseSpec();
+        spec.batchSize = batch;
+        const accel::RunResult r =
+            run(spec, EcssdOptions::full());
+        bench::row("batch " + std::to_string(batch)
+                       + ": effective GFLOPS",
+                   r.effectiveGflops, "GFLOPS");
+        bench::row("batch " + std::to_string(batch)
+                       + ": channel utilization",
+                   r.channelUtilization * 100.0, "%");
+    }
+}
+
+void
+channelSweep()
+{
+    bench::banner("Ablation: flash channel count");
+    double previous_ms = 0.0;
+    for (const unsigned channels : {4u, 8u, 16u}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.ssd.channels = channels;
+        const accel::RunResult r = run(baseSpec(), options);
+        bench::row(std::to_string(channels)
+                       + " channels: batch latency",
+                   r.meanBatchMs(), "ms");
+        if (previous_ms > 0.0)
+            bench::row(std::to_string(channels)
+                           + " channels: scaling vs previous",
+                       previous_ms / r.meanBatchMs(), "x");
+        previous_ms = r.meanBatchMs();
+    }
+}
+
+void
+dieSweep()
+{
+    bench::banner("Ablation: dies per channel (tR = 50 us, page "
+                  "transfer = 4.1 us)");
+    for (const unsigned dies : {4u, 8u, 16u, 32u}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.ssd.diesPerChannel = dies;
+        const accel::RunResult r = run(baseSpec(), options);
+        bench::row(std::to_string(dies)
+                       + " dies/channel: utilization",
+                   r.channelUtilization * 100.0, "%");
+    }
+}
+
+void
+multiPlaneSweep()
+{
+    bench::banner("Ablation: multi-plane concurrent sensing");
+    for (const bool enabled : {false, true}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.ssd.multiPlaneRead = enabled;
+        const accel::RunResult r = run(baseSpec(), options);
+        bench::row(std::string("multi-plane ")
+                       + (enabled ? "on" : "off")
+                       + ": utilization",
+                   r.channelUtilization * 100.0, "%");
+    }
+}
+
+void
+predictorNoiseSweep()
+{
+    bench::banner("Ablation: hot-degree predictor noise "
+                  "(learning layout quality)");
+    for (const double noise : {0.0, 0.25, 1.0, 3.0}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.predictorNoise = noise;
+        const accel::RunResult r = run(baseSpec(), options);
+        bench::row("noise " + std::to_string(noise)
+                       + ": utilization",
+                   r.channelUtilization * 100.0, "%");
+    }
+}
+
+void
+precisionSweep()
+{
+    bench::banner("Ablation: on-flash weight precision "
+                  "(CFP32 vs the CFP16 extension)");
+    for (const accel::WeightPrecision precision :
+         {accel::WeightPrecision::Cfp32,
+          accel::WeightPrecision::Cfp16}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.weightPrecision = precision;
+        const accel::RunResult r = run(baseSpec(), options);
+        const char *name =
+            precision == accel::WeightPrecision::Cfp16 ? "CFP16"
+                                                       : "CFP32";
+        bench::row(std::string(name) + ": batch latency",
+                   r.meanBatchMs(), "ms");
+    }
+}
+
+void
+hotSetSweep()
+{
+    bench::banner("Ablation: candidate temporal stability");
+    for (const double fraction : {0.0, 0.4, 0.8}) {
+        xclass::BenchmarkSpec spec = baseSpec();
+        spec.hotSetFraction = fraction;
+        const accel::RunResult learn =
+            run(spec, EcssdOptions::full());
+        EcssdOptions uniform = EcssdOptions::full();
+        uniform.layoutKind = layout::LayoutKind::Uniform;
+        const accel::RunResult uni = run(spec, uniform);
+        bench::row("hot-set " + std::to_string(fraction)
+                       + ": learning speedup vs uniform",
+                   uni.meanBatchMs() / learn.meanBatchMs(), "x");
+    }
+}
+
+void
+BM_BatchSizeSweep(benchmark::State &state)
+{
+    xclass::BenchmarkSpec spec = baseSpec();
+    spec.batchSize = static_cast<std::uint32_t>(state.range(0));
+    EcssdSystem system(spec, EcssdOptions::full());
+    double gflops = 0.0;
+    for (auto _ : state) {
+        const accel::RunResult r = system.runInference(1);
+        gflops = r.effectiveGflops;
+        benchmark::DoNotOptimize(gflops);
+    }
+    state.counters["sim_gflops"] = gflops;
+}
+BENCHMARK(BM_BatchSizeSweep)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bufferSweep();
+    batchSweep();
+    channelSweep();
+    dieSweep();
+    multiPlaneSweep();
+    precisionSweep();
+    predictorNoiseSweep();
+    hotSetSweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * End-to-end energy accounting of the Fig 8 design points: where
+ * the joules go (flash / DRAM / link / accelerator / background) and
+ * how the co-design changes energy per inference, complementing the
+ * Section 7.2/7.3 power-efficiency discussion.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+void
+printEnergy()
+{
+    bench::banner("Energy per inference batch (S10M scaled to "
+                  "65536 categories)");
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 65536);
+
+    struct Point
+    {
+        const char *name;
+        EcssdOptions options;
+    };
+    const Point points[] = {
+        {"naive + sequential + homogeneous",
+         EcssdOptions::startingBaseline()},
+        {"full ECSSD", EcssdOptions::full()},
+        {"full ECSSD, screening off",
+         [] {
+             EcssdOptions o = EcssdOptions::full();
+             o.screening = false;
+             return o;
+         }()},
+    };
+
+    for (const Point &point : points) {
+        EcssdSystem system(spec, point.options);
+        const accel::RunResult run = system.runInference(2);
+        const circuit::EnergyBreakdown e =
+            system.estimateRunEnergy(run);
+        const double batches = 2.0;
+        bench::row(std::string(point.name) + ": total",
+                   e.totalUj() / batches / 1000.0, "mJ/batch");
+        bench::row(std::string(point.name) + ": flash share",
+                   e.flashUj / e.totalUj() * 100.0, "%");
+        bench::row(std::string(point.name) + ": background share",
+                   e.backgroundUj / e.totalUj() * 100.0, "%");
+        std::uint64_t flops = 0;
+        for (const accel::BatchTiming &batch : run.batches)
+            flops += batch.fp32Flops;
+        bench::row(std::string(point.name) + ": device GFLOPS/W",
+                   e.gflopsPerWatt(flops, run.totalTime),
+                   "GFLOPS/W");
+    }
+}
+
+void
+BM_EnergyEstimate(benchmark::State &state)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 32768);
+    EcssdSystem system(spec, EcssdOptions::full());
+    const accel::RunResult run = system.runInference(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            system.estimateRunEnergy(run).totalUj());
+}
+BENCHMARK(BM_EnergyEstimate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printEnergy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

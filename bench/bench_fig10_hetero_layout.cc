@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig 10: heterogeneous vs homogeneous data layout on
+ * Transformer-W268K at candidate ratios 5/10/15/20%.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+double
+batchMs(const xclass::BenchmarkSpec &spec,
+        accel::Int4Placement placement)
+{
+    EcssdOptions options = EcssdOptions::full();
+    // Isolate the layout effect, as the paper does: both sides use
+    // uniform interleaving and the alignment-free MAC.
+    options.layoutKind = layout::LayoutKind::Uniform;
+    options.int4Placement = placement;
+    EcssdSystem system(spec, options);
+    return system.runInference(2).meanBatchMs();
+}
+
+void
+printFig10()
+{
+    bench::banner("Fig 10: heterogeneous vs homogeneous data layout "
+                  "(Transformer-W268K)");
+    const double ratios[] = {0.05, 0.10, 0.15, 0.20};
+    const char *paper[] = {"1.73", "-", "-", "-"};
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        xclass::BenchmarkSpec spec =
+            xclass::benchmarkByName("Transformer-W268K");
+        spec.candidateRatio = ratios[i];
+        const double homo =
+            batchMs(spec, accel::Int4Placement::Flash);
+        const double hetero =
+            batchMs(spec, accel::Int4Placement::Dram);
+        const double speedup = homo / hetero;
+        mean += speedup;
+        bench::row("candidate ratio "
+                       + std::to_string(int(ratios[i] * 100))
+                       + "% speedup",
+                   speedup, "x", paper[i]);
+    }
+    bench::row("average speedup", mean / 4.0, "x", "1.43");
+}
+
+void
+BM_HeteroBatch(benchmark::State &state)
+{
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("Transformer-W268K"), 65536);
+    EcssdOptions options = EcssdOptions::full();
+    options.layoutKind = layout::LayoutKind::Uniform;
+    EcssdSystem system(spec, options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            system.runInference(1).totalTime);
+}
+BENCHMARK(BM_HeteroBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig10();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

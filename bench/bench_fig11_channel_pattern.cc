@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Fig 11: per-channel access pattern of one GNMT-E32K
+ * weight-data sweep (10% candidate ratio) under uniform vs
+ * learning-based interleaving.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "layout/strategy.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+void
+printFig11()
+{
+    bench::banner(
+        "Fig 11: flash channel access pattern (GNMT-E32K, 10%)");
+    xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("GNMT-E32K");
+    spec.candidateRatio = 0.10;
+    xclass::CandidateTrace trace(spec, 7);
+
+    const auto uniform = layout::makeLayout(
+        layout::LayoutKind::Uniform, spec.categories, 8);
+    const auto learning = layout::makeLayout(
+        layout::LayoutKind::LearningAdaptive, spec.categories, 8,
+        [&trace](std::uint64_t r) { return trace.hotness(r); });
+
+    // Aggregate accesses over a window of batches, as the figure
+    // shows accumulated per-channel workload.
+    std::vector<std::uint64_t> uniform_pattern(8, 0);
+    std::vector<std::uint64_t> learning_pattern(8, 0);
+    for (int batch = 0; batch < 16; ++batch) {
+        const std::vector<std::uint64_t> candidates =
+            trace.drawCandidates();
+        const auto pu =
+            layout::channelAccessPattern(candidates, *uniform);
+        const auto pl =
+            layout::channelAccessPattern(candidates, *learning);
+        for (unsigned c = 0; c < 8; ++c) {
+            uniform_pattern[c] += pu[c];
+            learning_pattern[c] += pl[c];
+        }
+    }
+
+    std::printf("  %-10s", "channel");
+    for (unsigned c = 0; c < 8; ++c)
+        std::printf(" %8u", c);
+    std::printf("\n  %-10s", "uniform");
+    for (unsigned c = 0; c < 8; ++c)
+        std::printf(" %8llu",
+                    (unsigned long long)uniform_pattern[c]);
+    std::printf("\n  %-10s", "learning");
+    for (unsigned c = 0; c < 8; ++c)
+        std::printf(" %8llu",
+                    (unsigned long long)learning_pattern[c]);
+    std::printf("\n");
+
+    bench::row("uniform balance (mean/max)",
+               layout::accessBalance(uniform_pattern), "", "skewed");
+    bench::row("learning balance (mean/max)",
+               layout::accessBalance(learning_pattern), "",
+               "nearly 1.0");
+}
+
+void
+BM_BuildLearningLayout(benchmark::State &state)
+{
+    xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("GNMT-E32K");
+    xclass::CandidateTrace trace(spec, 7);
+    for (auto _ : state) {
+        const auto strat = layout::makeLayout(
+            layout::LayoutKind::LearningAdaptive, spec.categories, 8,
+            [&trace](std::uint64_t r) { return trace.hotness(r); });
+        benchmark::DoNotOptimize(strat->channelOf(0));
+    }
+}
+BENCHMARK(BM_BuildLearningLayout)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig11();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Fig 12: end-to-end performance of sequential storing,
+ * uniform interleaving, and learning-based adaptive interleaving on
+ * four benchmarks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+double
+batchMs(const xclass::BenchmarkSpec &spec, layout::LayoutKind kind)
+{
+    EcssdOptions options = EcssdOptions::full();
+    options.layoutKind = kind;
+    EcssdSystem system(spec, options);
+    return system.runInference(2).meanBatchMs();
+}
+
+void
+printFig12()
+{
+    bench::banner("Fig 12: storing strategy comparison");
+    const char *names[] = {"GNMT-E32K", "LSTM-W33K",
+                           "Transformer-W268K", "XMLCNN-A670K"};
+    double seq_speedup = 0.0;
+    double uni_speedup = 0.0;
+    for (const char *name : names) {
+        const xclass::BenchmarkSpec spec =
+            xclass::benchmarkByName(name);
+        const double seq =
+            batchMs(spec, layout::LayoutKind::Sequential);
+        const double uni =
+            batchMs(spec, layout::LayoutKind::Uniform);
+        const double learn =
+            batchMs(spec, layout::LayoutKind::LearningAdaptive);
+        bench::row(std::string(name) + " sequential", seq,
+                   "ms/batch");
+        bench::row(std::string(name) + " uniform", uni, "ms/batch");
+        bench::row(std::string(name) + " learning", learn,
+                   "ms/batch");
+        seq_speedup += seq / learn;
+        uni_speedup += uni / learn;
+    }
+    bench::row("avg learning speedup vs sequential",
+               seq_speedup / 4.0, "x", "7.57");
+    bench::row("avg learning speedup vs uniform",
+               uni_speedup / 4.0, "x", "1.43");
+}
+
+void
+BM_LearningLayoutBatch(benchmark::State &state)
+{
+    const xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("GNMT-E32K");
+    EcssdSystem system(spec, EcssdOptions::full());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(system.runInference(1).totalTime);
+}
+BENCHMARK(BM_LearningLayoutBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig12();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces Fig 13: end-to-end comparison of ECSSD against the
+ * eight baseline architectures on the three large-scale synthetic
+ * benchmarks (S10M / S50M / S100M).
+ *
+ * The S50M/S100M runs are scaled to 10M categories for the
+ * full-pipeline architectures (ECSSD / GenStore) to keep the harness
+ * runtime modest -- the per-batch latencies scale linearly with L in
+ * this regime, so speedup ratios are unchanged; the analytic
+ * baselines (CPU / SmartSSD) always use the full footprints.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "baselines/baselines.hh"
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+using namespace ecssd::baselines;
+
+namespace
+{
+
+void
+printFig13()
+{
+    bench::banner("Fig 13: end-to-end architecture comparison");
+    const std::map<Architecture, const char *> paper_speedups = {
+        {Architecture::CpuN, "49.87"},
+        {Architecture::SmartSsdN, "37.83"},
+        {Architecture::GenStoreN, "24.51"},
+        {Architecture::SmartSsdHN, "19.11"},
+        {Architecture::CpuAp, "8.22"},
+        {Architecture::SmartSsdAp, "6.28"},
+        {Architecture::GenStoreAp, "4.05"},
+        {Architecture::SmartSsdHAp, "3.24"},
+    };
+
+    std::map<Architecture, double> speedup_sum;
+    unsigned bench_count = 0;
+    for (const xclass::BenchmarkSpec &full :
+         xclass::largeScaleBenchmarks()) {
+        const xclass::BenchmarkSpec sim_spec =
+            xclass::scaledDown(full, 10000000);
+        ++bench_count;
+        const double ecssd_ms =
+            simulate(Architecture::Ecssd, sim_spec, 1).batchMs;
+        std::printf("  -- %s (ECSSD batch %.3f ms) --\n",
+                    full.name.c_str(), ecssd_ms);
+        for (const Architecture arch : allBaselines()) {
+            // Dense/analytic baselines pay the full footprint; the
+            // simulated in-SSD baselines use the scaled spec.
+            const bool analytic = arch == Architecture::CpuN
+                || arch == Architecture::CpuAp
+                || arch == Architecture::SmartSsdN
+                || arch == Architecture::SmartSsdAp
+                || arch == Architecture::SmartSsdHN
+                || arch == Architecture::SmartSsdHAp;
+            const xclass::BenchmarkSpec &spec =
+                analytic ? full : sim_spec;
+            const double scale = analytic
+                ? static_cast<double>(sim_spec.categories)
+                    / static_cast<double>(full.categories)
+                : 1.0;
+            const double ms =
+                simulate(arch, spec, 1).batchMs * scale;
+            const double speedup = ms / ecssd_ms;
+            speedup_sum[arch] += speedup;
+            bench::row(toString(arch) + " latency", ms, "ms/batch");
+            bench::row(toString(arch) + " ECSSD speedup", speedup,
+                       "x");
+        }
+    }
+
+    std::printf("  -- average across the three benchmarks --\n");
+    for (const Architecture arch : allBaselines())
+        bench::row("ECSSD speedup over " + toString(arch),
+                   speedup_sum[arch] / bench_count, "x",
+                   paper_speedups.at(arch));
+}
+
+void
+BM_EcssdLargeBatch(benchmark::State &state)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 1000000);
+    EcssdSystem system(spec, EcssdOptions::full());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(system.runInference(1).totalTime);
+}
+BENCHMARK(BM_EcssdLargeBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Fig 1: roofline positions of the in-storage-computing
+ * baseline (point A, compute-bound), the alignment-free design
+ * (point B, memory-bound at partial utilization), and the full
+ * ECSSD with data-layout optimizations (point C).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "circuit/accelerator_model.hh"
+#include "circuit/mac_circuit.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+using namespace ecssd::circuit;
+
+namespace
+{
+
+void
+printFig1()
+{
+    bench::banner("Fig 1: roofline analysis");
+
+    const ssdsim::SsdConfig ssd;
+    const double bandwidth = ssd.internalBandwidthGbps();
+    const xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("LSTM-W33K");
+    // FP32 stage intensity: each candidate weight byte is used
+    // 2*batch/4 times.
+    const double intensity = 2.0 * spec.batchSize / 4.0;
+
+    const double naive_gflops = peakGflops(
+        macsInArea(naiveFp32Mac(),
+                   macArray(alignmentFreeFp32Mac(), 64).areaMm2()));
+    const double af_gflops = peakGflops(64);
+
+    const RooflinePoint a =
+        roofline(naive_gflops, bandwidth, intensity);
+    bench::row("A: naive ISC baseline, attainable",
+               a.attainableGflops, "GFLOPS");
+    bench::row("A: compute-bound", a.computeBound ? 1 : 0, "bool",
+               "yes");
+
+    const RooflinePoint b = roofline(af_gflops, bandwidth, intensity);
+    bench::row("B: alignment-free MAC, attainable",
+               b.attainableGflops, "GFLOPS");
+    bench::row("B: compute-bound", b.computeBound ? 1 : 0, "bool",
+               "no");
+
+    // Point C: measured bandwidth utilization of the full system
+    // lifts the attainable performance toward the memory roof.
+    EcssdSystem baseline(
+        xclass::scaledDown(xclass::benchmarkByName("XMLCNN-S10M"),
+                           65536),
+        [] {
+            EcssdOptions o = EcssdOptions::full();
+            o.layoutKind = layout::LayoutKind::Uniform;
+            o.int4Placement = accel::Int4Placement::Flash;
+            return o;
+        }());
+    EcssdSystem full(
+        xclass::scaledDown(xclass::benchmarkByName("XMLCNN-S10M"),
+                           65536),
+        EcssdOptions::full());
+    const double util_b =
+        baseline.runInference(2).channelUtilization;
+    const double util_c = full.runInference(2).channelUtilization;
+    bench::row("B: achieved with homogeneous/uniform layout",
+               util_b * b.attainableGflops, "GFLOPS");
+    bench::row("C: achieved with co-designed data layout",
+               util_c * b.attainableGflops, "GFLOPS");
+    bench::row("C over B bandwidth gain", util_c / util_b, "x");
+}
+
+void
+BM_RooflineQuery(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const RooflinePoint p = roofline(51.2, 8.0, 4.0);
+        benchmark::DoNotOptimize(p.attainableGflops);
+    }
+}
+BENCHMARK(BM_RooflineQuery);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

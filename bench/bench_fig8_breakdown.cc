@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces Fig 8: the stepwise end-to-end improvement of each
+ * proposed technique, averaged over the Table 3 benchmarks.
+ *
+ *   step 0  naive MAC + sequential storing + homogeneous layout
+ *   step 1  + uniform interleaving        (paper: 4.06x, util 44.31%)
+ *   step 2  + alignment-free FP MAC
+ *   step 3  + heterogeneous data layout   (paper: util 67.6%)
+ *   step 4  + learning-based interleaving (paper: util 94.7%, 10.5x)
+ *
+ * The 10M-100M synthetic benchmarks are scaled to 2M categories to
+ * keep the harness runtime modest; ratios are preserved.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+std::vector<EcssdOptions>
+fig8Steps()
+{
+    EcssdOptions step0 = EcssdOptions::startingBaseline();
+    EcssdOptions step1 = step0;
+    step1.layoutKind = layout::LayoutKind::Uniform;
+    EcssdOptions step2 = step1;
+    step2.fpKind = circuit::FpMacKind::AlignmentFree;
+    EcssdOptions step3 = step2;
+    step3.int4Placement = accel::Int4Placement::Dram;
+    EcssdOptions step4 = step3;
+    step4.layoutKind = layout::LayoutKind::LearningAdaptive;
+    return {step0, step1, step2, step3, step4};
+}
+
+const char *stepNames[] = {
+    "0: naive + sequential + homogeneous",
+    "1: + uniform interleaving",
+    "2: + alignment-free FP MAC",
+    "3: + heterogeneous data layout",
+    "4: + learning-based interleaving",
+};
+
+void
+printFig8()
+{
+    bench::banner("Fig 8: stepwise technique breakdown "
+                  "(average over Table 3 benchmarks)");
+
+    const std::vector<EcssdOptions> steps = fig8Steps();
+    std::vector<double> mean_ms(steps.size(), 0.0);
+    std::vector<double> mean_util(steps.size(), 0.0);
+    unsigned bench_count = 0;
+
+    for (const xclass::BenchmarkSpec &full :
+         xclass::table3Benchmarks()) {
+        const xclass::BenchmarkSpec spec =
+            xclass::scaledDown(full, 2000000);
+        ++bench_count;
+        for (std::size_t s = 0; s < steps.size(); ++s) {
+            EcssdSystem system(spec, steps[s]);
+            const accel::RunResult result = system.runInference(1);
+            mean_ms[s] += result.meanBatchMs();
+            mean_util[s] += result.channelUtilization;
+        }
+    }
+
+    const char *paper_speedup[] = {"1.0", "4.06", "-", "-", "10.5"};
+    const char *paper_util[] = {"<10%", "44.31%", "-", "67.6%",
+                                "94.7%"};
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        mean_ms[s] /= bench_count;
+        mean_util[s] /= bench_count;
+        bench::row(std::string(stepNames[s]) + " latency",
+                   mean_ms[s], "ms/batch");
+        bench::row(std::string(stepNames[s]) + " speedup vs step 0",
+                   mean_ms[0] / mean_ms[s], "x", paper_speedup[s]);
+        bench::row(std::string(stepNames[s]) + " channel util",
+                   mean_util[s] * 100.0, "%", paper_util[s]);
+    }
+}
+
+void
+BM_FullEcssdBatch(benchmark::State &state)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 65536);
+    EcssdSystem system(spec, EcssdOptions::full());
+    double ms = 0.0;
+    for (auto _ : state) {
+        const accel::RunResult result = system.runInference(1);
+        ms = result.meanBatchMs();
+        benchmark::DoNotOptimize(ms);
+    }
+    state.counters["simulated_batch_ms"] = ms;
+}
+BENCHMARK(BM_FullEcssdBatch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig8();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Fig 9: normalized area and power of the naive, SK
+ * Hynix, and alignment-free FP MAC circuits at iso-throughput, plus
+ * live micro-benchmarks of the three functional datapaths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "circuit/mac_circuit.hh"
+#include "numeric/mac.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd;
+using namespace ecssd::circuit;
+
+namespace
+{
+
+void
+printFig9()
+{
+    bench::banner("Fig 9: FP MAC circuit comparison "
+                  "(normalized to alignment-free)");
+    const CircuitBlock naive = naiveFp32Mac();
+    const CircuitBlock skh = skHynixFp32Mac();
+    const CircuitBlock af = alignmentFreeFp32Mac();
+
+    bench::row("naive area ratio", naive.areaUm2() / af.areaUm2(),
+               "x", "1.73");
+    bench::row("skhynix area ratio", skh.areaUm2() / af.areaUm2(),
+               "x", "1.38");
+    bench::row("alignment-free area ratio", 1.0, "x", "1.0");
+    bench::row("naive power ratio", naive.powerUw() / af.powerUw(),
+               "x", "1.53");
+    bench::row("skhynix power ratio", skh.powerUw() / af.powerUw(),
+               "x", "1.19");
+    bench::row("alignment-free power ratio", 1.0, "x", "1.0");
+    bench::row("alignment share of naive MAC",
+               naive.areaFraction({"exponent_comparator_8b",
+                                   "mantissa_shifter_24b"})
+                   * 100.0,
+               "%", "37.7%");
+}
+
+std::pair<std::vector<float>, std::vector<float>>
+vectors(std::size_t n)
+{
+    sim::Rng rng(42);
+    std::vector<float> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<float>(rng.gaussian(0.0, 0.05));
+        b[i] = static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+    return {a, b};
+}
+
+void
+BM_NaiveFpDot(benchmark::State &state)
+{
+    const auto [a, b] =
+        vectors(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(numeric::NaiveFpMac::dot(a, b));
+}
+BENCHMARK(BM_NaiveFpDot)->Arg(256)->Arg(1024);
+
+void
+BM_SkHynixDot(benchmark::State &state)
+{
+    const auto [a, b] =
+        vectors(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(numeric::SkHynixMac::dot(a, b));
+}
+BENCHMARK(BM_SkHynixDot)->Arg(256)->Arg(1024);
+
+void
+BM_AlignmentFreeDot(benchmark::State &state)
+{
+    const auto [a, b] =
+        vectors(static_cast<std::size_t>(state.range(0)));
+    const numeric::Cfp32Vector ca = numeric::Cfp32Vector::preAlign(a);
+    const numeric::Cfp32Vector cb = numeric::Cfp32Vector::preAlign(b);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            numeric::AlignmentFreeMac::dot(ca, cb));
+}
+BENCHMARK(BM_AlignmentFreeDot)->Arg(256)->Arg(1024);
+
+void
+BM_PreAlign(benchmark::State &state)
+{
+    const auto [a, b] =
+        vectors(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(numeric::Cfp32Vector::preAlign(a));
+}
+BENCHMARK(BM_PreAlign)->Arg(1024);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig9();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

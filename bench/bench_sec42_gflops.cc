@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces the Section 4.2 throughput numbers for LSTM-W33K: the
+ * floating-point rate needed to consume the flash-channel stream
+ * without delay (34.8 GFLOPS in the paper), what the naive circuit
+ * achieves in the same area (29.2), and what the alignment-free
+ * circuit achieves (50).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "circuit/mac_circuit.hh"
+#include "ssdsim/config.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+using namespace ecssd::circuit;
+
+namespace
+{
+
+void
+printSec42()
+{
+    bench::banner("Section 4.2: compute vs channel bandwidth "
+                  "(LSTM-W33K)");
+    const xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("LSTM-W33K");
+    const ssdsim::SsdConfig ssd;
+
+    // GFLOPS needed: the FP32 stage performs 2*batch FLOPs per 4
+    // weight bytes, and the 8 channels deliver 8 GB/s.
+    const double intensity = 2.0 * spec.batchSize / 4.0;
+    const double needed =
+        ssd.internalBandwidthGbps() * intensity;
+    bench::row("needed to match channel stream", needed, "GFLOPS",
+               "34.8");
+
+    const double area =
+        macArray(alignmentFreeFp32Mac(), 64).areaMm2();
+    const double naive =
+        peakGflops(macsInArea(naiveFp32Mac(), area));
+    const double skh =
+        peakGflops(macsInArea(skHynixFp32Mac(), area));
+    const double af = peakGflops(64);
+    bench::row("naive FP32 at iso-area", naive, "GFLOPS", "29.2");
+    bench::row("SK Hynix FP32 at iso-area", skh, "GFLOPS");
+    bench::row("alignment-free FP32", af, "GFLOPS", "50");
+    bench::row("naive covers the stream", naive >= needed ? 1 : 0,
+               "bool", "no");
+    bench::row("alignment-free covers the stream",
+               af >= needed ? 1 : 0, "bool", "yes");
+}
+
+void
+BM_MacsInArea(benchmark::State &state)
+{
+    const double area =
+        macArray(alignmentFreeFp32Mac(), 64).areaMm2();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            macsInArea(naiveFp32Mac(), area));
+}
+BENCHMARK(BM_MacsInArea);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSec42();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces the Section 7.1 scalability discussion: DRAM capacity
+ * (8/16/32 GB) vs the maximum deployable classification scale, and
+ * scale-out partitioning across multiple ECSSDs for a 500M-category
+ * layer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+/**
+ * Max categories whose INT4 screener fits a DRAM of @p bytes.  The
+ * FTL's management data (L2P map, wear metadata) keeps ~20% of the
+ * DRAM, which is how the paper's 16 GB device tops out at the
+ * 12.8 GB screener of the 100M-category layer.
+ */
+constexpr double dramFillTarget = 0.8;
+
+std::uint64_t
+maxCategories(std::uint64_t dram_bytes, std::uint32_t shrunk_dim)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(dram_bytes) * dramFillTarget)
+        / (shrunk_dim / 2);
+}
+
+void
+printSec71()
+{
+    bench::banner("Section 7.1: scalability");
+    const std::uint32_t k = 256; // D = 1024 at scale 0.25
+
+    const std::uint64_t gib = 1ULL << 30;
+    bench::row("max categories with 8 GB DRAM",
+               static_cast<double>(maxCategories(8 * gib, k)) / 1e6,
+               "M", "~50M");
+    bench::row("max categories with 16 GB DRAM",
+               static_cast<double>(maxCategories(16 * gib, k)) / 1e6,
+               "M", "~100M (sweet spot)");
+    bench::row("max categories with 32 GB DRAM",
+               static_cast<double>(maxCategories(32 * gib, k)) / 1e6,
+               "M", "~200M");
+
+    // 100M categories must deploy on the default 16 GB device...
+    xclass::BenchmarkSpec s100m =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    EcssdSystem single(s100m, EcssdOptions::full());
+    bench::row("S100M INT4 footprint",
+               static_cast<double>(s100m.int4WeightBytes()) / 1e9,
+               "GB", "12.8");
+    bench::row("S100M deploy estimate",
+               sim::tickToSeconds(single.deployTimeEstimate()),
+               "s");
+
+    // ...while a 500M-category layer needs the scale-out path:
+    // partition over ceil(64 GB / 16 GB) = 5 devices (the paper's
+    // example with its own capacity accounting).
+    xclass::BenchmarkSpec s500m = s100m;
+    s500m.name = "XMLCNN-S500M";
+    s500m.categories = 500000000;
+    const double int4_gb =
+        static_cast<double>(s500m.int4WeightBytes()) / 1e9;
+    const double fp32_tb =
+        static_cast<double>(s500m.fp32WeightBytes()) / 1e12;
+    bench::row("S500M INT4 footprint", int4_gb, "GB", "64");
+    bench::row("S500M FP32 footprint", fp32_tb, "TB", "2");
+    const std::uint64_t usable = static_cast<std::uint64_t>(
+        16.0 * static_cast<double>(gib) * dramFillTarget);
+    const unsigned devices = static_cast<unsigned>(
+        (s500m.int4WeightBytes() + usable - 1) / usable);
+    bench::row("ECSSDs needed (scale-out)", devices, "devices",
+               "5");
+
+    // Per-device partition runs like a 100M benchmark; devices work
+    // in parallel, so scale-out latency ~= the partition latency.
+    xclass::BenchmarkSpec partition = s500m;
+    partition.categories = s500m.categories / devices;
+    EcssdSystem shard(
+        xclass::scaledDown(partition, 2000000),
+        EcssdOptions::full());
+    const accel::RunResult result = shard.runInference(1);
+    bench::row("per-shard batch latency (scaled 2M sim)",
+               result.meanBatchMs(), "ms");
+}
+
+void
+BM_DeployEstimate(benchmark::State &state)
+{
+    const xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    EcssdSystem system(spec, EcssdOptions::full());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(system.deployTimeEstimate());
+}
+BENCHMARK(BM_DeployEstimate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSec71();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

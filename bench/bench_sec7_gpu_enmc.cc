@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces the Section 7.2/7.3 efficiency comparisons: ECSSD vs a
+ * multi-GPU deployment and vs the near-DRAM ENMC system, in
+ * GFLOPS/W and GFLOPS/dollar.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baselines/enmc.hh"
+#include "bench_util.hh"
+#include "circuit/accelerator_model.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+using namespace ecssd::circuit;
+
+namespace
+{
+
+/** Cost/power constants from the paper's citations. */
+struct EfficiencyConstants
+{
+    // ECSSD: accelerator power plus the host-side share; the paper
+    // reports 4.55 GFLOPS/W and 0.018 GFLOPS/dollar for the whole
+    // 50-GFLOPS device.
+    double ecssdGflops = 51.2;
+    double ecssdTotalPowerW = 51.2 / 4.55;
+    double ecssdCostDollar = 51.2 / 0.018;
+
+    // RTX 3090: 350 W TDP, 24 GB memory.
+    double gpuPowerW = 350.0;
+    double gpuMemoryGb = 24.0;
+
+    // ENMC: 512 GB near-DRAM system, 800 GFLOPS peak.
+    double enmcGflops = 800.0;
+    double enmcGflopsPerW = 3.805;
+    double enmcGflopsPerDollar = 0.002;
+};
+
+void
+printSec7()
+{
+    bench::banner("Section 7.2: comparison with GPU");
+    const EfficiencyConstants k;
+    const AcceleratorEstimate accel =
+        estimateAccelerator(AcceleratorConfig{});
+
+    bench::row("accelerator power", accel.totalPowerMw, "mW",
+               "52.93");
+    bench::row("one RTX 3090 vs ECSSD accelerator power",
+               k.gpuPowerW / (accel.totalPowerMw * 1e-3
+                              + k.ecssdTotalPowerW),
+               "x", "32");
+
+    // 100M categories at D=1024: 400 GB of FP32 weights need
+    // ceil(400/24) = 17..18 GPUs to stay memory-resident.
+    const xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    const double weights_gb =
+        static_cast<double>(spec.fp32WeightBytes()) / 1e9;
+    const unsigned gpus = static_cast<unsigned>(
+        std::ceil(weights_gb / k.gpuMemoryGb));
+    bench::row("GPUs to hold the S100M layer", gpus, "GPUs", "18");
+    bench::row("multi-GPU vs ECSSD power",
+               gpus * k.gpuPowerW
+                   / (accel.totalPowerMw * 1e-3
+                      + k.ecssdTotalPowerW),
+               "x", ">=573");
+
+    bench::banner("Section 7.3: comparison with ENMC");
+    const double ecssd_gflops_per_w =
+        k.ecssdGflops / k.ecssdTotalPowerW;
+    const double ecssd_gflops_per_dollar =
+        k.ecssdGflops / k.ecssdCostDollar;
+    bench::row("ECSSD energy efficiency", ecssd_gflops_per_w,
+               "GFLOPS/W", "4.55");
+    bench::row("ENMC energy efficiency", k.enmcGflopsPerW,
+               "GFLOPS/W", "3.805");
+    bench::row("ECSSD energy-efficiency gain",
+               ecssd_gflops_per_w / k.enmcGflopsPerW, "x", "1.19");
+    bench::row("ECSSD cost efficiency", ecssd_gflops_per_dollar,
+               "GFLOPS/$", "0.018");
+    bench::row("ENMC cost efficiency", k.enmcGflopsPerDollar,
+               "GFLOPS/$", "0.002");
+    bench::row("ECSSD cost-efficiency gain",
+               ecssd_gflops_per_dollar / k.enmcGflopsPerDollar, "x",
+               "8.87");
+    bench::row("ENMC peak over one ECSSD",
+               k.enmcGflops / k.ecssdGflops, "x", "~16");
+
+    // Simulated ENMC (not just the analytic constants): latency and
+    // the capacity cliff past 512 GB.
+    const baselines::EnmcResult fits = baselines::simulateEnmc(
+        xclass::benchmarkByName("XMLCNN-S100M"), 1);
+    bench::row("ENMC simulated S100M batch", fits.batchMs, "ms");
+    bench::row("ENMC simulated GFLOPS/W", fits.gflopsPerWatt,
+               "GFLOPS/W", "3.805");
+    xclass::BenchmarkSpec s200m =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    s200m.categories = 200000000;
+    const baselines::EnmcResult spills =
+        baselines::simulateEnmc(s200m, 1);
+    bench::row("ENMC S200M fits DRAM", spills.fitsInDram ? 1 : 0,
+               "bool", "no (degrades)");
+    bench::row("ENMC S200M batch (storage spill)", spills.batchMs,
+               "ms");
+}
+
+void
+BM_EfficiencyModel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const AcceleratorEstimate est =
+            estimateAccelerator(AcceleratorConfig{});
+        benchmark::DoNotOptimize(est.totalPowerMw);
+    }
+}
+BENCHMARK(BM_EfficiencyModel);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSec7();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Table 4: area and power of the inserted accelerator,
+ * plus the iso-performance naive-FP32 comparison of Section 6.2.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "circuit/accelerator_model.hh"
+
+using namespace ecssd;
+using namespace ecssd::circuit;
+
+namespace
+{
+
+void
+printTable4()
+{
+    bench::banner("Table 4: accelerator area/power breakdown");
+    const AcceleratorEstimate est =
+        estimateAccelerator(AcceleratorConfig{});
+    for (const AreaPowerRow &r : est.rows) {
+        bench::row(r.block + " area", r.areaMm2, "mm^2");
+        bench::row(r.block + " power", r.powerMw, "mW");
+    }
+    bench::row("Total area", est.totalAreaMm2, "mm^2", "0.1836");
+    bench::row("Total power", est.totalPowerMw, "mW", "52.93");
+    bench::row("Fits 0.21 mm^2 budget", est.fitsBudget() ? 1 : 0,
+               "bool", "yes");
+
+    // Section 6.2: iso-performance naive FP32 needs 0.24 mm^2 and
+    // 51.8 mW.
+    AcceleratorConfig naive;
+    naive.fpKind = FpMacKind::Naive;
+    naive.fp32Macs = macsForGflops(peakGflops(64));
+    const AcceleratorEstimate naive_est = estimateAccelerator(naive);
+    bench::row("Naive FP32 iso-perf area",
+               naive_est.rows[0].areaMm2, "mm^2", "0.24");
+    bench::row("Naive FP32 iso-perf power",
+               naive_est.rows[0].powerMw, "mW", "51.8");
+    bench::row("Naive iso-perf fits budget",
+               naive_est.fitsBudget() ? 1 : 0, "bool", "no");
+}
+
+void
+BM_EstimateAccelerator(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const AcceleratorEstimate est =
+            estimateAccelerator(AcceleratorConfig{});
+        benchmark::DoNotOptimize(est.totalAreaMm2);
+    }
+}
+BENCHMARK(BM_EstimateAccelerator);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

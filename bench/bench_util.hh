@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: paper-style table
+ * printing.  Each bench binary prints the reproduced table/figure
+ * rows first, then runs its google-benchmark micro-timings.
+ */
+
+#ifndef ECSSD_BENCH_BENCH_UTIL_HH
+#define ECSSD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace ecssd
+{
+namespace bench
+{
+
+/** Print a section banner for one reproduced table/figure. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print a key/value line in the experiment report. */
+inline void
+row(const std::string &key, double value, const std::string &unit,
+    const std::string &paper = {})
+{
+    if (paper.empty())
+        std::printf("  %-44s %12.4f %s\n", key.c_str(), value,
+                    unit.c_str());
+    else
+        std::printf("  %-44s %12.4f %s   (paper: %s)\n", key.c_str(),
+                    value, unit.c_str(), paper.c_str());
+}
+
+} // namespace bench
+} // namespace ecssd
+
+#endif // ECSSD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: deploy a small classification layer on an ECSSD and
+ * run one screened inference through the Table 1 API.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "ecssd/api.hh"
+#include "sim/rng.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+
+int
+main()
+{
+    // A 4096-category, 256-dimensional classification layer -- tiny
+    // by extreme-classification standards, instant to simulate.
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 4096);
+    spec.hiddenDim = 256;
+
+    std::printf("Generating a synthetic %llu x %u classifier...\n",
+                (unsigned long long)spec.categories, spec.hiddenDim);
+    const xclass::SyntheticModel model(spec, /*seed=*/1);
+
+    // Bring up the device and deploy the weights: the INT4 screener
+    // goes to the SSD DRAM, the CFP32 rows go to flash, placed by
+    // the learning-based interleaving framework.
+    EcssdApi device;
+    device.ecssdEnable();
+    const sim::Tick deploy_time =
+        device.weightDeploy(model.weights(), spec, &model.basis());
+    std::printf("Weight deployment: %.2f ms simulated\n",
+                sim::tickToMs(deploy_time));
+
+    // Train the screening threshold on a few calibration queries.
+    sim::Rng rng(2);
+    std::vector<std::vector<float>> calibration;
+    for (int q = 0; q < 8; ++q)
+        calibration.push_back(model.sampleQuery(rng));
+    device.calibrateThreshold(calibration);
+
+    // One inference: send the projected INT4 input and the
+    // pre-aligned CFP32 input, screen, classify, fetch results.
+    const std::vector<float> query = model.sampleQuery(rng);
+    device.int4InputSend(query);
+    device.cfp32InputSend(query);
+    device.int4Screen();
+    std::printf("Screener kept %zu / %llu categories (%.1f%%)\n",
+                device.lastCandidateCount(),
+                (unsigned long long)spec.categories,
+                100.0 * device.lastCandidateCount()
+                    / spec.categories);
+    device.cfp32Classify();
+
+    const auto prediction = device.getResults(5);
+    std::printf("Top-5 categories:");
+    for (std::size_t i = 0; i < prediction.topCategories.size();
+         ++i)
+        std::printf(" %llu (%.3f)",
+                    (unsigned long long)prediction.topCategories[i],
+                    prediction.topScores[i]);
+    std::printf("\nDevice-side inference latency: %.3f ms\n",
+                sim::tickToMs(device.lastInferenceLatency()));
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Production-style serving: a request queue in front of one ECSSD
+ * (latency percentiles via the InferenceServer), and the Section 7.1
+ * scale-out path when the model outgrows one device's DRAM.
+ */
+
+#include <cstdio>
+
+#include "ecssd/scale_out.hh"
+#include "ecssd/server.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd;
+
+int
+main()
+{
+    // --- Single-device serving with a request queue ---------------
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 4096);
+    spec.hiddenDim = 256;
+    spec.batchSize = 8;
+    const xclass::SyntheticModel model(spec, 41);
+
+    InferenceServer server(model.weights(), spec,
+                           EcssdOptions::full(), &model.basis());
+    sim::Rng rng(42);
+    for (int request = 0; request < 64; ++request)
+        server.enqueue(model.sampleQuery(rng));
+
+    const auto responses = server.processAll(/*k=*/5);
+    std::printf("served %zu requests in %.3f ms of device time\n",
+                responses.size(),
+                sim::tickToMs(server.deviceTime()));
+    std::printf("latency mean %.3f ms, min %.3f, max %.3f "
+                "(batching holds early arrivals)\n",
+                server.latencyMs().mean(), server.latencyMs().min(),
+                server.latencyMs().max());
+
+    // --- Scale-out when the layer outgrows one device --------------
+    xclass::BenchmarkSpec huge =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    huge.categories = 500000000; // the paper's 500M example
+    const unsigned devices =
+        ScaleOutEcssd::devicesNeeded(huge, 16ULL << 30);
+    std::printf("\na 500M-category layer needs %u ECSSDs\n",
+                devices);
+
+    // Simulate the fleet on a scaled shard (ratios preserved).
+    xclass::BenchmarkSpec scaled = xclass::scaledDown(huge, 327680);
+    ScaleOutEcssd fleet(scaled, devices);
+    const ScaleOutResult result = fleet.runInference(2);
+    std::printf("fleet of %u: %.3f ms/batch, %.1f mJ/batch total\n",
+                fleet.devices(), result.meanBatchMs,
+                result.totalEnergyUj / 2.0 / 1000.0);
+
+    ScaleOutEcssd single(scaled, 1);
+    const ScaleOutResult alone = single.runInference(2);
+    std::printf("one device:  %.3f ms/batch  (fleet is %.2fx "
+                "faster)\n",
+                alone.meanBatchMs,
+                alone.meanBatchMs / result.meanBatchMs);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Neural-machine-translation vocabulary scenario (GNMT): the output
+ * softmax over a 32K-word vocabulary is the classification layer;
+ * decoding needs the top-k logits of every step.
+ *
+ * The example walks a simulated decode of several steps, runs each
+ * step's hidden state through the screened classifier, and checks
+ * that the words the full softmax would pick survive screening.  It
+ * also shows the device-side step latency of ECSSD vs a CPU host
+ * doing the same work over the SSD I/O link.
+ */
+
+#include <cstdio>
+
+#include "baselines/baselines.hh"
+#include "ecssd/system.hh"
+#include "sim/rng.hh"
+#include "xclass/metrics.hh"
+#include "xclass/screening.hh"
+
+using namespace ecssd;
+
+int
+main()
+{
+    // Functional replica of the GNMT output layer (scaled so the
+    // weights fit in memory for the bit-accurate math).
+    xclass::BenchmarkSpec vocab = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 8192);
+    vocab.hiddenDim = 256;
+    const xclass::SyntheticModel model(vocab, 21);
+    const xclass::ApproximateClassifier classifier(
+        model.weights(), vocab, 22, &model.basis());
+
+    std::printf("Decoding 10 steps over a %llu-word vocabulary...\n",
+                (unsigned long long)vocab.categories);
+    sim::Rng rng(23);
+    double step_recall = 0.0;
+    int exact_top1_matches = 0;
+    for (int step = 0; step < 10; ++step) {
+        // The decoder's hidden state at this step.
+        const std::vector<float> hidden = model.sampleQuery(rng);
+        const auto exact = classifier.exact(hidden, 8);
+        const auto approx = classifier.predict(hidden, 8);
+        step_recall += xclass::recall(exact.topCategories,
+                                      approx.topCategories);
+        exact_top1_matches +=
+            exact.topCategories[0] == approx.topCategories[0];
+    }
+    std::printf("beam candidates recall@8: %.1f%%, "
+                "top-1 agreement: %d/10\n",
+                10.0 * step_recall, exact_top1_matches);
+
+    // Device-side timing of the full-size vocabulary on ECSSD vs
+    // the CPU baseline (weights streamed over the SSD I/O link).
+    const xclass::BenchmarkSpec full =
+        xclass::benchmarkByName("GNMT-E32K");
+    const baselines::BaselineResult ecssd =
+        baselines::simulate(baselines::Architecture::Ecssd, full, 2);
+    const baselines::BaselineResult cpu = baselines::simulate(
+        baselines::Architecture::CpuAp, full, 2);
+    std::printf("softmax batch on ECSSD:  %8.3f ms\n",
+                ecssd.batchMs);
+    std::printf("softmax batch on CPU-AP: %8.3f ms  (%.1fx slower)\n",
+                cpu.batchMs, cpu.batchMs / ecssd.batchMs);
+    return 0;
+}

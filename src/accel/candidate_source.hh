@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Sources of per-batch candidate row sets for the inference pipeline.
+ *
+ * The pipeline is agnostic to where candidates come from: the
+ * functional screener (small benchmarks), the statistical trace
+ * generator (10M-100M benchmarks), or "all rows" for architectures
+ * without the approximate screening algorithm.
+ */
+
+#ifndef ECSSD_ACCEL_CANDIDATE_SOURCE_HH
+#define ECSSD_ACCEL_CANDIDATE_SOURCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+namespace accel
+{
+
+/** Produces the candidate rows of each inference batch. */
+class CandidateSource
+{
+  public:
+    virtual ~CandidateSource() = default;
+
+    /** Total row count of the classification layer. */
+    virtual std::uint64_t rows() const = 0;
+
+    /** Sorted candidate rows of the next batch. */
+    virtual std::vector<std::uint64_t> nextBatch() = 0;
+};
+
+/** Every row is a candidate: the no-screening (-N) configurations. */
+class AllRowsSource : public CandidateSource
+{
+  public:
+    explicit AllRowsSource(std::uint64_t rows) : rows_(rows) {}
+
+    std::uint64_t rows() const override { return rows_; }
+
+    std::vector<std::uint64_t>
+    nextBatch() override
+    {
+        std::vector<std::uint64_t> all(rows_);
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+    }
+
+  private:
+    std::uint64_t rows_;
+};
+
+/** Statistical trace source for the large synthetic benchmarks. */
+class TraceSource : public CandidateSource
+{
+  public:
+    explicit TraceSource(const xclass::BenchmarkSpec &spec,
+                         std::uint64_t seed = 1,
+                         double predictor_noise = 0.25)
+        : trace_(spec, seed, predictor_noise)
+    {}
+
+    std::uint64_t rows() const override
+    {
+        return trace_.spec().categories;
+    }
+
+    std::vector<std::uint64_t>
+    nextBatch() override
+    {
+        return trace_.drawCandidates();
+    }
+
+    /** The underlying trace (hotness oracle for layout building). */
+    xclass::CandidateTrace &trace() { return trace_; }
+
+  private:
+    xclass::CandidateTrace trace_;
+};
+
+/**
+ * Fixed list-of-batches source (e.g., candidate sets produced by the
+ * functional screener on real queries); cycles when exhausted.
+ */
+class ListSource : public CandidateSource
+{
+  public:
+    ListSource(std::uint64_t rows,
+               std::vector<std::vector<std::uint64_t>> batches)
+        : rows_(rows), batches_(std::move(batches))
+    {}
+
+    std::uint64_t rows() const override { return rows_; }
+
+    std::vector<std::uint64_t>
+    nextBatch() override
+    {
+        if (batches_.empty())
+            return {};
+        const std::vector<std::uint64_t> &batch =
+            batches_[cursor_ % batches_.size()];
+        ++cursor_;
+        return batch;
+    }
+
+  private:
+    std::uint64_t rows_;
+    std::vector<std::vector<std::uint64_t>> batches_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace accel
+} // namespace ecssd
+
+#endif // ECSSD_ACCEL_CANDIDATE_SOURCE_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The in-SSD inference pipeline (Section 4.5's workflow).
+ *
+ * Inference proceeds tile-by-tile over the L categories.  For each
+ * tile the INT4 stage fetches the screener sub-matrix (from DRAM in
+ * the heterogeneous layout, from flash in the homogeneous baseline),
+ * scores it, and filters candidates; the FP32 stage then fetches the
+ * candidate weight rows from the flash channels the layout strategy
+ * placed them on and runs candidate-only classification.  With
+ * overlap enabled the INT4 stage of tile t+1 runs while the FP32
+ * stage of tile t is in flight, and ping-pong buffering overlaps
+ * fetch with compute inside each stage.
+ */
+
+#ifndef ECSSD_ACCEL_PIPELINE_HH
+#define ECSSD_ACCEL_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/accel_config.hh"
+#include "accel/candidate_source.hh"
+#include "layout/strategy.hh"
+#include "ssdsim/ssd.hh"
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+namespace accel
+{
+
+/** Where the INT4 screener weights live (Section 4.3). */
+enum class Int4Placement
+{
+    /** Heterogeneous: INT4 in DRAM, FP32 in flash (ECSSD). */
+    Dram,
+    /** Homogeneous: both INT4 and FP32 in flash (baseline). */
+    Flash,
+};
+
+/** Timing outcome of one inference batch. */
+struct BatchTiming
+{
+    sim::Tick startedAt = 0;
+    sim::Tick finishedAt = 0;
+    /** Candidate rows fetched for FP32 classification. */
+    std::uint64_t candidateRows = 0;
+    /** Flash pages read for FP32 weights. */
+    std::uint64_t fp32PagesRead = 0;
+    /** Bytes streamed over the channel buses for weight rows. */
+    std::uint64_t fp32BytesRead = 0;
+    /** Flash pages read for INT4 weights (homogeneous only). */
+    std::uint64_t int4PagesRead = 0;
+    /** FP32 floating-point operations executed. */
+    std::uint64_t fp32Flops = 0;
+    /** INT4 integer MAC operations executed. */
+    std::uint64_t int4Ops = 0;
+    /** Sum over tiles of the FP32 fetch critical path. */
+    sim::Tick fp32FetchTime = 0;
+    /** Sum over tiles of the FP32 compute demand. */
+    sim::Tick fp32ComputeTime = 0;
+    /** Sum over tiles of the INT4 stage time. */
+    sim::Tick int4StageTime = 0;
+    /** Per-channel pages read during this batch (FP32 weights). */
+    std::vector<std::uint64_t> channelPages;
+
+    sim::Tick
+    latency() const
+    {
+        return finishedAt - startedAt;
+    }
+};
+
+/** Aggregated run outcome. */
+struct RunResult
+{
+    std::vector<BatchTiming> batches;
+    sim::Tick totalTime = 0;
+    /** Channel-bus utilization over the whole run. */
+    double channelUtilization = 0.0;
+    /** Average effective FP32 GFLOPS across the run. */
+    double effectiveGflops = 0.0;
+
+    /** Mean batch latency in milliseconds. */
+    double
+    meanBatchMs() const
+    {
+        if (batches.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const BatchTiming &batch : batches)
+            sum += sim::tickToMs(batch.latency());
+        return sum / static_cast<double>(batches.size());
+    }
+};
+
+/** The tile-by-tile dual-precision inference pipeline. */
+class InferencePipeline
+{
+  public:
+    /**
+     * @param spec Workload shape.
+     * @param config Accelerator parameters.
+     * @param ssd The SSD whose flash/DRAM/host-link timelines the
+     *        pipeline drives (must outlive the pipeline).
+     * @param strategy FP32 row placement (must outlive the pipeline).
+     * @param int4_placement Heterogeneous (DRAM) or homogeneous
+     *        (flash) INT4 storage.
+     */
+    InferencePipeline(const xclass::BenchmarkSpec &spec,
+                      const AccelConfig &config,
+                      ssdsim::SsdDevice &ssd,
+                      const layout::LayoutStrategy &strategy,
+                      Int4Placement int4_placement);
+
+    /** Rows per tile, sized to the INT4 weight staging buffer. */
+    std::uint64_t tileRows() const { return tileRows_; }
+
+    /**
+     * Fetch run-ahead depth in tiles: how many tiles of candidate
+     * pages the 4 MB data buffer can hold ahead of the FP32 consumer
+     * (minimum 2, the ping-pong floor).
+     */
+    std::size_t pipelineDepth() const;
+
+    /** Stored bytes of one weight row at the configured precision. */
+    std::uint64_t weightRowBytes() const;
+
+    /** Number of flash page groups holding the weight rows. */
+    std::uint64_t pageGroupCount() const;
+
+    /** Number of tiles per batch sweep. */
+    std::uint64_t tileCount() const;
+
+    /**
+     * Run one inference batch whose candidates are @p candidates.
+     *
+     * @param candidates Sorted candidate rows over all L categories.
+     * @param issue_at Batch start tick.
+     */
+    BatchTiming runBatch(std::span<const std::uint64_t> candidates,
+                         sim::Tick issue_at);
+
+    /**
+     * Run @p batches batches from @p source back-to-back and
+     * aggregate.
+     */
+    RunResult run(CandidateSource &source, unsigned batches);
+
+    /** True when the FP32 stage (not screening) is in use at all. */
+    bool
+    screeningEnabled() const
+    {
+        return screening_;
+    }
+
+    /** Disable the INT4 screening stage (the -N architectures). */
+    void setScreeningEnabled(bool enabled) { screening_ = enabled; }
+
+  private:
+    /** Fetch one tile's INT4 weights; returns the completion tick. */
+    sim::Tick fetchInt4Tile(std::uint64_t tile, sim::Tick issue_at,
+                            BatchTiming &timing);
+
+    /**
+     * Fetch a tile's candidate FP32 rows.
+     *
+     * @param rows Sorted candidate rows of this tile.
+     * @param issue_at When the addresses reach the flash controllers
+     *        (dies begin sensing).
+     * @param transfer_gate Earliest tick the bus transfers may start
+     *        (staging-buffer availability); 0 for no gate.
+     * @return Completion tick of the last transfer.
+     */
+    sim::Tick fetchFp32Rows(
+        std::span<const std::uint64_t> rows, sim::Tick issue_at,
+        sim::Tick transfer_gate, BatchTiming &timing);
+
+    xclass::BenchmarkSpec spec_;
+    AccelConfig config_;
+    ssdsim::SsdDevice &ssd_;
+    const layout::LayoutStrategy &strategy_;
+    Int4Placement int4Placement_;
+    bool screening_ = true;
+    std::uint64_t tileRows_;
+    unsigned pagesPerRow_;
+    /** Weight rows sharing one flash page (>= 1). */
+    std::uint64_t rowsPerPage_ = 1;
+};
+
+} // namespace accel
+} // namespace ecssd
+
+#endif // ECSSD_ACCEL_PIPELINE_HH

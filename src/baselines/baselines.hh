@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Models of the eight comparison architectures of Section 6.7:
+ *
+ *   CPU-N / CPU-AP           host CPU, weights streamed from the SSD
+ *   GenStore-N / GenStore-AP in-SSD per-channel naive accelerators
+ *   SmartSSD-N / -AP         FPGA behind a 3 GB/s PCIe switch
+ *   SmartSSD-H-N / -H-AP     same with a 6 GB/s switch
+ *
+ * "-N" variants run dense full-precision classification over all L
+ * rows; "-AP" variants use the approximate screening algorithm.  All
+ * in/near-storage baselines share the same flash substrate model
+ * (8 x 1 GB/s channels) so the comparison isolates the architecture,
+ * and the in-SSD baselines get the same total compute-logic area as
+ * the ECSSD accelerator.
+ */
+
+#ifndef ECSSD_BASELINES_BASELINES_HH
+#define ECSSD_BASELINES_BASELINES_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/candidate_source.hh"
+#include "sim/types.hh"
+#include "ssdsim/config.hh"
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+namespace baselines
+{
+
+/** The architectures of Fig 13 (plus ECSSD itself). */
+enum class Architecture
+{
+    CpuN,
+    CpuAp,
+    GenStoreN,
+    GenStoreAp,
+    SmartSsdN,
+    SmartSsdAp,
+    SmartSsdHN,
+    SmartSsdHAp,
+    Ecssd,
+};
+
+/** All eight baselines in the paper's Fig 13 order. */
+std::vector<Architecture> allBaselines();
+
+std::string toString(Architecture arch);
+
+/** True for architectures using the approximate screening algorithm. */
+bool usesScreening(Architecture arch);
+
+/** Host/FPGA performance constants of the baseline models. */
+struct HostParams
+{
+    /** SSD sequential I/O bandwidth to the host, GB/s (Section 2.2's
+     *  "single digit GB/s, such as 4 GB/s"). */
+    double ssdIoGbps = 4.0;
+    /**
+     * Effective CPU FP32 GEMV rate, GFLOPS.  The Xeon 4110's dense
+     * classification is memory-bound at host-DRAM bandwidth with
+     * little batch blocking, far below its peak.
+     */
+    double cpuGemvGflops = 45.0;
+    /** Effective CPU INT8 screening rate, GOPS. */
+    double cpuInt8Gops = 100.0;
+    /** SmartSSD FPGA FP32 rate, GFLOPS (never the bottleneck). */
+    double fpgaGflops = 1500.0;
+    /** SmartSSD FPGA INT4 rate, GOPS. */
+    double fpgaInt4Gops = 6000.0;
+    /** SmartSSD SSD<->FPGA switch bandwidth, GB/s. */
+    double switchGbps = 3.0;
+    /** SmartSSD-H upgraded switch bandwidth, GB/s. */
+    double switchHighGbps = 6.0;
+    /**
+     * Efficiency of page-granular random reads crossing the switch
+     * (candidate fetches are discontinuous, so the link does not
+     * reach its streaming rate).
+     */
+    double randomReadEfficiency = 0.6;
+};
+
+/** Outcome of one architecture on one benchmark. */
+struct BaselineResult
+{
+    Architecture arch = Architecture::CpuN;
+    std::string name;
+    /** Mean latency of one inference batch, milliseconds. */
+    double batchMs = 0.0;
+    /** Candidate rows per batch (L for the -N variants). */
+    std::uint64_t candidateRows = 0;
+};
+
+/**
+ * Simulate @p batches inference batches of @p spec on @p arch.
+ *
+ * ECSSD itself is delegated to EcssdSystem; baselines use analytic
+ * component models over the shared flash-substrate assumptions.
+ *
+ * @param arch Architecture.
+ * @param spec Benchmark.
+ * @param batches Batch count to average over.
+ * @param seed Trace seed.
+ * @param host Host/FPGA constants.
+ */
+BaselineResult simulate(Architecture arch,
+                        const xclass::BenchmarkSpec &spec,
+                        unsigned batches, std::uint64_t seed = 1,
+                        const HostParams &host = HostParams{});
+
+} // namespace baselines
+} // namespace ecssd
+
+#endif // ECSSD_BASELINES_BASELINES_HH

@@ -1,0 +1,95 @@
+#include "enmc.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace baselines
+{
+
+EnmcResult
+simulateEnmc(const xclass::BenchmarkSpec &spec, unsigned batches,
+             std::uint64_t seed, const EnmcConfig &config)
+{
+    ECSSD_ASSERT(batches > 0, "need at least one batch");
+    EnmcResult result;
+
+    const double batch = spec.batchSize;
+    const std::uint64_t rows_per_rank =
+        (spec.categories + config.ranks - 1) / config.ranks;
+    const double int4_bytes_per_rank =
+        static_cast<double>(rows_per_rank) * spec.shrunkDim() / 2.0;
+    const double rank_gflops =
+        config.peakGflops / config.ranks;
+    const double rank_int4_gops =
+        config.peakInt4Gops / config.ranks;
+    const double rank_bw = config.rankBandwidthGbps * 1e9;
+
+    // DRAM capacity check: INT4 + FP32 shards must fit each rank.
+    const double bytes_per_rank =
+        int4_bytes_per_rank
+        + static_cast<double>(rows_per_rank) * spec.rowBytes();
+    result.fitsInDram =
+        bytes_per_rank <= static_cast<double>(config.rankBytes);
+    const double overflow_fraction = result.fitsInDram
+        ? 0.0
+        : 1.0
+            - static_cast<double>(config.rankBytes)
+                / bytes_per_rank;
+
+    // Candidate counts per rank per batch, from the shared trace
+    // machinery so the skew matches ECSSD's workload.  Each rank
+    // holds a contiguous row shard; candidates spread by popularity.
+    xclass::CandidateTrace trace(spec, seed);
+    double total_seconds = 0.0;
+    double total_flops = 0.0;
+    for (unsigned b = 0; b < batches; ++b) {
+        const std::vector<std::uint64_t> candidates =
+            trace.drawCandidates();
+        std::vector<std::uint64_t> per_rank(config.ranks, 0);
+        for (const std::uint64_t row : candidates)
+            ++per_rank[std::min<std::uint64_t>(
+                row / rows_per_rank, config.ranks - 1)];
+
+        // Per-rank timing; the batch ends at the slowest rank.
+        double slowest = 0.0;
+        for (unsigned r = 0; r < config.ranks; ++r) {
+            const double screen_ops =
+                batch * static_cast<double>(rows_per_rank)
+                * spec.shrunkDim() * 2.0;
+            const double screen_s =
+                std::max(int4_bytes_per_rank / rank_bw,
+                         screen_ops / (rank_int4_gops * 1e9));
+            const double cand_bytes =
+                static_cast<double>(per_rank[r])
+                * spec.rowBytes();
+            const double cand_flops = batch
+                * static_cast<double>(per_rank[r]) * spec.hiddenDim
+                * 2.0;
+            // Overflowed shard fraction streams from storage.
+            const double stream_s = cand_bytes
+                * (1.0 - overflow_fraction) / rank_bw
+                + cand_bytes * overflow_fraction
+                    / (config.storageGbps * 1e9 / config.ranks);
+            const double classify_s = std::max(
+                stream_s, cand_flops / (rank_gflops * 1e9));
+            slowest = std::max(slowest, screen_s + classify_s);
+            total_flops += cand_flops;
+        }
+        total_seconds += slowest;
+    }
+
+    result.batchMs = total_seconds * 1e3 / batches;
+    result.effectiveGflops =
+        total_seconds > 0.0 ? total_flops / total_seconds / 1e9
+                            : 0.0;
+    result.gflopsPerWatt =
+        result.effectiveGflops / config.systemPowerW;
+    return result;
+}
+
+} // namespace baselines
+} // namespace ecssd

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated ENMC (Liu et al., MICRO'21): the near-DRAM-computing
+ * predecessor of ECSSD that Section 7.3 compares against.
+ *
+ * ENMC places an accelerator at every DRAM rank of a 512 GB, 64-rank
+ * memory system and runs the same approximate screening algorithm
+ * with rank-level parallelism.  Weights are sharded row-wise across
+ * ranks; each rank screens and classifies its shard locally at the
+ * rank's internal bandwidth, so there is no candidate-gathering
+ * bottleneck — but the whole model must fit the (expensive) DRAM
+ * pool, and capacity scaling means buying more ranks.
+ */
+
+#ifndef ECSSD_BASELINES_ENMC_HH
+#define ECSSD_BASELINES_ENMC_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+namespace baselines
+{
+
+/** ENMC system parameters (Section 7.3 and the ENMC paper). */
+struct EnmcConfig
+{
+    /** DRAM ranks, each with its own accelerator. */
+    unsigned ranks = 64;
+    /** Capacity per rank, bytes (64 x 8 GB = 512 GB). */
+    std::uint64_t rankBytes = 8ULL << 30;
+    /** Internal bandwidth per rank, GB/s. */
+    double rankBandwidthGbps = 19.2;
+    /** Aggregate peak compute (Section 7.3: 800 GFLOPS). */
+    double peakGflops = 800.0;
+    /** Peak INT4 rate, GOPS (scaled like ECSSD's 4:1 ratio). */
+    double peakInt4Gops = 3200.0;
+    /** System power, W (ECSSD's 4.55 GFLOPS/W vs ENMC's 3.805). */
+    double systemPowerW = 800.0 / 3.805;
+    /** 28 nm chip area relative to ECSSD's accelerator (154x). */
+    double areaVsEcssd = 154.0;
+    /**
+     * Host-storage link used when the model exceeds DRAM capacity
+     * and shards must stream from an SSD per batch, GB/s.
+     */
+    double storageGbps = 4.0;
+};
+
+/** Outcome of an ENMC run on one benchmark. */
+struct EnmcResult
+{
+    /** Mean per-batch latency, milliseconds. */
+    double batchMs = 0.0;
+    /** True when the model fits the DRAM pool entirely. */
+    bool fitsInDram = true;
+    /** Achieved FP32 rate, GFLOPS. */
+    double effectiveGflops = 0.0;
+    /** Achieved energy efficiency, GFLOPS/W. */
+    double gflopsPerWatt = 0.0;
+};
+
+/**
+ * Simulate @p batches screened-inference batches on ENMC.
+ *
+ * Per batch and per rank: the rank screens its shard from local
+ * DRAM (INT4 stream + compute overlapped), then classifies its
+ * candidates (FP32 stream + compute overlapped); the batch finishes
+ * when the slowest rank does.  Candidate-count imbalance across
+ * ranks is drawn from the same trace machinery ECSSD uses.
+ *
+ * When the FP32 weights exceed the DRAM pool, the overflow fraction
+ * streams from storage at storageGbps per batch — the degradation
+ * Section 7.3 predicts for ever-growing models.
+ */
+EnmcResult simulateEnmc(const xclass::BenchmarkSpec &spec,
+                        unsigned batches, std::uint64_t seed = 1,
+                        const EnmcConfig &config = EnmcConfig{});
+
+} // namespace baselines
+} // namespace ecssd
+
+#endif // ECSSD_BASELINES_ENMC_HH

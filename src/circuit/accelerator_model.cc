@@ -1,0 +1,85 @@
+#include "accelerator_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace circuit
+{
+
+CircuitBlock
+fp32MacOf(FpMacKind kind)
+{
+    switch (kind) {
+      case FpMacKind::Naive:
+        return naiveFp32Mac();
+      case FpMacKind::SkHynix:
+        return skHynixFp32Mac();
+      case FpMacKind::AlignmentFree:
+        return alignmentFreeFp32Mac();
+    }
+    sim::panic("unknown FpMacKind");
+}
+
+std::string
+toString(FpMacKind kind)
+{
+    switch (kind) {
+      case FpMacKind::Naive:
+        return "naive";
+      case FpMacKind::SkHynix:
+        return "skhynix";
+      case FpMacKind::AlignmentFree:
+        return "alignment_free";
+    }
+    return "unknown";
+}
+
+AcceleratorEstimate
+estimateAccelerator(const AcceleratorConfig &config)
+{
+    AcceleratorEstimate est;
+
+    const CircuitBlock fpArray =
+        macArray(fp32MacOf(config.fpKind), config.fp32Macs);
+    const CircuitBlock intArray =
+        macArray(int4Mac(), config.int4Macs);
+    const ComponentCost comparator = thresholdComparator();
+    const ComponentCost scheduler = schedulerBlock();
+
+    est.rows.push_back(
+        {"FP32 MAC (" + toString(config.fpKind) + ")",
+         fpArray.areaMm2(), fpArray.powerMw()});
+    est.rows.push_back(
+        {"INT4 MAC", intArray.areaMm2(), intArray.powerMw()});
+    est.rows.push_back({"Comparator", comparator.areaUm2 * 1e-6,
+                        comparator.powerUw * 1e-3});
+    est.rows.push_back({"Scheduler", scheduler.areaUm2 * 1e-6,
+                        scheduler.powerUw * 1e-3});
+
+    for (const AreaPowerRow &row : est.rows) {
+        est.totalAreaMm2 += row.areaMm2;
+        est.totalPowerMw += row.powerMw;
+    }
+
+    est.fp32PeakGflops =
+        peakGflops(config.fp32Macs, config.frequencyHz);
+    est.int4PeakGops = peakGflops(config.int4Macs, config.frequencyHz);
+    return est;
+}
+
+RooflinePoint
+roofline(double peak_gflops, double bandwidth_gbps, double intensity)
+{
+    RooflinePoint point;
+    point.operationalIntensity = intensity;
+    const double memory_roof = bandwidth_gbps * intensity;
+    point.attainableGflops = std::min(peak_gflops, memory_roof);
+    point.computeBound = peak_gflops <= memory_roof;
+    return point;
+}
+
+} // namespace circuit
+} // namespace ecssd

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Area/power model of the complete inserted accelerator (Table 4) and
+ * the roofline helper used for Fig 1.
+ */
+
+#ifndef ECSSD_CIRCUIT_ACCELERATOR_MODEL_HH
+#define ECSSD_CIRCUIT_ACCELERATOR_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/mac_circuit.hh"
+
+namespace ecssd
+{
+namespace circuit
+{
+
+/** Which FP32 datapath the accelerator instantiates. */
+enum class FpMacKind
+{
+    Naive,
+    SkHynix,
+    AlignmentFree,
+};
+
+/** Return the per-MAC block of the given kind. */
+CircuitBlock fp32MacOf(FpMacKind kind);
+
+/** Human-readable name of a MAC kind. */
+std::string toString(FpMacKind kind);
+
+/** Sizing of the inserted accelerator. */
+struct AcceleratorConfig
+{
+    FpMacKind fpKind = FpMacKind::AlignmentFree;
+    unsigned fp32Macs = 64;   //!< Table 2: 64 FP32 MACs.
+    unsigned int4Macs = 256;  //!< Table 2: 256 INT4 MACs.
+    double frequencyHz = acceleratorFrequencyHz;
+};
+
+/** One row of the Table 4 style breakdown. */
+struct AreaPowerRow
+{
+    std::string block;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** Composed accelerator estimate. */
+struct AcceleratorEstimate
+{
+    std::vector<AreaPowerRow> rows;
+    double totalAreaMm2 = 0.0;
+    double totalPowerMw = 0.0;
+    double fp32PeakGflops = 0.0;
+    double int4PeakGops = 0.0;
+
+    /** True when the total fits the 0.21 mm^2 insertion budget. */
+    bool
+    fitsBudget() const
+    {
+        return totalAreaMm2 <= areaBudgetMm2;
+    }
+};
+
+/** Compose the full accelerator estimate for @p config. */
+AcceleratorEstimate estimateAccelerator(const AcceleratorConfig &config);
+
+/**
+ * Roofline model (Fig 1): attainable GFLOPS given a compute peak and
+ * a memory-bandwidth ceiling at a given operational intensity.
+ */
+struct RooflinePoint
+{
+    double operationalIntensity = 0.0; //!< FLOP / byte.
+    double attainableGflops = 0.0;
+    bool computeBound = false;
+};
+
+/**
+ * Evaluate the roofline at @p intensity.
+ *
+ * @param peak_gflops Compute roof.
+ * @param bandwidth_gbps Memory roof slope (GB/s).
+ * @param intensity Operational intensity in FLOP/byte.
+ */
+RooflinePoint roofline(double peak_gflops, double bandwidth_gbps,
+                       double intensity);
+
+} // namespace circuit
+} // namespace ecssd
+
+#endif // ECSSD_CIRCUIT_ACCELERATOR_MODEL_HH

@@ -1,0 +1,197 @@
+#include "api.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "xclass/metrics.hh"
+
+namespace ecssd
+{
+
+EcssdApi::EcssdApi(const EcssdOptions &options) : options_(options)
+{
+}
+
+void
+EcssdApi::requireAccelerator(const char *api) const
+{
+    if (mode_ != Mode::Accelerator)
+        sim::fatal(api, " requires accelerator mode; call "
+                        "ecssdEnable() first");
+}
+
+void
+EcssdApi::requireDeployed(const char *api) const
+{
+    if (!screener_)
+        sim::fatal(api, " requires deployed weights; call "
+                        "weightDeploy() first");
+}
+
+sim::Tick
+EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
+                       const xclass::BenchmarkSpec &spec,
+                       const numeric::FloatMatrix *trained_projection)
+{
+    requireAccelerator("weightDeploy");
+    ECSSD_ASSERT(weights.rows() == spec.categories
+                     && weights.cols() == spec.hiddenDim,
+                 "weights do not match the benchmark spec");
+
+    weights_ = &weights;
+    spec_ = spec;
+    screener_ = std::make_unique<xclass::Screener>(
+        weights, spec, options_.seed, trained_projection);
+    classifier_ =
+        std::make_unique<xclass::CandidateClassifier>(weights);
+
+    // Hot degrees come from the INT4 row masses (Section 5.3); the
+    // precise greedy builder applies because the masses are in
+    // memory at deploy time.
+    if (options_.layoutKind == layout::LayoutKind::LearningAdaptive) {
+        const std::vector<double> masses =
+            screener_->rowAbsMasses();
+        functionalLayout_ = layout::LearningAdaptiveLayout::build(
+            masses, options_.ssd.channels);
+    } else {
+        functionalLayout_ =
+            layout::makeLayout(options_.layoutKind, spec.categories,
+                               options_.ssd.channels);
+    }
+
+    // The timing system models the device side of this deployment.
+    system_ = std::make_unique<EcssdSystem>(spec, options_);
+    return system_->deployTimeEstimate();
+}
+
+void
+EcssdApi::filterThreshold(double threshold)
+{
+    requireDeployed("filterThreshold");
+    screener_->setThreshold(threshold);
+}
+
+void
+EcssdApi::calibrateThreshold(
+    const std::vector<std::vector<float>> &queries)
+{
+    requireDeployed("calibrateThreshold");
+    screener_->calibrate(queries);
+}
+
+void
+EcssdApi::int4InputSend(std::span<const float> feature)
+{
+    requireAccelerator("int4InputSend");
+    requireDeployed("int4InputSend");
+    ECSSD_ASSERT(feature.size() == spec_->hiddenDim,
+                 "feature dimension mismatch");
+    pendingFeature_.assign(feature.begin(), feature.end());
+    int4Sent_ = true;
+    classified_ = false;
+}
+
+void
+EcssdApi::cfp32InputSend(std::span<const float> feature)
+{
+    requireAccelerator("cfp32InputSend");
+    requireDeployed("cfp32InputSend");
+    ECSSD_ASSERT(feature.size() == spec_->hiddenDim,
+                 "feature dimension mismatch");
+    if (!int4Sent_ || pendingFeature_.size() != feature.size()
+        || !std::equal(feature.begin(), feature.end(),
+                       pendingFeature_.begin())) {
+        pendingFeature_.assign(feature.begin(), feature.end());
+    }
+    cfp32Sent_ = true;
+    classified_ = false;
+}
+
+void
+EcssdApi::int4Screen()
+{
+    requireAccelerator("int4Screen");
+    requireDeployed("int4Screen");
+    if (!int4Sent_)
+        sim::fatal("int4Screen without int4InputSend");
+    candidates_ = screener_->screen(pendingFeature_,
+                                    xclass::FilterMode::Threshold);
+    // A threshold that filters nothing would stall the FP32 stage;
+    // fall back to top-ratio selection as the deployed system's
+    // guard band.
+    if (candidates_.empty())
+        candidates_ = screener_->screen(
+            pendingFeature_, xclass::FilterMode::TopRatio);
+}
+
+void
+EcssdApi::cfp32Classify()
+{
+    requireAccelerator("cfp32Classify");
+    requireDeployed("cfp32Classify");
+    if (!cfp32Sent_)
+        sim::fatal("cfp32Classify without cfp32InputSend");
+    if (candidates_.empty())
+        sim::fatal("cfp32Classify without candidates; run "
+                   "int4Screen first");
+
+    candidateScores_ = classifier_->scores(
+        pendingFeature_, candidates_,
+        xclass::CandidateClassifier::Datapath::Cfp32AlignmentFree);
+    classified_ = true;
+
+    // Device-side timing of the whole screened inference.
+    system_->ssd().resetTimelines();
+    accel::BatchTiming timing =
+        system_->pipeline().runBatch(candidates_, 0);
+    lastLatency_ = timing.latency();
+}
+
+xclass::ApproximateClassifier::Prediction
+EcssdApi::getResults(std::size_t k)
+{
+    requireAccelerator("getResults");
+    if (!classified_)
+        sim::fatal("getResults before cfp32Classify");
+
+    xclass::ApproximateClassifier::Prediction prediction;
+    prediction.candidateCount = candidates_.size();
+    const std::vector<std::uint64_t> best = xclass::topKIndices(
+        std::span<const double>(candidateScores_), k);
+    for (const std::uint64_t local : best) {
+        prediction.topCategories.push_back(candidates_[local]);
+        prediction.topScores.push_back(candidateScores_[local]);
+    }
+    return prediction;
+}
+
+sim::Tick
+EcssdApi::ssdWrite(ssdsim::LogicalPage lpa)
+{
+    if (mode_ != Mode::Ssd)
+        sim::fatal("ssdWrite requires SSD mode");
+    if (!ssdMode_)
+        ssdMode_ = std::make_unique<EcssdSystem>(
+            xclass::BenchmarkSpec{"ssd-mode", 2, 8}, options_);
+    sim::Tick done = 0;
+    ssdMode_->ssd().hostWrite(lpa,
+                              [&done](sim::Tick t) { done = t; });
+    ssdMode_->ssd().queue().run();
+    return done;
+}
+
+sim::Tick
+EcssdApi::ssdRead(ssdsim::LogicalPage lpa)
+{
+    if (mode_ != Mode::Ssd)
+        sim::fatal("ssdRead requires SSD mode");
+    if (!ssdMode_)
+        sim::fatal("ssdRead of empty device");
+    sim::Tick done = 0;
+    ssdMode_->ssd().hostRead(lpa,
+                             [&done](sim::Tick t) { done = t; });
+    ssdMode_->ssd().queue().run();
+    return done;
+}
+
+} // namespace ecssd

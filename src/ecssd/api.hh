@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The host-facing ECSSD software library (Table 1).
+ *
+ * The API mirrors the paper's Python-style calls:
+ *
+ *   Preparation:  ecssdEnable/ecssdDisable, preAlign, weightDeploy
+ *   Transmission: int4InputSend, cfp32InputSend, getResults
+ *   Computation:  int4Screen, cfp32Classify, filterThreshold
+ *
+ * Calls are functional (they compute real predictions through the
+ * bit-accurate datapaths) and timed (the device-side work drives the
+ * simulated SSD's timelines, so every inference has a latency).
+ */
+
+#ifndef ECSSD_ECSSD_API_HH
+#define ECSSD_ECSSD_API_HH
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ecssd/system.hh"
+#include "numeric/cfp32.hh"
+#include "xclass/screening.hh"
+
+namespace ecssd
+{
+
+/** Working mode of the device (Section 4.1). */
+enum class Mode
+{
+    Ssd,
+    Accelerator,
+};
+
+/** The ECSSD host library bound to one device. */
+class EcssdApi
+{
+  public:
+    /**
+     * @param options Device configuration; screening/layout knobs
+     *        apply to accelerator mode.
+     */
+    explicit EcssdApi(const EcssdOptions &options = EcssdOptions{});
+
+    // --- Preparation --------------------------------------------------
+
+    /** Switch to accelerator mode (ECSSD_enable). */
+    void ecssdEnable() { mode_ = Mode::Accelerator; }
+
+    /** Switch to SSD mode (ECSSD_disable). */
+    void ecssdDisable() { mode_ = Mode::Ssd; }
+
+    Mode mode() const { return mode_; }
+
+    /**
+     * Host-side pre-alignment of one FP32 vector into CFP32
+     * (Pre_align).  Static: runs on the host, not the device.
+     */
+    static numeric::Cfp32Vector
+    preAlign(std::span<const float> values)
+    {
+        return numeric::Cfp32Vector::preAlign(values);
+    }
+
+    /**
+     * Deploy a classification layer (Weight_deploy): builds the INT4
+     * screener, pre-aligns and places the FP32 rows per the device's
+     * layout strategy, and loads both into the device.
+     *
+     * @param weights L x D FP32 weights (kept by reference; must
+     *        outlive the API object).
+     * @param spec Benchmark parameters.
+     * @param trained_projection Optional learned K x D projection
+     *        for the screener (see xclass::Screener).
+     * @return Simulated deployment time.
+     */
+    sim::Tick weightDeploy(
+        const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /** Set the screening threshold (Filter_threshold). */
+    void filterThreshold(double threshold);
+
+    /** Calibrate the threshold on sample queries (host-side). */
+    void calibrateThreshold(
+        const std::vector<std::vector<float>> &queries);
+
+    // --- Transmission / Computation ------------------------------
+
+    /** Send the 4-bit projected input for one query (INT4_input_send). */
+    void int4InputSend(std::span<const float> feature);
+
+    /** Send the pre-aligned 32-bit input (CFP32_input_send). */
+    void cfp32InputSend(std::span<const float> feature);
+
+    /** Run low-precision screening + filtering (INT4_screen). */
+    void int4Screen();
+
+    /** Run candidate-only full-precision classification
+     *  (CFP32_classify). */
+    void cfp32Classify();
+
+    /**
+     * Fetch the final top-k prediction (Get_results).
+     *
+     * @param k Result count.
+     */
+    xclass::ApproximateClassifier::Prediction getResults(
+        std::size_t k);
+
+    // --- SSD mode -------------------------------------------------
+
+    /** Write one logical page in SSD mode; returns completion tick. */
+    sim::Tick ssdWrite(ssdsim::LogicalPage lpa);
+
+    /** Read one logical page in SSD mode; returns completion tick. */
+    sim::Tick ssdRead(ssdsim::LogicalPage lpa);
+
+    // --- Introspection -------------------------------------------
+
+    /** Latency of the most recent full inference, in ticks. */
+    sim::Tick lastInferenceLatency() const { return lastLatency_; }
+
+    /** Candidates selected by the most recent int4Screen(). */
+    std::size_t
+    lastCandidateCount() const
+    {
+        return candidates_.size();
+    }
+
+    /** Accelerator-mode system (valid after weightDeploy). */
+    EcssdSystem &system() { return *system_; }
+
+    /** SSD-mode system (valid after the first ssdWrite). */
+    EcssdSystem &ssdSystem() { return *ssdMode_; }
+
+  private:
+    void requireAccelerator(const char *api) const;
+    void requireDeployed(const char *api) const;
+
+    EcssdOptions options_;
+    Mode mode_ = Mode::Ssd;
+    /** Accelerator-mode system (rebuilt per weight deployment). */
+    std::unique_ptr<EcssdSystem> system_;
+    /**
+     * SSD-mode system.  Kept separately so block data written in SSD
+     * mode survives accelerator deployments: the weights occupy a
+     * reserved address range, not the user's logical space.
+     */
+    std::unique_ptr<EcssdSystem> ssdMode_;
+
+    // Functional state (accelerator mode).
+    const numeric::FloatMatrix *weights_ = nullptr;
+    std::optional<xclass::BenchmarkSpec> spec_;
+    std::unique_ptr<xclass::Screener> screener_;
+    std::unique_ptr<xclass::CandidateClassifier> classifier_;
+    std::unique_ptr<layout::LayoutStrategy> functionalLayout_;
+
+    std::vector<float> pendingFeature_;
+    bool int4Sent_ = false;
+    bool cfp32Sent_ = false;
+    std::vector<std::uint64_t> candidates_;
+    std::vector<double> candidateScores_;
+    bool classified_ = false;
+    sim::Tick lastLatency_ = 0;
+};
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_API_HH

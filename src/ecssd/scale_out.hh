@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scale-out ECSSD (Section 7.1): a classification layer too large
+ * for one device's DRAM is partitioned row-wise across several
+ * ECSSDs that execute in parallel; the host merges per-device top-k
+ * results.
+ */
+
+#ifndef ECSSD_ECSSD_SCALE_OUT_HH
+#define ECSSD_ECSSD_SCALE_OUT_HH
+
+#include <memory>
+#include <vector>
+
+#include "ecssd/system.hh"
+
+namespace ecssd
+{
+
+/** Outcome of one scale-out inference run. */
+struct ScaleOutResult
+{
+    /** Per-device run results, in partition order. */
+    std::vector<accel::RunResult> shards;
+    /** Wall-clock time: max over devices plus the host merge. */
+    sim::Tick totalTime = 0;
+    /** Mean batch latency across the run, milliseconds. */
+    double meanBatchMs = 0.0;
+    /** Total energy over all devices, microjoules. */
+    double totalEnergyUj = 0.0;
+};
+
+/**
+ * A row-partitioned fleet of ECSSDs serving one huge classification
+ * layer.
+ */
+class ScaleOutEcssd
+{
+  public:
+    /**
+     * Partition @p spec across @p devices ECSSDs.
+     *
+     * @param spec The full classification layer.
+     * @param devices Device count; each shard must fit its DRAM.
+     * @param options Per-device configuration.
+     */
+    ScaleOutEcssd(const xclass::BenchmarkSpec &spec, unsigned devices,
+                  const EcssdOptions &options = EcssdOptions::full());
+
+    unsigned devices() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** The shard specs (row ranges are implicit and equal-sized). */
+    const xclass::BenchmarkSpec &shardSpec() const
+    {
+        return shardSpec_;
+    }
+
+    /**
+     * Minimum device count for @p spec given a per-device DRAM
+     * capacity and the ~80% fill target the paper plans with.
+     */
+    static unsigned devicesNeeded(const xclass::BenchmarkSpec &spec,
+                                  std::uint64_t dram_bytes);
+
+    /**
+     * Run @p batches batches on every shard in parallel and merge.
+     */
+    ScaleOutResult runInference(unsigned batches);
+
+  private:
+    xclass::BenchmarkSpec fullSpec_;
+    xclass::BenchmarkSpec shardSpec_;
+    std::vector<std::unique_ptr<EcssdSystem>> shards_;
+};
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_SCALE_OUT_HH

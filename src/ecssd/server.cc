@@ -1,0 +1,152 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace ecssd
+{
+
+InferenceServer::InferenceServer(
+    const numeric::FloatMatrix &weights,
+    const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
+    const numeric::FloatMatrix *trained_projection)
+    : weights_(weights), spec_(spec),
+      classifier_(weights, spec, options.seed, trained_projection),
+      system_(std::make_unique<EcssdSystem>(spec, options))
+{
+    ECSSD_ASSERT(weights.rows() == spec.categories
+                     && weights.cols() == spec.hiddenDim,
+                 "weights do not match the benchmark spec");
+}
+
+InferenceServer::RequestId
+InferenceServer::enqueue(std::vector<float> feature)
+{
+    return enqueueAt(std::move(feature), deviceClock_);
+}
+
+InferenceServer::RequestId
+InferenceServer::enqueueAt(std::vector<float> feature,
+                           sim::Tick arrival)
+{
+    ECSSD_ASSERT(feature.size() == spec_.hiddenDim,
+                 "feature dimension mismatch");
+    const RequestId id = nextId_++;
+    pending_.push_back(
+        PendingRequest{id, std::move(feature), arrival});
+    return id;
+}
+
+std::vector<InferenceServer::Response>
+InferenceServer::serveOneBatch(std::size_t k)
+{
+    if (pending_.empty())
+        return {};
+    // Take up to one device batch of requests.
+    const std::size_t take =
+        std::min<std::size_t>(spec_.batchSize, pending_.size());
+    std::vector<PendingRequest> batch;
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+    }
+
+    // Functional pass: screen every query and union the candidate
+    // rows the device must fetch for this batch.
+    std::set<std::uint64_t> union_rows;
+    std::vector<xclass::ApproximateClassifier::Prediction>
+        predictions;
+    for (const PendingRequest &request : batch) {
+        const auto prediction =
+            classifier_.predict(request.feature, k);
+        predictions.push_back(prediction);
+        const std::vector<std::uint64_t> rows =
+            classifier_.screener().screen(
+                request.feature, xclass::FilterMode::TopRatio);
+        union_rows.insert(rows.begin(), rows.end());
+    }
+
+    // Timing pass: the device fetches the union once per batch; the
+    // batch cannot start before its newest member arrived.
+    sim::Tick start = deviceClock_;
+    for (const PendingRequest &request : batch)
+        start = std::max(start, request.enqueuedAt);
+    const std::vector<std::uint64_t> candidates(union_rows.begin(),
+                                                union_rows.end());
+    system_->ssd().resetTimelines();
+    const accel::BatchTiming timing =
+        system_->pipeline().runBatch(candidates, 0);
+    const sim::Tick finished = start + timing.latency();
+
+    std::vector<Response> responses;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const double ms =
+            sim::tickToMs(finished - batch[i].enqueuedAt);
+        latencyMs_.sample(ms);
+        latencyPercentiles_.sample(ms);
+        responses.push_back(Response{
+            batch[i].id, std::move(predictions[i]), finished});
+    }
+    deviceClock_ = finished;
+    return responses;
+}
+
+std::vector<InferenceServer::Response>
+InferenceServer::processAll(std::size_t k)
+{
+    std::vector<Response> responses;
+    while (!pending_.empty()) {
+        std::vector<Response> batch = serveOneBatch(k);
+        for (Response &response : batch)
+            responses.push_back(std::move(response));
+    }
+    return responses;
+}
+
+std::vector<InferenceServer::Response>
+InferenceServer::runOpenLoop(
+    const std::vector<std::vector<float>> &queries,
+    double requests_per_second, unsigned request_count,
+    std::size_t k, std::uint64_t seed)
+{
+    ECSSD_ASSERT(!queries.empty(), "open loop needs a query pool");
+    ECSSD_ASSERT(requests_per_second > 0.0,
+                 "offered load must be positive");
+
+    // Pre-draw the Poisson arrival times.
+    sim::Rng rng(seed);
+    std::vector<sim::Tick> arrivals;
+    double t_seconds = sim::tickToSeconds(deviceClock_);
+    for (unsigned r = 0; r < request_count; ++r) {
+        t_seconds +=
+            -std::log(1.0 - rng.uniform()) / requests_per_second;
+        arrivals.push_back(sim::seconds(t_seconds));
+    }
+
+    std::vector<Response> responses;
+    std::size_t next_arrival = 0;
+    while (next_arrival < arrivals.size() || !pending_.empty()) {
+        // Admit everything that has arrived by the time the device
+        // goes idle; if nothing is waiting, jump to the next
+        // arrival.
+        if (pending_.empty()
+            && arrivals[next_arrival] > deviceClock_)
+            deviceClock_ = arrivals[next_arrival];
+        while (next_arrival < arrivals.size()
+               && arrivals[next_arrival] <= deviceClock_) {
+            enqueueAt(queries[next_arrival % queries.size()],
+                      arrivals[next_arrival]);
+            ++next_arrival;
+        }
+        std::vector<Response> batch = serveOneBatch(k);
+        for (Response &response : batch)
+            responses.push_back(std::move(response));
+    }
+    return responses;
+}
+
+} // namespace ecssd

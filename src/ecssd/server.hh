@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A host-side serving layer over one ECSSD: applications enqueue
+ * query features, the server groups them into device batches
+ * (Section 4.5 processes a batch of inputs per tile sweep), runs the
+ * functional screening + classification, and reports per-request
+ * latency statistics.
+ */
+
+#ifndef ECSSD_ECSSD_SERVER_HH
+#define ECSSD_ECSSD_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ecssd/system.hh"
+#include "sim/stats.hh"
+#include "xclass/screening.hh"
+
+namespace ecssd
+{
+
+/** The batching inference server. */
+class InferenceServer
+{
+  public:
+    using RequestId = std::uint64_t;
+
+    /** One finished request. */
+    struct Response
+    {
+        RequestId id = 0;
+        xclass::ApproximateClassifier::Prediction prediction;
+        /** Device-time completion of the request's batch. */
+        sim::Tick completedAt = 0;
+    };
+
+    /**
+     * @param weights The deployed L x D layer (must outlive the
+     *        server).
+     * @param spec Benchmark parameters.
+     * @param options Device configuration.
+     * @param trained_projection Optional learned projection.
+     */
+    InferenceServer(const numeric::FloatMatrix &weights,
+                    const xclass::BenchmarkSpec &spec,
+                    const EcssdOptions &options = EcssdOptions::full(),
+                    const numeric::FloatMatrix *trained_projection =
+                        nullptr);
+
+    /** Queue one query arriving now; returns its request id. */
+    RequestId enqueue(std::vector<float> feature);
+
+    /** Queue one query with an explicit arrival time. */
+    RequestId enqueueAt(std::vector<float> feature,
+                        sim::Tick arrival);
+
+    /** Pending (not yet processed) request count. */
+    std::size_t pending() const { return pending_.size(); }
+
+    /**
+     * Process every pending request in device batches.
+     *
+     * @param k Top-k size per request.
+     * @return Responses in completion order.
+     */
+    std::vector<Response> processAll(std::size_t k);
+
+    /**
+     * Open-loop serving study: requests arrive as a Poisson process
+     * at @p requests_per_second; the device batches whatever has
+     * arrived when it goes idle (partial batches allowed).  Latency
+     * percentiles include queueing delay.
+     *
+     * @param queries Query pool to draw from (cycled).
+     * @param requests_per_second Offered load.
+     * @param request_count Total requests to serve.
+     * @param k Top-k per request.
+     * @param seed Arrival-process seed.
+     */
+    std::vector<Response> runOpenLoop(
+        const std::vector<std::vector<float>> &queries,
+        double requests_per_second, unsigned request_count,
+        std::size_t k, std::uint64_t seed = 1);
+
+    /** Per-request latency samples (milliseconds). */
+    const sim::Distribution &latencyMs() const { return latencyMs_; }
+
+    /** Latency quantiles (milliseconds). */
+    const sim::Percentiles &latencyPercentiles() const
+    {
+        return latencyPercentiles_;
+    }
+
+    /** Total simulated device time consumed so far. */
+    sim::Tick deviceTime() const { return deviceClock_; }
+
+  private:
+    struct PendingRequest
+    {
+        RequestId id;
+        std::vector<float> feature;
+        sim::Tick enqueuedAt;
+    };
+
+    const numeric::FloatMatrix &weights_;
+    xclass::BenchmarkSpec spec_;
+    xclass::ApproximateClassifier classifier_;
+    std::unique_ptr<EcssdSystem> system_;
+    std::deque<PendingRequest> pending_;
+    /** Serve the oldest <= batchSize pending requests once. */
+    std::vector<Response> serveOneBatch(std::size_t k);
+
+    RequestId nextId_ = 1;
+    sim::Tick deviceClock_ = 0;
+    sim::Distribution latencyMs_;
+    sim::Percentiles latencyPercentiles_;
+};
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_SERVER_HH

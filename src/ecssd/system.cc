@@ -1,0 +1,147 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+
+std::string
+describe(const EcssdOptions &options)
+{
+    std::ostringstream os;
+    os << "fp=" << circuit::toString(options.fpKind)
+       << " layout=" << layout::toString(options.layoutKind)
+       << " int4="
+       << (options.int4Placement == accel::Int4Placement::Dram
+               ? "dram"
+               : "flash")
+       << " overlap=" << (options.overlapStages ? "on" : "off")
+       << " screening=" << (options.screening ? "on" : "off");
+    return os.str();
+}
+
+EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
+                         const EcssdOptions &options)
+    : spec_(spec), options_(options),
+      queue_(std::make_unique<sim::EventQueue>()),
+      ssd_(std::make_unique<ssdsim::SsdDevice>(options.ssd, *queue_)),
+      trace_(std::make_unique<accel::TraceSource>(
+          spec, options.seed, options.predictorNoise))
+{
+    // Build the weight placement at page-group granularity (rows
+    // narrower than a flash page share a page).  The learning-based
+    // layout consumes the hot-degree predictions (here: the trace's
+    // hotness oracle, standing in for INT4 row masses fine-tuned on
+    // training data); a group is as hot as its hottest member.
+    const std::uint64_t row_bytes =
+        options.weightPrecision == accel::WeightPrecision::Cfp16
+        ? spec.hiddenDim * 2ULL
+        : spec.rowBytes();
+    const std::uint64_t rows_per_page = std::max<std::uint64_t>(
+        1, options.ssd.pageBytes / row_bytes);
+    const std::uint64_t groups =
+        (spec.categories + rows_per_page - 1) / rows_per_page;
+    const xclass::CandidateTrace &trace = trace_->trace();
+    const std::uint64_t categories = spec.categories;
+    strategy_ = layout::makeLayout(
+        options.layoutKind, groups, options.ssd.channels,
+        [&trace, rows_per_page,
+         categories](std::uint64_t group) {
+            double hottest = 0.0;
+            const std::uint64_t first = group * rows_per_page;
+            const std::uint64_t limit = std::min(
+                first + rows_per_page, categories);
+            for (std::uint64_t row = first; row < limit; ++row)
+                hottest =
+                    std::max(hottest, trace.hotness(row));
+            return hottest;
+        });
+
+    accel::AccelConfig accel_config;
+    accel_config.fpKind = options.fpKind;
+    accel_config.overlapStages = options.overlapStages;
+    accel_config.weightPrecision = options.weightPrecision;
+    pipeline_ = std::make_unique<accel::InferencePipeline>(
+        spec_, accel_config, *ssd_, *strategy_,
+        options.int4Placement);
+    pipeline_->setScreeningEnabled(options.screening);
+}
+
+accel::RunResult
+EcssdSystem::runInference(unsigned batches)
+{
+    return runInferenceWith(*trace_, batches);
+}
+
+accel::RunResult
+EcssdSystem::runInferenceWith(accel::CandidateSource &source,
+                              unsigned batches)
+{
+    ssd_->resetTimelines();
+    if (!options_.screening) {
+        accel::AllRowsSource all(spec_.categories);
+        return pipeline_->run(all, batches);
+    }
+    return pipeline_->run(source, batches);
+}
+
+circuit::EnergyBreakdown
+EcssdSystem::estimateRunEnergy(const accel::RunResult &result) const
+{
+    circuit::EnergyActivity activity;
+    for (const accel::BatchTiming &batch : result.batches) {
+        activity.flashPagesRead +=
+            batch.fp32PagesRead + batch.int4PagesRead;
+        activity.int4Ops += batch.int4Ops;
+        activity.fp32Flops += batch.fp32Flops;
+    }
+    activity.dramBytes = ssd_->dram().bytesMoved();
+    activity.hostBytes = ssd_->stats().hostBytesRaw;
+    activity.elapsed = result.totalTime;
+
+    circuit::AcceleratorConfig accel_config;
+    accel_config.fpKind = options_.fpKind;
+    circuit::EnergyParams params;
+    params.pageBytes = options_.ssd.pageBytes;
+    return circuit::estimateEnergy(
+        activity, circuit::estimateAccelerator(accel_config),
+        params);
+}
+
+sim::Tick
+EcssdSystem::deployTimeEstimate() const
+{
+    const ssdsim::SsdConfig &config = options_.ssd;
+
+    // 4-bit matrix: host link then DRAM write, pipelined; the slower
+    // of the two links bounds the stream.
+    const std::uint64_t int4_bytes = spec_.int4WeightBytes();
+    ECSSD_ASSERT(int4_bytes <= config.dramBytes,
+                 "INT4 screener does not fit the SSD DRAM; "
+                 "scale out (Section 7.1)");
+    const double int4_gbps =
+        std::min(config.hostLinkGbps, config.dramBandwidthGbps);
+    const sim::Tick int4_time =
+        sim::transferTime(int4_bytes, int4_gbps);
+
+    // 32-bit matrix: programs stripe over every channel and die, so
+    // the throughput per channel is pageBytes / max(bus, tPROG/dies).
+    const std::uint64_t fp32_bytes = spec_.fp32WeightBytes();
+    const sim::Tick per_page_bus = config.pageTransferTime();
+    const sim::Tick per_page_prog = sim::microseconds(
+        config.programLatencyUs / config.diesPerChannel);
+    const sim::Tick per_page = std::max(per_page_bus, per_page_prog);
+    const std::uint64_t pages_per_channel =
+        (fp32_bytes / config.pageBytes + config.channels - 1)
+        / config.channels;
+    const sim::Tick flash_time = pages_per_channel * per_page;
+    const sim::Tick link_time =
+        sim::transferTime(fp32_bytes, config.hostLinkGbps);
+
+    return int4_time + std::max(flash_time, link_time);
+}
+
+} // namespace ecssd

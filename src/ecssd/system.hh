@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The assembled ECSSD system: SSD substrate + inserted accelerator +
+ * data layout + screening, with the architecture knobs that the
+ * paper's ablations flip (MAC datapath, layout strategy, INT4
+ * placement, stage overlap, screening on/off).
+ */
+
+#ifndef ECSSD_ECSSD_SYSTEM_HH
+#define ECSSD_ECSSD_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/pipeline.hh"
+#include "circuit/energy.hh"
+#include "layout/strategy.hh"
+#include "sim/event_queue.hh"
+#include "ssdsim/ssd.hh"
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+
+/** Architecture knobs of one ECSSD configuration. */
+struct EcssdOptions
+{
+    circuit::FpMacKind fpKind = circuit::FpMacKind::AlignmentFree;
+    layout::LayoutKind layoutKind =
+        layout::LayoutKind::LearningAdaptive;
+    accel::Int4Placement int4Placement = accel::Int4Placement::Dram;
+    bool overlapStages = true;
+    bool screening = true;
+    /** On-flash weight precision (CFP16 halves flash traffic). */
+    accel::WeightPrecision weightPrecision =
+        accel::WeightPrecision::Cfp32;
+    /** Hot-degree predictor noise for trace-tier runs. */
+    double predictorNoise = 0.25;
+    std::uint64_t seed = 1;
+    ssdsim::SsdConfig ssd = ssdsim::SsdConfig{};
+
+    /** The full ECSSD design point (all techniques on). */
+    static EcssdOptions
+    full()
+    {
+        return EcssdOptions{};
+    }
+
+    /**
+     * The Fig 8 starting baseline: naive FP MAC, sequential storing,
+     * homogeneous data layout.
+     */
+    static EcssdOptions
+    startingBaseline()
+    {
+        EcssdOptions options;
+        options.fpKind = circuit::FpMacKind::Naive;
+        options.layoutKind = layout::LayoutKind::Sequential;
+        options.int4Placement = accel::Int4Placement::Flash;
+        return options;
+    }
+};
+
+/** Human-readable one-line description of an option set. */
+std::string describe(const EcssdOptions &options);
+
+/**
+ * One ECSSD instance bound to a workload.
+ *
+ * Owns the event queue, SSD device, layout, trace generator, and
+ * pipeline, and exposes paper-style experiment entry points.
+ */
+class EcssdSystem
+{
+  public:
+    EcssdSystem(const xclass::BenchmarkSpec &spec,
+                const EcssdOptions &options);
+
+    const xclass::BenchmarkSpec &spec() const { return spec_; }
+    const EcssdOptions &options() const { return options_; }
+    ssdsim::SsdDevice &ssd() { return *ssd_; }
+    accel::InferencePipeline &pipeline() { return *pipeline_; }
+    const layout::LayoutStrategy &strategy() const
+    {
+        return *strategy_;
+    }
+
+    /**
+     * Run @p batches trace-driven inference batches and aggregate
+     * timing.  Timelines reset first, so calls are independent.
+     */
+    accel::RunResult runInference(unsigned batches);
+
+    /** Run with an external candidate source (functional tier). */
+    accel::RunResult runInferenceWith(accel::CandidateSource &source,
+                                      unsigned batches);
+
+    /**
+     * Energy breakdown of a completed run: flash/DRAM/link activity
+     * plus accelerator dynamic and device background power.
+     *
+     * @pre @p result came from the most recent runInference*() call
+     *      on this system (the device counters must match).
+     */
+    circuit::EnergyBreakdown estimateRunEnergy(
+        const accel::RunResult &result) const;
+
+    /**
+     * Analytic estimate of the weight-deployment (preparation) time:
+     * the 4-bit matrix streams into DRAM, the 32-bit matrix programs
+     * into flash with all channels in parallel.
+     */
+    sim::Tick deployTimeEstimate() const;
+
+  private:
+    xclass::BenchmarkSpec spec_;
+    EcssdOptions options_;
+    std::unique_ptr<sim::EventQueue> queue_;
+    std::unique_ptr<ssdsim::SsdDevice> ssd_;
+    std::unique_ptr<accel::TraceSource> trace_;
+    std::unique_ptr<layout::LayoutStrategy> strategy_;
+    std::unique_ptr<accel::InferencePipeline> pipeline_;
+};
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_SYSTEM_HH

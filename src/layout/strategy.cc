@@ -1,0 +1,279 @@
+#include "strategy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace ecssd
+{
+namespace layout
+{
+
+std::string
+toString(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::Sequential:
+        return "sequential";
+      case LayoutKind::Uniform:
+        return "uniform";
+      case LayoutKind::LearningAdaptive:
+        return "learning_adaptive";
+    }
+    return "unknown";
+}
+
+SequentialLayout::SequentialLayout(std::uint64_t rows,
+                                   unsigned channels)
+    : rows_(rows), channels_(channels),
+      rowsPerChannel_((rows + channels - 1) / channels)
+{
+    ECSSD_ASSERT(rows > 0 && channels > 0, "empty layout");
+}
+
+unsigned
+SequentialLayout::channelOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < rows_, "row out of range");
+    return std::min(static_cast<unsigned>(row / rowsPerChannel_),
+                    channels_ - 1);
+}
+
+std::uint64_t
+SequentialLayout::dieSlotOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < rows_, "row out of range");
+    // Write order within a channel is plain row order.
+    return row % rowsPerChannel_;
+}
+
+UniformLayout::UniformLayout(std::uint64_t rows, unsigned channels)
+    : rows_(rows), channels_(channels)
+{
+    ECSSD_ASSERT(rows > 0 && channels > 0, "empty layout");
+}
+
+unsigned
+UniformLayout::channelOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < rows_, "row out of range");
+    return static_cast<unsigned>(row % channels_);
+}
+
+std::uint64_t
+UniformLayout::dieSlotOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < rows_, "row out of range");
+    // Round-robin striping writes every channels-th row to the same
+    // channel in row order.
+    return row / channels_;
+}
+
+LearningAdaptiveLayout::LearningAdaptiveLayout(
+    std::vector<std::uint8_t> placement,
+    std::vector<std::uint8_t> die_slots, unsigned channels)
+    : placement_(std::move(placement)),
+      dieSlots_(std::move(die_slots)), channels_(channels)
+{
+    ECSSD_ASSERT(placement_.size() == dieSlots_.size(),
+                 "placement/die-slot size mismatch");
+}
+
+unsigned
+LearningAdaptiveLayout::channelOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < placement_.size(), "row out of range");
+    return placement_[row];
+}
+
+std::uint64_t
+LearningAdaptiveLayout::dieSlotOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < dieSlots_.size(), "row out of range");
+    return dieSlots_[row];
+}
+
+std::unique_ptr<LearningAdaptiveLayout>
+LearningAdaptiveLayout::build(std::span<const double> hotness,
+                              unsigned channels)
+{
+    ECSSD_ASSERT(!hotness.empty() && channels > 0, "empty layout");
+    ECSSD_ASSERT(channels <= 256, "placement stores 8-bit channels");
+
+    // Greedy balanced partition: visit rows in descending hotness,
+    // always placing on the channel with the least accumulated mass.
+    std::vector<std::uint64_t> order(hotness.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                  if (hotness[a] != hotness[b])
+                      return hotness[a] > hotness[b];
+                  return a < b;
+              });
+
+    using Load = std::pair<double, unsigned>; // (mass, channel)
+    std::priority_queue<Load, std::vector<Load>, std::greater<>>
+        loads;
+    for (unsigned c = 0; c < channels; ++c)
+        loads.push({0.0, c});
+
+    // The framework writes rows hottest-first, so a channel's dies
+    // stripe in hotness order: the rows most likely to be fetched
+    // together land on different dies.
+    std::vector<std::uint8_t> placement(hotness.size(), 0);
+    std::vector<std::uint8_t> die_slots(hotness.size(), 0);
+    std::vector<std::uint64_t> write_cursor(channels, 0);
+    for (const std::uint64_t row : order) {
+        const auto [mass, channel] = loads.top();
+        loads.pop();
+        placement[row] = static_cast<std::uint8_t>(channel);
+        die_slots[row] = static_cast<std::uint8_t>(
+            write_cursor[channel]++ & 0xff);
+        loads.push({mass + hotness[row], channel});
+    }
+    return std::unique_ptr<LearningAdaptiveLayout>(
+        new LearningAdaptiveLayout(std::move(placement),
+                                   std::move(die_slots), channels));
+}
+
+std::unique_ptr<LearningAdaptiveLayout>
+LearningAdaptiveLayout::buildStreaming(
+    std::uint64_t rows,
+    const std::function<double(std::uint64_t)> &hotness,
+    unsigned channels, unsigned grades, std::uint64_t sample_size)
+{
+    ECSSD_ASSERT(rows > 0 && channels > 0 && grades > 0,
+                 "empty layout");
+    ECSSD_ASSERT(channels <= 256, "placement stores 8-bit channels");
+    ECSSD_ASSERT(hotness, "streaming builder needs a hotness oracle");
+
+    // Pass 1: estimate the mean hotness from a deterministic sample
+    // and build logarithmic grade bands around it.  Hot degrees span
+    // orders of magnitude (near-certain candidates vs the long
+    // tail), so bands geometric in hotness separate the populations
+    // cleanly; every band is then striped independently, which is
+    // what balances per-tile candidate traffic.
+    sim::Rng rng(0xec55d);
+    const std::uint64_t samples = std::min(sample_size, rows);
+    double sampled_mass = 0.0;
+    for (std::uint64_t i = 0; i < samples; ++i)
+        sampled_mass += hotness(rng.uniformInt(rows));
+    const double mean =
+        sampled_mass / static_cast<double>(samples);
+
+    std::vector<double> thresholds; // ascending grade boundaries
+    for (unsigned g = 1; g < grades; ++g) {
+        const double octave =
+            static_cast<double>(g) - static_cast<double>(grades) / 2;
+        thresholds.push_back(mean * std::exp2(octave));
+    }
+
+    // Pass 2: grade every row, round-robin within its grade so each
+    // channel gets the same share of every hotness class.  Cursor
+    // phases are staggered per grade so the rounding remainders of
+    // different grades do not all land on the low channels.
+    // Writes happen grade-major (hottest grade first), so within a
+    // channel the rows of one grade occupy consecutive write slots
+    // and stripe over the dies.  The per-(grade, channel) write
+    // cursor realizes that ordering without a second pass.
+    std::vector<std::uint8_t> placement(rows, 0);
+    std::vector<std::uint8_t> die_slots(rows, 0);
+    std::vector<std::uint64_t> grade_cursor(grades);
+    std::vector<std::uint64_t> write_cursor(
+        static_cast<std::size_t>(grades) * channels, 0);
+    for (unsigned g = 0; g < grades; ++g)
+        grade_cursor[g] = g;
+    for (std::uint64_t row = 0; row < rows; ++row) {
+        const double h = hotness(row);
+        unsigned grade = 0;
+        while (grade < grades - 1 && h > thresholds[grade])
+            ++grade;
+        const unsigned channel = static_cast<unsigned>(
+            grade_cursor[grade]++ % channels);
+        placement[row] = static_cast<std::uint8_t>(channel);
+        die_slots[row] = static_cast<std::uint8_t>(
+            write_cursor[static_cast<std::size_t>(grade) * channels
+                         + channel]++
+            & 0xff);
+    }
+    return std::unique_ptr<LearningAdaptiveLayout>(
+        new LearningAdaptiveLayout(std::move(placement),
+                                   std::move(die_slots), channels));
+}
+
+std::unique_ptr<LayoutStrategy>
+makeLayout(LayoutKind kind, std::uint64_t rows, unsigned channels,
+           const std::function<double(std::uint64_t)> &hotness)
+{
+    switch (kind) {
+      case LayoutKind::Sequential:
+        return std::make_unique<SequentialLayout>(rows, channels);
+      case LayoutKind::Uniform:
+        return std::make_unique<UniformLayout>(rows, channels);
+      case LayoutKind::LearningAdaptive:
+        ECSSD_ASSERT(hotness,
+                     "learning layout needs a hotness oracle");
+        return LearningAdaptiveLayout::buildStreaming(rows, hotness,
+                                                      channels);
+    }
+    sim::panic("unknown LayoutKind");
+}
+
+std::vector<std::uint64_t>
+channelAccessPattern(std::span<const std::uint64_t> candidates,
+                     const LayoutStrategy &strategy)
+{
+    std::vector<std::uint64_t> pattern(strategy.channels(), 0);
+    for (const std::uint64_t row : candidates)
+        ++pattern[strategy.channelOf(row)];
+    return pattern;
+}
+
+double
+accessBalance(std::span<const std::uint64_t> pattern)
+{
+    if (pattern.empty())
+        return 1.0;
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const std::uint64_t count : pattern) {
+        total += count;
+        peak = std::max(peak, count);
+    }
+    if (peak == 0)
+        return 1.0;
+    const double mean = static_cast<double>(total)
+        / static_cast<double>(pattern.size());
+    return mean / static_cast<double>(peak);
+}
+
+ssdsim::PhysicalPage
+pageOfRow(const LayoutStrategy &strategy,
+          const ssdsim::SsdConfig &config, std::uint64_t row,
+          unsigned page_idx)
+{
+    ssdsim::PhysicalPage ppa;
+    ppa.channel = strategy.channelOf(row);
+    // The die is fixed by the FTL's within-channel write striping,
+    // which the strategy exposes as the row's die slot; multi-page
+    // rows continue the stripe.
+    ppa.die = static_cast<unsigned>(
+        (strategy.dieSlotOf(row) + page_idx)
+        % config.diesPerChannel);
+    const std::uint64_t h =
+        (row * 0x9e3779b97f4a7c15ULL) ^ page_idx;
+    ppa.plane = static_cast<unsigned>((h >> 24)
+                                      % config.planesPerDie);
+    ppa.block = static_cast<unsigned>((h >> 32)
+                                      % config.blocksPerPlane);
+    ppa.page = static_cast<unsigned>((h >> 48)
+                                     % config.pagesPerBlock);
+    return ppa;
+}
+
+} // namespace layout
+} // namespace ecssd

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * FP32 weight-vector placement strategies across flash channels
+ * (Section 5): sequential storing, uniform interleaving, and the
+ * learning-based adaptive interleaving framework.
+ *
+ * A strategy maps a weight-row index to the flash channel holding it.
+ * The FTL realizes the mapping by handing each channel a logical-
+ * address range (Section 5.3); here the strategies answer placement
+ * queries directly, and a helper materializes plausible physical page
+ * addresses for the timing model.
+ */
+
+#ifndef ECSSD_LAYOUT_STRATEGY_HH
+#define ECSSD_LAYOUT_STRATEGY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ssdsim/address.hh"
+#include "ssdsim/config.hh"
+
+namespace ecssd
+{
+namespace layout
+{
+
+/** The three placement strategies of Section 5. */
+enum class LayoutKind
+{
+    Sequential,
+    Uniform,
+    LearningAdaptive,
+};
+
+/** Human-readable strategy name. */
+std::string toString(LayoutKind kind);
+
+/** Placement strategy interface. */
+class LayoutStrategy
+{
+  public:
+    virtual ~LayoutStrategy() = default;
+
+    virtual LayoutKind kind() const = 0;
+
+    /** Flash channel holding weight row @p row. */
+    virtual unsigned channelOf(std::uint64_t row) const = 0;
+
+    /**
+     * Die-striping slot of @p row within its channel.  A row's die is
+     * fixed by the FTL's *write order* (writes stripe round-robin
+     * over a channel's dies), so the slot is the row's within-channel
+     * write sequence number; callers reduce it modulo the die count.
+     * This is what makes die conflicts layout-dependent: a random
+     * candidate subset of uniformly-striped rows collides on dies,
+     * while the learning framework's hotness-ordered placement keeps
+     * the hot candidates die-balanced.
+     */
+    virtual std::uint64_t dieSlotOf(std::uint64_t row) const = 0;
+
+    /** Total number of weight rows placed. */
+    virtual std::uint64_t rows() const = 0;
+
+    /** Number of channels placed across. */
+    virtual unsigned channels() const = 0;
+};
+
+/**
+ * Sequential storing: rows are divided into contiguous runs, one per
+ * channel, so adjacent rows live on the same channel (Section 5.1).
+ */
+class SequentialLayout : public LayoutStrategy
+{
+  public:
+    SequentialLayout(std::uint64_t rows, unsigned channels);
+
+    LayoutKind kind() const override
+    {
+        return LayoutKind::Sequential;
+    }
+    unsigned channelOf(std::uint64_t row) const override;
+    std::uint64_t dieSlotOf(std::uint64_t row) const override;
+    std::uint64_t rows() const override { return rows_; }
+    unsigned channels() const override { return channels_; }
+
+  private:
+    std::uint64_t rows_;
+    unsigned channels_;
+    std::uint64_t rowsPerChannel_;
+};
+
+/**
+ * Uniform interleaving: round-robin striping of rows over channels
+ * (Section 5.2).
+ */
+class UniformLayout : public LayoutStrategy
+{
+  public:
+    UniformLayout(std::uint64_t rows, unsigned channels);
+
+    LayoutKind kind() const override { return LayoutKind::Uniform; }
+    unsigned channelOf(std::uint64_t row) const override;
+    std::uint64_t dieSlotOf(std::uint64_t row) const override;
+    std::uint64_t rows() const override { return rows_; }
+    unsigned channels() const override { return channels_; }
+
+  private:
+    std::uint64_t rows_;
+    unsigned channels_;
+};
+
+/**
+ * Learning-based adaptive interleaving (Section 5.3): rows are graded
+ * by predicted hot degree and placed so each channel receives an
+ * equal share of expected access mass.
+ */
+class LearningAdaptiveLayout : public LayoutStrategy
+{
+  public:
+    LayoutKind kind() const override
+    {
+        return LayoutKind::LearningAdaptive;
+    }
+    unsigned channelOf(std::uint64_t row) const override;
+    std::uint64_t dieSlotOf(std::uint64_t row) const override;
+    std::uint64_t rows() const override { return placement_.size(); }
+    unsigned channels() const override { return channels_; }
+
+    /**
+     * Precise builder for in-memory hotness vectors: greedy balanced
+     * partition (descending hotness to the least-loaded channel).
+     *
+     * @param hotness Per-row expected access mass (e.g., the INT4
+     *        row L1 masses fine-tuned by candidate frequency).
+     * @param channels Channel count.
+     */
+    static std::unique_ptr<LearningAdaptiveLayout> build(
+        std::span<const double> hotness, unsigned channels);
+
+    /**
+     * Streaming builder for huge row counts: rows are graded into
+     * @p grades hotness buckets via sampled quantiles, then placed
+     * round-robin within each grade (the paper's very-hot /
+     * medium-hot / not-hot scheme).
+     *
+     * @param rows Row count.
+     * @param hotness Hotness oracle called once per row.
+     * @param channels Channel count.
+     * @param grades Grade count (paper: 3).
+     * @param sample_size Rows sampled for the quantile estimate.
+     */
+    static std::unique_ptr<LearningAdaptiveLayout> buildStreaming(
+        std::uint64_t rows,
+        const std::function<double(std::uint64_t)> &hotness,
+        unsigned channels, unsigned grades = 8,
+        std::uint64_t sample_size = 65536);
+
+  private:
+    LearningAdaptiveLayout(std::vector<std::uint8_t> placement,
+                           std::vector<std::uint8_t> die_slots,
+                           unsigned channels);
+
+    std::vector<std::uint8_t> placement_;
+    /** Within-channel write-order slot, modulo 256 (die counts are
+     *  powers of two in practice, so the wrap is exact). */
+    std::vector<std::uint8_t> dieSlots_;
+    unsigned channels_;
+};
+
+/** Construct the strategy of the given kind with default builders. */
+std::unique_ptr<LayoutStrategy> makeLayout(
+    LayoutKind kind, std::uint64_t rows, unsigned channels,
+    const std::function<double(std::uint64_t)> &hotness = {});
+
+/**
+ * Per-channel access counts of a candidate set under a strategy: the
+ * Fig 11 access pattern.
+ */
+std::vector<std::uint64_t> channelAccessPattern(
+    std::span<const std::uint64_t> candidates,
+    const LayoutStrategy &strategy);
+
+/**
+ * Balance metric of an access pattern: mean / max channel count
+ * (1.0 = perfectly balanced, ->0 = one hot channel).
+ */
+double accessBalance(std::span<const std::uint64_t> pattern);
+
+/**
+ * Materialize a plausible physical page address for page @p page_idx
+ * of weight row @p row under @p strategy: channel from the strategy,
+ * die/plane/block spread deterministically within the channel.
+ */
+ssdsim::PhysicalPage pageOfRow(const LayoutStrategy &strategy,
+                               const ssdsim::SsdConfig &config,
+                               std::uint64_t row,
+                               unsigned page_idx = 0);
+
+} // namespace layout
+} // namespace ecssd
+
+#endif // ECSSD_LAYOUT_STRATEGY_HH

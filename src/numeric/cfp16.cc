@@ -1,0 +1,127 @@
+#include "cfp16.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+Cfp16Vector
+Cfp16Vector::preAlign(std::span<const float> values)
+{
+    Cfp16Vector out;
+    out.elements_.reserve(values.size());
+
+    // Pass 1: round every significand to 11 bits (hidden one + 10
+    // mantissa bits); a rounding carry renormalizes into the
+    // exponent.  The shared exponent is the post-rounding maximum so
+    // every element fits the 15-bit field.
+    struct Rounded
+    {
+        std::uint16_t sign = 0;
+        std::uint32_t m11 = 0;
+        std::uint32_t exponent = 0;
+        bool lossy = false;
+    };
+    std::vector<Rounded> rounded;
+    rounded.reserve(values.size());
+    std::uint32_t emax = 0;
+    constexpr std::uint32_t drop_bits =
+        fp32MantissaBits - cfp16MantissaBits; // 13
+    for (const float v : values) {
+        if (isNanOrInf(v))
+            sim::fatal("CFP16 pre-alignment rejects NaN/Inf input");
+        const Fp32Fields f = decompose(v);
+        Rounded r;
+        r.sign = static_cast<std::uint16_t>(f.sign);
+        const std::uint32_t m24 = significand24(f);
+        if (m24 != 0) {
+            r.m11 = (m24 + (1u << (drop_bits - 1))) >> drop_bits;
+            r.lossy = (m24 & ((1u << drop_bits) - 1)) != 0;
+            r.exponent = f.exponent;
+            if (r.m11 >> (cfp16MantissaBits + 1)) {
+                r.m11 >>= 1;
+                ++r.exponent;
+            }
+            emax = std::max(emax, r.exponent);
+        }
+        rounded.push_back(r);
+    }
+    out.sharedExponent_ = emax;
+
+    // Pass 2: align to the shared exponent.
+    for (const Rounded &r : rounded) {
+        Cfp16Element elem{r.sign, 0};
+        bool lossy = r.lossy;
+        if (r.m11 != 0) {
+            const std::uint32_t gap = emax - r.exponent;
+            const std::uint64_t promoted =
+                static_cast<std::uint64_t>(r.m11)
+                << cfp16CompensationBits;
+            if (gap >= 31) {
+                elem.significand = 0;
+                lossy = true;
+            } else {
+                elem.significand = static_cast<std::uint16_t>(
+                    promoted >> gap);
+                lossy = lossy
+                    || (promoted
+                        & ((std::uint64_t(1) << gap) - 1))
+                        != 0;
+            }
+        }
+        if (lossy)
+            ++out.lossyElements_;
+        out.elements_.push_back(elem);
+    }
+    return out;
+}
+
+float
+Cfp16Vector::toFloat(std::size_t i) const
+{
+    const Cfp16Element &elem = elements_[i];
+    if (elem.significand == 0)
+        return elem.sign ? -0.0f : 0.0f;
+    // value = m15 * 2^(emax - bias - 10 - 4)
+    const int exp2 = static_cast<int>(sharedExponent_)
+        - fp32ExponentBias - cfp16MantissaBits
+        - cfp16CompensationBits;
+    const double magnitude =
+        std::ldexp(static_cast<double>(elem.significand), exp2);
+    return static_cast<float>(elem.sign ? -magnitude : magnitude);
+}
+
+Cfp16DotResult
+alignmentFreeDot16(const Cfp16Vector &a, const Cfp16Vector &b)
+{
+    ECSSD_ASSERT(a.size() == b.size(), "dot operand size mismatch");
+    Cfp16DotResult result;
+    if (a.empty())
+        return result;
+
+    // 30-bit products over <= 2^16 elements fit comfortably in a
+    // 64-bit two's complement accumulator.
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::int64_t product =
+            static_cast<std::int64_t>(a[i].significand)
+            * static_cast<std::int64_t>(b[i].significand);
+        acc += (a[i].sign ^ b[i].sign) ? -product : product;
+        ++result.multiplies;
+    }
+    const int exp2 = static_cast<int>(a.sharedExponent())
+        + static_cast<int>(b.sharedExponent())
+        - 2 * fp32ExponentBias
+        - 2 * (cfp16MantissaBits + cfp16CompensationBits);
+    result.value = std::ldexp(static_cast<double>(acc), exp2);
+    return result;
+}
+
+} // namespace numeric
+} // namespace ecssd

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CFP16: the half-width sibling of CFP32 (an extension beyond the
+ * paper, in its own spirit).
+ *
+ * Pre-alignment lets the exponent field be repurposed; applying the
+ * same trick at 16 bits stores one sign bit plus a 15-bit aligned
+ * significand per value (10-bit FP16-class mantissa + hidden one +
+ * 4 compensation bits), with one shared exponent per vector.  Flash
+ * traffic halves — the memory-bound candidate fetch runs ~2x faster
+ * — at FP16-class precision.
+ *
+ * Layout of one CFP16 element (16 bits):
+ *
+ *   [15]    sign
+ *   [14:0]  15-bit aligned significand; for shift distance d the
+ *           11-bit significand sits at [14-d : 4-d]; shifts up to 4
+ *           are lossless at FP16 precision.
+ */
+
+#ifndef ECSSD_NUMERIC_CFP16_HH
+#define ECSSD_NUMERIC_CFP16_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/fp32.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** Compensation bits gained by repurposing the exponent at 16 bit. */
+constexpr int cfp16CompensationBits = 4;
+
+/** Width of the aligned significand. */
+constexpr int cfp16SignificandBits = 15;
+
+/** Mantissa bits kept from the FP32 source (FP16-class). */
+constexpr int cfp16MantissaBits = 10;
+
+/** One pre-aligned half-width element. */
+struct Cfp16Element
+{
+    std::uint16_t sign;
+    std::uint16_t significand;
+};
+
+/** A pre-aligned half-width vector with one shared exponent. */
+class Cfp16Vector
+{
+  public:
+    Cfp16Vector() = default;
+
+    std::uint32_t sharedExponent() const { return sharedExponent_; }
+    std::size_t size() const { return elements_.size(); }
+    bool empty() const { return elements_.empty(); }
+
+    const Cfp16Element &operator[](std::size_t i) const
+    {
+        return elements_[i];
+    }
+
+    /** Elements whose conversion dropped nonzero bits. */
+    std::uint64_t lossyElements() const { return lossyElements_; }
+
+    /** Decode element @p i back to the nearest float. */
+    float toFloat(std::size_t i) const;
+
+    /** Storage footprint: two bytes per element + the exponent. */
+    std::uint64_t
+    storageBytes() const
+    {
+        return elements_.size() * sizeof(std::uint16_t) + 1;
+    }
+
+    /** Pre-align (and round to FP16-class mantissa) a float vector. */
+    static Cfp16Vector preAlign(std::span<const float> values);
+
+  private:
+    std::uint32_t sharedExponent_ = 0;
+    std::vector<Cfp16Element> elements_;
+    std::uint64_t lossyElements_ = 0;
+};
+
+/** Result of a half-width dot product (value + op counts live in
+ *  MacResult from mac.hh; this is the numeric core). */
+struct Cfp16DotResult
+{
+    double value = 0.0;
+    std::uint64_t multiplies = 0;
+};
+
+/**
+ * Alignment-free dot product over two CFP16 vectors: a 15x15-bit
+ * integer multiplier feeding a wide accumulator, one final scale.
+ */
+Cfp16DotResult alignmentFreeDot16(const Cfp16Vector &a,
+                                  const Cfp16Vector &b);
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_CFP16_HH

@@ -1,0 +1,95 @@
+#include "cfp32.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+Cfp32Vector
+Cfp32Vector::preAlign(std::span<const float> values)
+{
+    Cfp32Vector out;
+    out.elements_.reserve(values.size());
+
+    // Pass 1: the vector-wise maximum exponent.
+    std::uint32_t emax = 0;
+    for (const float v : values) {
+        if (isNanOrInf(v))
+            sim::fatal("CFP32 pre-alignment rejects NaN/Inf input");
+        emax = std::max(emax, decompose(v).exponent);
+    }
+    out.sharedExponent_ = emax;
+
+    // Pass 2: shift every significand so it shares emax.  The 24-bit
+    // significand is first promoted into the 31-bit field (left by the
+    // 7 compensation bits), then shifted right by the exponent gap.
+    for (const float v : values) {
+        const Fp32Fields f = decompose(v);
+        const std::uint32_t m24 = significand24(f);
+        Cfp32Element elem{f.sign, 0};
+        if (m24 != 0) {
+            const std::uint32_t gap = emax - f.exponent;
+            const std::uint64_t promoted =
+                static_cast<std::uint64_t>(m24)
+                << cfp32CompensationBits;
+            if (gap >= 63) {
+                elem.significand = 0;
+                ++out.lossyElements_;
+            } else {
+                elem.significand =
+                    static_cast<std::uint32_t>(promoted >> gap);
+                const std::uint64_t dropped =
+                    promoted & ((std::uint64_t(1) << gap) - 1);
+                if (dropped != 0)
+                    ++out.lossyElements_;
+            }
+        }
+        out.elements_.push_back(elem);
+    }
+    return out;
+}
+
+float
+Cfp32Vector::toFloat(std::size_t i) const
+{
+    const Cfp32Element &elem = elements_[i];
+    if (elem.significand == 0)
+        return elem.sign ? -0.0f : 0.0f;
+    // value = m31 * 2^(emax - bias - 23 - compensation)
+    const int exp2 = static_cast<int>(sharedExponent_)
+        - fp32ExponentBias - fp32MantissaBits - cfp32CompensationBits;
+    const double magnitude =
+        std::ldexp(static_cast<double>(elem.significand), exp2);
+    return static_cast<float>(elem.sign ? -magnitude : magnitude);
+}
+
+std::vector<float>
+Cfp32Vector::toFloats() const
+{
+    std::vector<float> out;
+    out.reserve(elements_.size());
+    for (std::size_t i = 0; i < elements_.size(); ++i)
+        out.push_back(toFloat(i));
+    return out;
+}
+
+double
+losslessFraction(std::span<const Cfp32Vector> vectors)
+{
+    std::uint64_t total = 0;
+    std::uint64_t lossy = 0;
+    for (const Cfp32Vector &vec : vectors) {
+        total += vec.size();
+        lossy += vec.lossyElements();
+    }
+    if (total == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(lossy) / static_cast<double>(total);
+}
+
+} // namespace numeric
+} // namespace ecssd

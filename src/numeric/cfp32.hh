@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Compensation-FP32 (CFP32) vector format.
+ *
+ * ECSSD pre-aligns every floating-point vector on the host: all
+ * elements are right-shifted so they share the vector-wise maximum
+ * exponent, and the 8 bits that used to hold the per-element exponent
+ * are repurposed as compensation bits that keep the hidden one plus up
+ * to seven of the least-significant mantissa bits that the shift would
+ * otherwise drop.  The in-SSD MAC can then operate on plain integers.
+ *
+ * Layout of one CFP32 element (32 bits):
+ *
+ *   [31]    sign
+ *   [30:0]  31-bit aligned significand.  For a shift distance d the
+ *           original 24-bit significand (hidden one included) sits at
+ *           bits [30-d : 7-d]; shifts up to 7 are lossless.
+ *
+ * The shared exponent is stored once per vector.
+ */
+
+#ifndef ECSSD_NUMERIC_CFP32_HH
+#define ECSSD_NUMERIC_CFP32_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/fp32.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** Number of compensation bits gained by repurposing the exponent. */
+constexpr int cfp32CompensationBits = 7;
+
+/** Width of the aligned significand. */
+constexpr int cfp32SignificandBits = 31;
+
+/** One pre-aligned element: sign and 31-bit aligned significand. */
+struct Cfp32Element
+{
+    std::uint32_t sign;
+    std::uint32_t significand;
+};
+
+/**
+ * A pre-aligned vector: a shared biased exponent plus per-element
+ * sign/significand pairs.
+ */
+class Cfp32Vector
+{
+  public:
+    Cfp32Vector() = default;
+
+    /** Shared biased exponent (the vector-wise maximum). */
+    std::uint32_t sharedExponent() const { return sharedExponent_; }
+
+    std::size_t size() const { return elements_.size(); }
+    bool empty() const { return elements_.empty(); }
+
+    const Cfp32Element &operator[](std::size_t i) const
+    {
+        return elements_[i];
+    }
+
+    const std::vector<Cfp32Element> &elements() const
+    {
+        return elements_;
+    }
+
+    /**
+     * Number of elements whose alignment shift dropped nonzero bits
+     * (i.e., elements that are not exactly representable in CFP32).
+     */
+    std::uint64_t lossyElements() const { return lossyElements_; }
+
+    /** Decode element @p i back to the nearest float. */
+    float toFloat(std::size_t i) const;
+
+    /** Decode the whole vector. */
+    std::vector<float> toFloats() const;
+
+    /** Storage footprint in bytes (elements + one shared exponent). */
+    std::uint64_t
+    storageBytes() const
+    {
+        return elements_.size() * sizeof(std::uint32_t) + 1;
+    }
+
+    /**
+     * Pre-align @p values into CFP32 (the host-side Pre_align() step).
+     *
+     * NaN/Inf inputs are rejected with sim::fatal, matching the API
+     * contract that only finite activations/weights reach the device.
+     */
+    static Cfp32Vector preAlign(std::span<const float> values);
+
+  private:
+    std::uint32_t sharedExponent_ = 0;
+    std::vector<Cfp32Element> elements_;
+    std::uint64_t lossyElements_ = 0;
+};
+
+/**
+ * Fraction of elements across @p vectors that survive pre-alignment
+ * with no bit loss (the paper reports > 95% on real models).
+ */
+double losslessFraction(std::span<const Cfp32Vector> vectors);
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_CFP32_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bit-level IEEE-754 single-precision utilities.
+ *
+ * The CFP32 pre-alignment pipeline and the MAC datapath models need
+ * direct access to the sign/exponent/mantissa fields of float values;
+ * this header centralizes those manipulations.
+ */
+
+#ifndef ECSSD_NUMERIC_FP32_HH
+#define ECSSD_NUMERIC_FP32_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** Field widths and masks of IEEE-754 binary32. */
+constexpr int fp32MantissaBits = 23;
+constexpr int fp32ExponentBits = 8;
+constexpr int fp32ExponentBias = 127;
+constexpr std::uint32_t fp32MantissaMask = (1u << fp32MantissaBits) - 1;
+constexpr std::uint32_t fp32ExponentMask = (1u << fp32ExponentBits) - 1;
+
+/** Decomposed view of one binary32 value. */
+struct Fp32Fields
+{
+    /** Sign bit: 0 positive, 1 negative. */
+    std::uint32_t sign;
+    /** Biased 8-bit exponent field. */
+    std::uint32_t exponent;
+    /** 23-bit fraction field (no hidden one). */
+    std::uint32_t fraction;
+};
+
+/** Reinterpret a float's bits as a uint32. */
+inline std::uint32_t
+floatToBits(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+/** Reinterpret a uint32 as a float. */
+inline float
+bitsToFloat(std::uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+/** Split a float into its IEEE fields. */
+inline Fp32Fields
+decompose(float v)
+{
+    const std::uint32_t bits = floatToBits(v);
+    return Fp32Fields{
+        bits >> 31,
+        (bits >> fp32MantissaBits) & fp32ExponentMask,
+        bits & fp32MantissaMask,
+    };
+}
+
+/** Reassemble a float from IEEE fields. */
+inline float
+compose(const Fp32Fields &f)
+{
+    const std::uint32_t bits = (f.sign << 31)
+        | ((f.exponent & fp32ExponentMask) << fp32MantissaBits)
+        | (f.fraction & fp32MantissaMask);
+    return bitsToFloat(bits);
+}
+
+/**
+ * 24-bit significand including the hidden leading one (zero for
+ * zero/subnormal inputs, which the workloads treat as zero).
+ */
+inline std::uint32_t
+significand24(const Fp32Fields &f)
+{
+    if (f.exponent == 0)
+        return 0; // Subnormals flushed to zero, as hardware MACs do.
+    return (1u << fp32MantissaBits) | f.fraction;
+}
+
+/** True when the value is +/-0 or subnormal (flushed to zero here). */
+inline bool
+isZeroOrSubnormal(float v)
+{
+    return decompose(v).exponent == 0;
+}
+
+/** True for NaN or infinity, which the datapaths reject. */
+inline bool
+isNanOrInf(float v)
+{
+    const Fp32Fields f = decompose(v);
+    return f.exponent == fp32ExponentMask;
+}
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_FP32_HH

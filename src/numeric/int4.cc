@@ -1,0 +1,158 @@
+#include "int4.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecssd
+{
+namespace numeric
+{
+
+namespace
+{
+
+/** Quantize one value given a precomputed scale. */
+int
+quantizeValue(float v, float scale)
+{
+    if (scale == 0.0f)
+        return 0;
+    const int q = static_cast<int>(std::lround(v / scale));
+    return std::clamp(q, int4Min, int4Max);
+}
+
+/** Largest |v| in the span. */
+float
+maxAbs(std::span<const float> values)
+{
+    float m = 0.0f;
+    for (const float v : values)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+/** Pack a signed nibble into the packed array. */
+void
+packNibble(std::vector<std::uint8_t> &packed, std::size_t i, int q)
+{
+    const auto nibble = static_cast<std::uint8_t>(q & 0xf);
+    if (i % 2 == 0)
+        packed[i / 2] = (packed[i / 2] & 0xf0) | nibble;
+    else
+        packed[i / 2] =
+            (packed[i / 2] & 0x0f)
+            | static_cast<std::uint8_t>(nibble << 4);
+}
+
+/** Unpack a signed nibble (sign-extend 4 -> 32 bits). */
+int
+unpackNibble(const std::vector<std::uint8_t> &packed, std::size_t i)
+{
+    const std::uint8_t byte = packed[i / 2];
+    const std::uint8_t nibble =
+        (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+    return (nibble & 0x8) ? static_cast<int>(nibble) - 16
+                          : static_cast<int>(nibble);
+}
+
+} // namespace
+
+Int4Vector
+quantizeVector(std::span<const float> values)
+{
+    Int4Vector out;
+    out.size = values.size();
+    out.scale = maxAbs(values) / static_cast<float>(int4Max);
+    out.packed.assign((values.size() + 1) / 2, 0);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        packNibble(out.packed, i, quantizeValue(values[i], out.scale));
+    return out;
+}
+
+int
+unpackInt4(const Int4Vector &vec, std::size_t i)
+{
+    return unpackNibble(vec.packed, i);
+}
+
+std::vector<float>
+dequantize(const Int4Vector &vec)
+{
+    std::vector<float> out(vec.size);
+    for (std::size_t i = 0; i < vec.size; ++i)
+        out[i] = static_cast<float>(unpackInt4(vec, i)) * vec.scale;
+    return out;
+}
+
+Int4Matrix::Int4Matrix(const FloatMatrix &source)
+    : rows_(source.rows()), cols_(source.cols()),
+      bytesPerRow_((source.cols() + 1) / 2),
+      packed_(rows_ * bytesPerRow_, 0), scales_(rows_, 0.0f)
+{
+    std::vector<std::uint8_t> rowPacked(bytesPerRow_, 0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::span<const float> row = source.row(r);
+        const float scale =
+            maxAbs(row) / static_cast<float>(int4Max);
+        scales_[r] = scale;
+        std::fill(rowPacked.begin(), rowPacked.end(), 0);
+        for (std::size_t c = 0; c < cols_; ++c)
+            packNibble(rowPacked, c, quantizeValue(row[c], scale));
+        std::copy(rowPacked.begin(), rowPacked.end(),
+                  packed_.begin() + r * bytesPerRow_);
+    }
+}
+
+int
+Int4Matrix::valueAt(std::size_t r, std::size_t c) const
+{
+    ECSSD_ASSERT(r < rows_ && c < cols_, "int4 index out of range");
+    const std::size_t bit = c;
+    const std::uint8_t byte = packed_[r * bytesPerRow_ + bit / 2];
+    const std::uint8_t nibble =
+        (bit % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+    return (nibble & 0x8) ? static_cast<int>(nibble) - 16
+                          : static_cast<int>(nibble);
+}
+
+double
+Int4Matrix::dotRow(std::size_t r, const Int4Vector &feature) const
+{
+    ECSSD_ASSERT(feature.size == cols_,
+                 "int4 feature length mismatch");
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c)
+        acc += static_cast<std::int64_t>(valueAt(r, c))
+            * unpackInt4(feature, c);
+    return static_cast<double>(acc) * scales_[r] * feature.scale;
+}
+
+std::int64_t
+Int4Matrix::rawDotRow(std::size_t r,
+                      std::span<const std::int8_t> feature) const
+{
+    ECSSD_ASSERT(feature.size() == cols_,
+                 "int4 feature length mismatch");
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c)
+        acc += static_cast<std::int64_t>(valueAt(r, c)) * feature[c];
+    return acc;
+}
+
+std::int64_t
+Int4Matrix::rowAbsSum(std::size_t r) const
+{
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c)
+        acc += std::abs(valueAt(r, c));
+    return acc;
+}
+
+std::uint64_t
+Int4Matrix::storageBytes() const
+{
+    return packed_.size() + scales_.size() * sizeof(float);
+}
+
+} // namespace numeric
+} // namespace ecssd

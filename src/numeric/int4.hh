@@ -1,0 +1,97 @@
+/**
+ * @file
+ * INT4 symmetric quantization for the approximate screener.
+ *
+ * The screener weight matrix is stored as packed signed 4-bit values
+ * (two per byte) with one FP32 scale per row; features quantize to
+ * signed 4-bit with one scale per vector.  The screening score is an
+ * integer dot product rescaled by the two scales.
+ */
+
+#ifndef ECSSD_NUMERIC_INT4_HH
+#define ECSSD_NUMERIC_INT4_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** Signed 4-bit quantization range: symmetric [-7, 7]. */
+constexpr int int4Max = 7;
+constexpr int int4Min = -7;
+
+/** One quantized vector: packed nibbles plus its scale. */
+struct Int4Vector
+{
+    /** Two signed nibbles per byte, low nibble first. */
+    std::vector<std::uint8_t> packed;
+    /** Logical element count (may be odd). */
+    std::size_t size = 0;
+    /** Dequantization scale: real ~= q * scale. */
+    float scale = 0.0f;
+};
+
+/** Quantize one float vector to signed INT4 with a symmetric scale. */
+Int4Vector quantizeVector(std::span<const float> values);
+
+/** Unpack element @p i of @p vec as a signed integer in [-7, 7]. */
+int unpackInt4(const Int4Vector &vec, std::size_t i);
+
+/** Dequantize the whole vector back to floats. */
+std::vector<float> dequantize(const Int4Vector &vec);
+
+/**
+ * A row-quantized INT4 matrix: the storage format of the approximate
+ * screener weights held in ECSSD's DRAM.
+ */
+class Int4Matrix
+{
+  public:
+    Int4Matrix() = default;
+
+    /** Quantize @p source row-by-row. */
+    explicit Int4Matrix(const FloatMatrix &source);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Signed value of element (r, c). */
+    int valueAt(std::size_t r, std::size_t c) const;
+
+    /** Scale of row @p r. */
+    float rowScale(std::size_t r) const { return scales_[r]; }
+
+    /**
+     * Integer dot product of row @p r with a quantized feature,
+     * rescaled into real units by both scales.
+     */
+    double dotRow(std::size_t r, const Int4Vector &feature) const;
+
+    /** Raw integer dot product of row @p r (no rescale). */
+    std::int64_t rawDotRow(std::size_t r,
+                           std::span<const std::int8_t> feature) const;
+
+    /** Sum of |q| over row @p r: the hot-degree predictor input. */
+    std::int64_t rowAbsSum(std::size_t r) const;
+
+    /** Packed storage footprint in bytes (nibbles + row scales). */
+    std::uint64_t storageBytes() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t bytesPerRow_ = 0;
+    std::vector<std::uint8_t> packed_;
+    std::vector<float> scales_;
+};
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_INT4_HH

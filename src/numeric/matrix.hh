@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal row-major dense matrix used throughout the workload and
+ * algorithm code.  Deliberately simple: the library's heavy lifting
+ * is in the datapath/simulator models, not in BLAS.
+ */
+
+#ifndef ECSSD_NUMERIC_MATRIX_HH
+#define ECSSD_NUMERIC_MATRIX_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** Dense row-major float matrix. */
+class FloatMatrix
+{
+  public:
+    FloatMatrix() = default;
+
+    /** Allocate a rows x cols matrix zero-initialized. */
+    FloatMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        ECSSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        ECSSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Mutable view of row @p r. */
+    std::span<float>
+    row(std::size_t r)
+    {
+        ECSSD_ASSERT(r < rows_, "matrix row out of range");
+        return std::span<float>(data_.data() + r * cols_, cols_);
+    }
+
+    /** Read-only view of row @p r. */
+    std::span<const float>
+    row(std::size_t r) const
+    {
+        ECSSD_ASSERT(r < rows_, "matrix row out of range");
+        return std::span<const float>(data_.data() + r * cols_, cols_);
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Total size in bytes when stored as FP32. */
+    std::uint64_t
+    fp32Bytes() const
+    {
+        return static_cast<std::uint64_t>(rows_) * cols_
+            * sizeof(float);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_MATRIX_HH

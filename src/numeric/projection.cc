@@ -1,0 +1,68 @@
+#include "projection.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+Projector::Projector(std::size_t full_dim, std::size_t shrunk_dim,
+                     std::uint64_t seed)
+    : fullDim_(full_dim), shrunkDim_(shrunk_dim),
+      projection_(shrunk_dim, full_dim)
+{
+    ECSSD_ASSERT(shrunk_dim > 0 && shrunk_dim <= full_dim,
+                 "projection must shrink the hidden dimension");
+    sim::Rng rng(seed);
+    const double stddev =
+        1.0 / std::sqrt(static_cast<double>(shrunk_dim));
+    for (std::size_t k = 0; k < shrunk_dim; ++k)
+        for (std::size_t d = 0; d < full_dim; ++d)
+            projection_.at(k, d) =
+                static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Projector::Projector(FloatMatrix projection)
+    : fullDim_(projection.cols()), shrunkDim_(projection.rows()),
+      projection_(std::move(projection))
+{
+    ECSSD_ASSERT(shrunkDim_ > 0 && shrunkDim_ <= fullDim_,
+                 "projection must shrink the hidden dimension");
+}
+
+std::vector<float>
+Projector::project(std::span<const float> vec) const
+{
+    ECSSD_ASSERT(vec.size() == fullDim_,
+                 "projection input length mismatch");
+    std::vector<float> out(shrunkDim_, 0.0f);
+    for (std::size_t k = 0; k < shrunkDim_; ++k) {
+        const std::span<const float> prow = projection_.row(k);
+        double acc = 0.0;
+        for (std::size_t d = 0; d < fullDim_; ++d)
+            acc += static_cast<double>(prow[d]) * vec[d];
+        out[k] = static_cast<float>(acc);
+    }
+    return out;
+}
+
+FloatMatrix
+Projector::projectRows(const FloatMatrix &weights) const
+{
+    ECSSD_ASSERT(weights.cols() == fullDim_,
+                 "projection weight width mismatch");
+    FloatMatrix out(weights.rows(), shrunkDim_);
+    for (std::size_t r = 0; r < weights.rows(); ++r) {
+        const std::vector<float> projected = project(weights.row(r));
+        std::span<float> orow = out.row(r);
+        for (std::size_t k = 0; k < shrunkDim_; ++k)
+            orow[k] = projected[k];
+    }
+    return out;
+}
+
+} // namespace numeric
+} // namespace ecssd

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Approximate projection from the full hidden dimension D to the
+ * shrunk screener dimension K (Section 2.1).
+ *
+ * The paper learns the projection offline with PyTorch; here we use a
+ * seeded random Gaussian (Johnson-Lindenstrauss) projection, which
+ * preserves inner products in expectation and therefore exercises the
+ * same screening behaviour: rows with large true scores also get
+ * large projected scores with high probability.
+ */
+
+#ifndef ECSSD_NUMERIC_PROJECTION_HH
+#define ECSSD_NUMERIC_PROJECTION_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/matrix.hh"
+#include "sim/rng.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/**
+ * A D -> K linear projection shared by weights and features so that
+ * projected inner products approximate original inner products.
+ */
+class Projector
+{
+  public:
+    /**
+     * Build a projection matrix of shape K x D with entries
+     * N(0, 1/K) so that E[<Px, Pw>] = <x, w>.
+     */
+    Projector(std::size_t full_dim, std::size_t shrunk_dim,
+              std::uint64_t seed);
+
+    /**
+     * Wrap a pre-trained projection matrix (K x D).  This is how a
+     * learned projection (the paper's setting) plugs in: when the
+     * rows are an orthonormal basis of the weight manifold, the
+     * projected inner products match the full-precision ones almost
+     * exactly.
+     */
+    explicit Projector(FloatMatrix projection);
+
+    std::size_t fullDim() const { return fullDim_; }
+    std::size_t shrunkDim() const { return shrunkDim_; }
+
+    /** Project one D-length vector down to K values. */
+    std::vector<float> project(std::span<const float> vec) const;
+
+    /** Project every row of @p weights (L x D) to an L x K matrix. */
+    FloatMatrix projectRows(const FloatMatrix &weights) const;
+
+  private:
+    std::size_t fullDim_;
+    std::size_t shrunkDim_;
+    FloatMatrix projection_; // K x D
+};
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_PROJECTION_HH

@@ -1,0 +1,99 @@
+#include "event_queue.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, EventAction action, std::string label)
+{
+    ECSSD_ASSERT(when >= now_,
+                 "event '", label, "' scheduled in the past (when=",
+                 when, " now=", now_, ")");
+    ECSSD_ASSERT(action, "event '", label, "' has no action");
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, nextSequence_++, id, std::move(action),
+                     std::move(label)});
+    pending_.insert(id);
+    ++size_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Only events that are still pending can be cancelled; fired and
+    // already-cancelled ids fail.
+    if (pending_.erase(id) == 0)
+        return false;
+    // Lazy deletion: remember the id and skip the entry when popped.
+    cancelled_.push_back(id);
+    if (size_ > 0)
+        --size_;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id)
+        != cancelled_.end();
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        if (isCancelled(entry.id)) {
+            cancelled_.erase(std::find(cancelled_.begin(),
+                                       cancelled_.end(), entry.id));
+            continue;
+        }
+        ECSSD_ASSERT(entry.when >= now_, "event time went backwards");
+        now_ = entry.when;
+        pending_.erase(entry.id);
+        --size_;
+        ++fired_;
+        entry.action();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (isCancelled(top.id)) {
+            step();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    // Advance idle time to the limit only when work remains beyond it;
+    // a drained queue keeps the time of its last event.
+    if (size_ > 0 && now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace sim
+} // namespace ecssd

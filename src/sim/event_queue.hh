@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time.  Components schedule
+ * callbacks at absolute or relative ticks; the queue fires them in
+ * (tick, insertion-order) order so same-tick events are deterministic.
+ */
+
+#ifndef ECSSD_SIM_EVENT_QUEUE_HH
+#define ECSSD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "types.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Callback fired when an event's time arrives. */
+using EventAction = std::function<void()>;
+
+/**
+ * The simulation event queue.
+ *
+ * Events are value objects held inside the queue; cancellation is
+ * handled by id so components never hold dangling event pointers.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle for cancelling a scheduled event. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return size_; }
+
+    /**
+     * Schedule @p action at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     * @return An id usable with cancel().
+     */
+    EventId schedule(Tick when, EventAction action,
+                     std::string label = {});
+
+    /** Schedule @p action @p delay ticks after the current time. */
+    EventId
+    scheduleAfter(Tick delay, EventAction action, std::string label = {})
+    {
+        return schedule(now_ + delay, std::move(action),
+                        std::move(label));
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Run until the queue drains.
+     *
+     * @return The time of the last fired event.
+     */
+    Tick run();
+
+    /**
+     * Run events with time <= @p limit, then stop with now() == limit
+     * (or earlier if the queue drained first).
+     *
+     * @return The final simulated time.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Fire exactly one event if any is pending. @return true if fired. */
+    bool step();
+
+    /** Total number of events fired since construction. */
+    std::uint64_t firedEvents() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t sequence;
+        EventId id;
+        EventAction action;
+        std::string label;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return sequence > other.sequence;
+        }
+    };
+
+    bool isCancelled(EventId id) const;
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        heap_;
+    std::vector<EventId> cancelled_;
+    /** Ids scheduled but not yet fired or cancelled. */
+    std::unordered_set<EventId> pending_;
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t fired_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,26 @@
+#include "logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+namespace
+{
+bool verboseFlag = false;
+} // namespace
+
+bool
+logVerbose()
+{
+    return verboseFlag;
+}
+
+void
+setLogVerbose(bool enabled)
+{
+    verboseFlag = enabled;
+}
+
+} // namespace sim
+} // namespace ecssd

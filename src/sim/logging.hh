@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() flags simulator bugs and aborts,
+ * fatal() flags user/configuration errors and exits cleanly, warn() and
+ * inform() report conditions without stopping the run.
+ */
+
+#ifndef ECSSD_SIM_LOGGING_HH
+#define ECSSD_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Thrown by fatal() so tests can intercept configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown by panic() so tests can intercept internal invariant failures. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::logic_error(what_arg)
+    {}
+};
+
+/** Global verbosity switch for inform()/warn() output. */
+bool logVerbose();
+
+/** Enable or disable inform()/warn() console output. */
+void setLogVerbose(bool enabled);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable internal error (a simulator bug).
+ *
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    const std::string msg = detail::format(args...);
+    std::cerr << "panic: " << msg << std::endl;
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user or configuration error.
+ *
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    const std::string msg = detail::format(args...);
+    std::cerr << "fatal: " << msg << std::endl;
+    throw FatalError(msg);
+}
+
+/** Report suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (logVerbose())
+        std::cerr << "warn: " << detail::format(args...) << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    if (logVerbose())
+        std::cout << "info: " << detail::format(args...) << std::endl;
+}
+
+/**
+ * Check a simulator invariant; panic with a message if it fails.
+ */
+#define ECSSD_ASSERT(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::ecssd::sim::panic("assertion '", #cond, "' failed at ",    \
+                                __FILE__, ":", __LINE__, ": ",           \
+                                ##__VA_ARGS__);                          \
+        }                                                                \
+    } while (0)
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_LOGGING_HH

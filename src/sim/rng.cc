@@ -1,0 +1,170 @@
+#include "rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+namespace
+{
+
+/** splitmix64 used only for seeding the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    ECSSD_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    ECSSD_ASSERT(lo <= hi, "uniformInt range is empty");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box-Muller transform; u1 shifted away from zero for log().
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cachedGaussian_ = radius * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    ECSSD_ASSERT(n > 0, "zipf needs a positive support size");
+    if (n == 1)
+        return 0;
+
+    if (s <= 0.0)
+        return uniformInt(n);
+
+    // Devroye's rejection method over the continuous envelope; O(1)
+    // per sample regardless of n.
+    if (zipfN_ != n || zipfS_ != s) {
+        zipfN_ = n;
+        zipfS_ = s;
+        const double nd = static_cast<double>(n);
+        zipfHn_ = (s == 1.0)
+            ? std::log(nd + 1.0)
+            : (std::pow(nd + 1.0, 1.0 - s) - 1.0) / (1.0 - s);
+    }
+
+    for (;;) {
+        const double u = uniform() * zipfHn_;
+        const double x = (zipfS_ == 1.0)
+            ? std::exp(u) - 1.0
+            : std::pow(u * (1.0 - zipfS_) + 1.0, 1.0 / (1.0 - zipfS_))
+                  - 1.0;
+        const std::uint64_t k =
+            static_cast<std::uint64_t>(std::floor(x));
+        if (k >= n)
+            continue;
+        // Accept with prob (k+1)^-s / envelope density at x.
+        const double ratio =
+            std::pow(static_cast<double>(k + 1), -zipfS_)
+            / std::pow(x + 1.0, -zipfS_);
+        if (uniform() <= ratio)
+            return k;
+    }
+}
+
+std::vector<std::uint32_t>
+Rng::permutation(std::uint32_t n)
+{
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        perm[i] = i;
+    shuffle(perm);
+    return perm;
+}
+
+} // namespace sim
+} // namespace ecssd

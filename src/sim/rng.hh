@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All stochastic behaviour in the simulator flows through Rng so that a
+ * run is fully reproducible from its seed.  The core generator is
+ * xoshiro256** (public domain, Blackman & Vigna), which is fast, has a
+ * 256-bit state, and passes BigCrush.
+ */
+
+#ifndef ECSSD_SIM_RNG_HH
+#define ECSSD_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/**
+ * Seedable pseudo-random generator with the distributions the workload
+ * generators need (uniform, gaussian, zipf, permutation).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) with rejection to avoid bias. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller with caching. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, computed by
+     * inversion over a cached cumulative table when n is small and by
+     * rejection sampling (Devroye) when n is large.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Fisher-Yates shuffle of @p values. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(uniformInt(i));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+    /** Identity permutation of size n shuffled in place. */
+    std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  private:
+    std::uint64_t state_[4];
+    bool hasCachedGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+
+    // Cached harmonic constants for repeated zipf() calls with the same
+    // (n, s); recomputing generalized harmonic numbers per sample would
+    // dominate workload generation time.
+    std::uint64_t zipfN_ = 0;
+    double zipfS_ = 0.0;
+    double zipfHn_ = 0.0;
+};
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_RNG_HH

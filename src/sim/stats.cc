@@ -1,0 +1,169 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    sumSquares_ += v * v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSquares_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double v =
+        sumSquares_ / static_cast<double>(count_) - m * m;
+    return std::max(v, 0.0);
+}
+
+void
+Percentiles::sample(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+}
+
+double
+Percentiles::quantile(double q) const
+{
+    ECSSD_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void
+Percentiles::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    ECSSD_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        const auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        ++counts_[std::min(idx, counts_.size() - 1)];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *stat)
+{
+    ECSSD_ASSERT(stat, "null scalar registered");
+    scalars_[name] = stat;
+}
+
+void
+StatGroup::addDistribution(const std::string &name,
+                           const Distribution *stat)
+{
+    ECSSD_ASSERT(stat, "null distribution registered");
+    distributions_[name] = stat;
+}
+
+double
+StatGroup::scalar(const std::string &name) const
+{
+    const auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        fatal("unknown scalar stat '", name_, ".", name, "'");
+    return it->second->value();
+}
+
+const Distribution &
+StatGroup::distribution(const std::string &name) const
+{
+    const auto it = distributions_.find(name);
+    if (it == distributions_.end())
+        fatal("unknown distribution stat '", name_, ".", name, "'");
+    return *it->second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : scalars_)
+        os << name_ << "." << name << " " << stat->value() << "\n";
+    for (const auto &[name, stat] : distributions_) {
+        os << name_ << "." << name << ".count " << stat->count()
+           << "\n";
+        os << name_ << "." << name << ".mean " << stat->mean() << "\n";
+        os << name_ << "." << name << ".min " << stat->min() << "\n";
+        os << name_ << "." << name << ".max " << stat->max() << "\n";
+    }
+}
+
+} // namespace sim
+} // namespace ecssd

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components register named statistics with a StatGroup; benches and
+ * tests read them back by name or dump the whole group.  The design is
+ * a slimmed-down take on gem5's stats package: scalars, averages, and
+ * fixed-bucket histograms/distributions.
+ */
+
+#ifndef ECSSD_SIM_STATS_HH
+#define ECSSD_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** A named monotonically-updated scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Tracks count/sum/min/max/mean of a sampled quantity. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+    /** Population variance of the recorded samples. */
+    double variance() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample; out-of-range samples go to under/overflow. */
+    void sample(double v);
+
+    void reset();
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    double bucketLow(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Keeps every sample and answers arbitrary quantile queries; meant
+ * for bounded-size latency studies (serving experiments), not
+ * unbounded streams.
+ */
+class Percentiles
+{
+  public:
+    Percentiles() = default;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return samples_.size(); }
+
+    /**
+     * The q-quantile of the recorded samples (nearest-rank).
+     *
+     * @param q Quantile in [0, 1]; 0.5 = median, 0.99 = p99.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    void reset();
+
+  private:
+    // Kept lazily sorted: sorting happens on query, invalidated on
+    // sample.
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * A named collection of statistics; owns nothing, only indexes
+ * statistics that live inside their components.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a scalar under @p name (must outlive the group). */
+    void addScalar(const std::string &name, const Scalar *stat);
+    void addDistribution(const std::string &name,
+                         const Distribution *stat);
+
+    const std::string &name() const { return name_; }
+
+    /** Look up a registered scalar value; fatal if missing. */
+    double scalar(const std::string &name) const;
+    const Distribution &distribution(const std::string &name) const;
+
+    /** Write "group.stat value" lines for everything registered. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Scalar *> scalars_;
+    std::map<std::string, const Distribution *> distributions_;
+};
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_STATS_HH

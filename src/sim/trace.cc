@@ -1,0 +1,105 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ecssd
+{
+namespace sim
+{
+
+namespace
+{
+
+unsigned enabledMask = 0;
+bool envApplied = false;
+
+} // namespace
+
+void
+setTraceEnabled(TraceCategory category, bool enabled)
+{
+    if (enabled)
+        enabledMask |= static_cast<unsigned>(category);
+    else
+        enabledMask &= ~static_cast<unsigned>(category);
+}
+
+bool
+traceEnabled(TraceCategory category)
+{
+    return (enabledMask & static_cast<unsigned>(category)) != 0;
+}
+
+const char *
+traceCategoryName(TraceCategory category)
+{
+    switch (category) {
+      case TraceCategory::Flash:
+        return "flash";
+      case TraceCategory::Ftl:
+        return "ftl";
+      case TraceCategory::Dram:
+        return "dram";
+      case TraceCategory::Nvme:
+        return "nvme";
+      case TraceCategory::Pipeline:
+        return "pipeline";
+      case TraceCategory::Layout:
+        return "layout";
+      case TraceCategory::Api:
+        return "api";
+    }
+    return "unknown";
+}
+
+void
+enableTraceCategories(const std::string &list)
+{
+    std::istringstream stream(list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            enabledMask = ~0u;
+            continue;
+        }
+        bool matched = false;
+        for (const TraceCategory category :
+             {TraceCategory::Flash, TraceCategory::Ftl,
+              TraceCategory::Dram, TraceCategory::Nvme,
+              TraceCategory::Pipeline, TraceCategory::Layout,
+              TraceCategory::Api}) {
+            if (token == traceCategoryName(category)) {
+                setTraceEnabled(category, true);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            warn("unknown trace category '", token, "'");
+    }
+}
+
+void
+initTraceFromEnvironment()
+{
+    if (envApplied)
+        return;
+    envApplied = true;
+    if (const char *env = std::getenv("ECSSD_TRACE"))
+        enableTraceCategories(env);
+}
+
+void
+traceLine(TraceCategory category, Tick when,
+          const std::string &message)
+{
+    std::fprintf(stderr, "%12.3f us  [%s] %s\n", tickToUs(when),
+                 traceCategoryName(category), message.c_str());
+}
+
+} // namespace sim
+} // namespace ecssd

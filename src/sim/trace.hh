@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Category-gated debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Components emit trace lines under a named category; categories are
+ * enabled programmatically or via the ECSSD_TRACE environment
+ * variable (comma-separated list, e.g. ECSSD_TRACE=ftl,pipeline).
+ * Disabled categories cost one boolean test.
+ */
+
+#ifndef ECSSD_SIM_TRACE_HH
+#define ECSSD_SIM_TRACE_HH
+
+#include <iostream>
+#include <string>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Trace categories, one bit each. */
+enum class TraceCategory : unsigned
+{
+    Flash = 1u << 0,
+    Ftl = 1u << 1,
+    Dram = 1u << 2,
+    Nvme = 1u << 3,
+    Pipeline = 1u << 4,
+    Layout = 1u << 5,
+    Api = 1u << 6,
+};
+
+/** Enable/disable one category at runtime. */
+void setTraceEnabled(TraceCategory category, bool enabled);
+
+/** True when the category is enabled. */
+bool traceEnabled(TraceCategory category);
+
+/** Parse a comma-separated category list ("ftl,pipeline,all"). */
+void enableTraceCategories(const std::string &list);
+
+/** Apply the ECSSD_TRACE environment variable (idempotent). */
+void initTraceFromEnvironment();
+
+/** Emit one trace line (internal; use ECSSD_TRACE_LOG). */
+void traceLine(TraceCategory category, Tick when,
+               const std::string &message);
+
+/** Category name for the trace prefix. */
+const char *traceCategoryName(TraceCategory category);
+
+/**
+ * Emit a trace line when the category is enabled.
+ *
+ * @param category A TraceCategory value.
+ * @param when Current simulated tick.
+ * @param ... Stream-style message parts.
+ */
+#define ECSSD_TRACE_LOG(category, when, ...)                          \
+    do {                                                              \
+        if (::ecssd::sim::traceEnabled(category)) {                   \
+            ::ecssd::sim::traceLine(                                  \
+                category, when,                                       \
+                ::ecssd::sim::detail::format(__VA_ARGS__));           \
+        }                                                             \
+    } while (0)
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_TRACE_HH

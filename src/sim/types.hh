@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The simulator keeps time as an unsigned 64-bit tick counter with a
+ * resolution of one picosecond.  A picosecond base lets us express both
+ * the 400 MHz accelerator clock (2500 ticks) and multi-second end-to-end
+ * runs (~10^12 ticks) without rounding error or overflow.
+ */
+
+#ifndef ECSSD_SIM_TYPES_HH
+#define ECSSD_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** The largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = 1000ULL * 1000 * 1000;
+constexpr Tick tickPerS = 1000ULL * 1000 * 1000 * 1000;
+
+/** Convert a picosecond count to ticks. */
+constexpr Tick
+picoseconds(double ps)
+{
+    return static_cast<Tick>(ps * tickPerPs + 0.5);
+}
+
+/** Convert a nanosecond count to ticks. */
+constexpr Tick
+nanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * tickPerNs + 0.5);
+}
+
+/** Convert a microsecond count to ticks. */
+constexpr Tick
+microseconds(double us)
+{
+    return static_cast<Tick>(us * tickPerUs + 0.5);
+}
+
+/** Convert a millisecond count to ticks. */
+constexpr Tick
+milliseconds(double ms)
+{
+    return static_cast<Tick>(ms * tickPerMs + 0.5);
+}
+
+/** Convert a second count to ticks. */
+constexpr Tick
+seconds(double s)
+{
+    return static_cast<Tick>(s * tickPerS + 0.5);
+}
+
+/** Convert ticks back to floating-point seconds. */
+constexpr double
+tickToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerS);
+}
+
+/** Convert ticks back to floating-point milliseconds. */
+constexpr double
+tickToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerMs);
+}
+
+/** Convert ticks back to floating-point microseconds. */
+constexpr double
+tickToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerUs);
+}
+
+/** Convert ticks back to floating-point nanoseconds. */
+constexpr double
+tickToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+/** Byte-size helpers. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024ULL;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024 * 1024;
+}
+
+constexpr std::uint64_t operator""_TiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024 * 1024 * 1024;
+}
+
+/**
+ * Time to stream @p bytes over a link of @p gbps gigabytes per second
+ * (decimal GB/s, matching datasheet conventions used in the paper).
+ *
+ * @param bytes Payload size in bytes.
+ * @param gbps Link bandwidth in GB/s (10^9 bytes per second).
+ * @return Transfer time in ticks.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gbps)
+{
+    // bytes / (gbps * 1e9 B/s) seconds -> ticks.
+    return static_cast<Tick>(
+        static_cast<double>(bytes) / (gbps * 1e9) * tickPerS + 0.5);
+}
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_TYPES_HH

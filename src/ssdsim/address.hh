@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Physical flash addressing: channel / die / plane / block / page,
+ * with linearization helpers used by the FTL's mapping table.
+ */
+
+#ifndef ECSSD_SSDSIM_ADDRESS_HH
+#define ECSSD_SSDSIM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "ssdsim/config.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+/** A logical page number as seen by the host. */
+using LogicalPage = std::uint64_t;
+
+/** Sentinel for "unmapped". */
+constexpr std::uint64_t invalidPage = ~std::uint64_t(0);
+
+/** A fully-qualified physical page address. */
+struct PhysicalPage
+{
+    unsigned channel = 0;
+    unsigned die = 0;
+    unsigned plane = 0;
+    unsigned block = 0;
+    unsigned page = 0;
+
+    bool
+    operator==(const PhysicalPage &other) const = default;
+};
+
+/**
+ * Bijective packing of PhysicalPage into a 64-bit id, ordered
+ * channel-major so that pages of one channel are contiguous.
+ */
+class AddressCodec
+{
+  public:
+    explicit AddressCodec(const SsdConfig &config) : config_(config) {}
+
+    std::uint64_t
+    encode(const PhysicalPage &ppa) const
+    {
+        ECSSD_ASSERT(valid(ppa), "invalid physical page");
+        std::uint64_t id = ppa.channel;
+        id = id * config_.diesPerChannel + ppa.die;
+        id = id * config_.planesPerDie + ppa.plane;
+        id = id * config_.blocksPerPlane + ppa.block;
+        id = id * config_.pagesPerBlock + ppa.page;
+        return id;
+    }
+
+    PhysicalPage
+    decode(std::uint64_t id) const
+    {
+        ECSSD_ASSERT(id < config_.totalPages(),
+                     "physical page id out of range");
+        PhysicalPage ppa;
+        ppa.page = static_cast<unsigned>(id % config_.pagesPerBlock);
+        id /= config_.pagesPerBlock;
+        ppa.block = static_cast<unsigned>(id % config_.blocksPerPlane);
+        id /= config_.blocksPerPlane;
+        ppa.plane = static_cast<unsigned>(id % config_.planesPerDie);
+        id /= config_.planesPerDie;
+        ppa.die = static_cast<unsigned>(id % config_.diesPerChannel);
+        id /= config_.diesPerChannel;
+        ppa.channel = static_cast<unsigned>(id);
+        return ppa;
+    }
+
+    bool
+    valid(const PhysicalPage &ppa) const
+    {
+        return ppa.channel < config_.channels
+            && ppa.die < config_.diesPerChannel
+            && ppa.plane < config_.planesPerDie
+            && ppa.block < config_.blocksPerPlane
+            && ppa.page < config_.pagesPerBlock;
+    }
+
+  private:
+    // Held by value: the config is a small POD and copying it removes
+    // any lifetime coupling to the caller's configuration object.
+    SsdConfig config_;
+};
+
+} // namespace ssdsim
+} // namespace ecssd
+
+#endif // ECSSD_SSDSIM_ADDRESS_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The SSD data buffer, reused by the inserted accelerator as its
+ * staging SRAM (Section 2.2 / 4.1).
+ *
+ * The buffer is operated in a ping-pong discipline: while the
+ * accelerator consumes one half, the flash/DRAM side fills the other.
+ * The model tracks occupancy and enforces capacity so pipeline code
+ * cannot silently overcommit the 4 MB.
+ */
+
+#ifndef ECSSD_SSDSIM_DATA_BUFFER_HH
+#define ECSSD_SSDSIM_DATA_BUFFER_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "ssdsim/config.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+/** Ping-pong staging buffer with capacity accounting. */
+class DataBuffer
+{
+  public:
+    explicit DataBuffer(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+        ECSSD_ASSERT(capacity_bytes > 0, "buffer capacity must be > 0");
+    }
+
+    /** Capacity of one ping-pong half. */
+    std::uint64_t
+    halfCapacity() const
+    {
+        return capacity_ / 2;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    /**
+     * Reserve @p bytes in the half currently being filled.
+     *
+     * @retval true on success.
+     * @retval false when the half cannot hold the allocation (the
+     *         caller must drain / flip first).
+     */
+    bool
+    reserve(std::uint64_t bytes)
+    {
+        if (fillOccupancy_ + bytes > halfCapacity())
+            return false;
+        fillOccupancy_ += bytes;
+        peakOccupancy_ =
+            std::max(peakOccupancy_, fillOccupancy_ + drainOccupancy_);
+        return true;
+    }
+
+    /** Release @p bytes from the half being drained. */
+    void
+    release(std::uint64_t bytes)
+    {
+        ECSSD_ASSERT(bytes <= drainOccupancy_,
+                     "releasing more than is held");
+        drainOccupancy_ -= bytes;
+    }
+
+    /**
+     * Flip the ping-pong halves: the filled half becomes the drain
+     * half.
+     *
+     * @pre The previous drain half must be fully released.
+     */
+    void
+    flip()
+    {
+        ECSSD_ASSERT(drainOccupancy_ == 0,
+                     "flipping with undrained data");
+        drainOccupancy_ = fillOccupancy_;
+        fillOccupancy_ = 0;
+        ++flips_;
+    }
+
+    std::uint64_t fillOccupancy() const { return fillOccupancy_; }
+    std::uint64_t drainOccupancy() const { return drainOccupancy_; }
+    std::uint64_t peakOccupancy() const { return peakOccupancy_; }
+    std::uint64_t flips() const { return flips_; }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        fillOccupancy_ = 0;
+        drainOccupancy_ = 0;
+        peakOccupancy_ = 0;
+        flips_ = 0;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t fillOccupancy_ = 0;
+    std::uint64_t drainOccupancy_ = 0;
+    std::uint64_t peakOccupancy_ = 0;
+    std::uint64_t flips_ = 0;
+};
+
+} // namespace ssdsim
+} // namespace ecssd
+
+#endif // ECSSD_SSDSIM_DATA_BUFFER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SSD-internal DRAM timing model.
+ *
+ * A single shared port with a fixed per-access latency and a stream
+ * bandwidth of 12.8 GB/s (Table 2).  In SSD mode the DRAM holds FTL
+ * metadata; in accelerator mode it additionally streams the INT4
+ * screener weights to the INT4 MAC array (the heterogeneous data
+ * layout of Section 4.3).
+ */
+
+#ifndef ECSSD_SSDSIM_DRAM_HH
+#define ECSSD_SSDSIM_DRAM_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "ssdsim/config.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+/** Timeline model of the SSD's DRAM. */
+class DramModel
+{
+  public:
+    explicit DramModel(const SsdConfig &config) : config_(config) {}
+
+    /**
+     * Stream @p bytes from DRAM.
+     *
+     * @param bytes Transfer size.
+     * @param issue_at Request issue tick.
+     * @return Completion tick.
+     */
+    sim::Tick
+    stream(std::uint64_t bytes, sim::Tick issue_at)
+    {
+        const sim::Tick start = issue_at > freeAt_ ? issue_at : freeAt_;
+        const sim::Tick done = start
+            + sim::nanoseconds(config_.dramAccessLatencyNs)
+            + sim::transferTime(bytes, config_.dramBandwidthGbps);
+        freeAt_ = done;
+        bytesMoved_ += bytes;
+        busyTime_ += done - start;
+        ++accesses_;
+        return done;
+    }
+
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    std::uint64_t accesses() const { return accesses_; }
+    sim::Tick busyTime() const { return busyTime_; }
+
+    /** Reset the timeline and statistics. */
+    void
+    reset()
+    {
+        freeAt_ = 0;
+        bytesMoved_ = 0;
+        busyTime_ = 0;
+        accesses_ = 0;
+    }
+
+    /** Capacity check used by weight deployment. */
+    std::uint64_t capacityBytes() const { return config_.dramBytes; }
+
+  private:
+    SsdConfig config_;
+    sim::Tick freeAt_ = 0;
+    std::uint64_t bytesMoved_ = 0;
+    sim::Tick busyTime_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace ssdsim
+} // namespace ecssd
+
+#endif // ECSSD_SSDSIM_DRAM_HH

@@ -1,0 +1,191 @@
+#include "flash.hh"
+
+#include <algorithm>
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+FlashArray::FlashArray(const SsdConfig &config)
+    : config_(config), channels_(config.channels),
+      dies_(static_cast<std::size_t>(config.channels)
+            * config.diesPerChannel)
+{
+    const std::size_t planes =
+        config.multiPlaneRead ? config.planesPerDie : 1;
+    for (Die &die : dies_)
+        die.planeFreeAt.assign(planes, 0);
+}
+
+FlashArray::Die &
+FlashArray::dieOf(const PhysicalPage &ppa)
+{
+    return dies_[static_cast<std::size_t>(ppa.channel)
+                     * config_.diesPerChannel
+                 + ppa.die];
+}
+
+FlashArray::Channel &
+FlashArray::channelOf(const PhysicalPage &ppa)
+{
+    return channels_[ppa.channel];
+}
+
+double
+FlashArray::faultDraw(const PhysicalPage &ppa, std::uint64_t salt)
+{
+    // splitmix64 over (address, event counter): deterministic per
+    // run, uncorrelated across events.
+    std::uint64_t z = (static_cast<std::uint64_t>(ppa.channel) << 48)
+        ^ (static_cast<std::uint64_t>(ppa.die) << 40)
+        ^ (static_cast<std::uint64_t>(ppa.block) << 20)
+        ^ ppa.page ^ (salt * 0x9e3779b97f4a7c15ULL);
+    z += ++faultCounter_ * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+sim::Tick &
+FlashArray::senseTimelineOf(const PhysicalPage &ppa)
+{
+    Die &die = dieOf(ppa);
+    const std::size_t slot = config_.multiPlaneRead
+        ? ppa.plane % die.planeFreeAt.size()
+        : 0;
+    return die.planeFreeAt[slot];
+}
+
+sim::Tick
+FlashArray::readPage(const PhysicalPage &ppa, sim::Tick issue_at,
+                     sim::Tick transfer_gate, std::uint32_t bytes)
+{
+    if (bytes == 0 || bytes > config_.pageBytes)
+        bytes = config_.pageBytes;
+    sim::Tick &sense_timeline = senseTimelineOf(ppa);
+    Channel &channel = channelOf(ppa);
+
+    // The die senses the page into its cache register, then the
+    // channel bus streams it out.  Cache-read mode lets the next
+    // sense on the same die start as soon as the current one
+    // finishes, so a die sustains one page per tR and the channel is
+    // bus-bound only while its dies are load-balanced.  The transfer
+    // gate models downstream buffer availability: sensing may run
+    // ahead, the bus transfer may not.
+    const sim::Tick sense_start =
+        std::max(issue_at, sense_timeline);
+    sim::Tick sense_done = sense_start + config_.readLatency();
+    if (config_.readRetryRate > 0.0
+        && faultDraw(ppa, 0x5ead) < config_.readRetryRate) {
+        sense_done += config_.readLatency();
+        ++channel.stats.readRetries;
+    }
+    const sim::Tick transfer =
+        sim::transferTime(bytes, config_.channelBandwidthGbps);
+    const sim::Tick bus_start = std::max(
+        {sense_done, channel.busFreeAt, transfer_gate});
+    const sim::Tick done = bus_start + transfer;
+
+    sense_timeline = sense_done;
+    channel.busFreeAt = done;
+    channel.stats.pagesRead += 1;
+    channel.stats.bytesRead += bytes;
+    channel.stats.busBusyTime += transfer;
+    channel.stats.lastDoneAt =
+        std::max(channel.stats.lastDoneAt, done);
+    return done;
+}
+
+sim::Tick
+FlashArray::programPage(const PhysicalPage &ppa, sim::Tick issue_at)
+{
+    sim::Tick &sense_timeline = senseTimelineOf(ppa);
+    Channel &channel = channelOf(ppa);
+
+    // Data first crosses the bus into the die's page register, then
+    // the array programs; the bus frees as soon as the transfer ends.
+    const sim::Tick bus_start =
+        std::max(issue_at, channel.busFreeAt);
+    const sim::Tick transfer_done =
+        bus_start + config_.pageTransferTime();
+    const sim::Tick program_start =
+        std::max(transfer_done, sense_timeline);
+    const sim::Tick done = program_start + config_.programLatency();
+
+    sense_timeline = done;
+    channel.busFreeAt = transfer_done;
+    channel.stats.pagesProgrammed += 1;
+    channel.stats.busBusyTime += config_.pageTransferTime();
+    channel.stats.lastDoneAt =
+        std::max(channel.stats.lastDoneAt, done);
+    return done;
+}
+
+sim::Tick
+FlashArray::eraseBlock(const PhysicalPage &block_addr,
+                       sim::Tick issue_at, bool *failed)
+{
+    sim::Tick &sense_timeline = senseTimelineOf(block_addr);
+    Channel &channel = channelOf(block_addr);
+
+    const sim::Tick start = std::max(issue_at, sense_timeline);
+    const sim::Tick done = start + config_.eraseLatency();
+    sense_timeline = done;
+    if (failed) {
+        *failed = config_.eraseFailureRate > 0.0
+            && faultDraw(block_addr, 0xdead)
+                < config_.eraseFailureRate;
+    }
+    channel.stats.blocksErased += 1;
+    channel.stats.lastDoneAt =
+        std::max(channel.stats.lastDoneAt, done);
+    return done;
+}
+
+const ChannelStats &
+FlashArray::channelStats(unsigned channel) const
+{
+    ECSSD_ASSERT(channel < channels_.size(),
+                 "channel index out of range");
+    return channels_[channel].stats;
+}
+
+double
+FlashArray::busUtilization(sim::Tick window_start,
+                           sim::Tick window_end) const
+{
+    if (window_end <= window_start)
+        return 0.0;
+    const double window =
+        static_cast<double>(window_end - window_start);
+    double total = 0.0;
+    for (const Channel &channel : channels_)
+        total += static_cast<double>(channel.stats.busBusyTime);
+    return total / (window * static_cast<double>(channels_.size()));
+}
+
+sim::Tick
+FlashArray::lastDoneAt() const
+{
+    sim::Tick last = 0;
+    for (const Channel &channel : channels_)
+        last = std::max(last, channel.stats.lastDoneAt);
+    return last;
+}
+
+void
+FlashArray::reset()
+{
+    for (Channel &channel : channels_) {
+        channel.busFreeAt = 0;
+        channel.stats = ChannelStats{};
+    }
+    for (Die &die : dies_)
+        std::fill(die.planeFreeAt.begin(), die.planeFreeAt.end(),
+                  0);
+}
+
+} // namespace ssdsim
+} // namespace ecssd

@@ -1,0 +1,335 @@
+#include "ftl.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+Ftl::Ftl(const SsdConfig &config, FlashArray &flash)
+    : config_(config), flash_(flash), codec_(config)
+{
+    const double usable = 1.0 - config_.overProvisioning;
+    logicalPages_ = static_cast<std::uint64_t>(
+        static_cast<double>(config_.totalPages()) * usable);
+    lpasPerChannel_ =
+        (logicalPages_ + config_.channels - 1) / config_.channels;
+
+    const std::size_t pool_count =
+        static_cast<std::size_t>(config_.channels)
+        * config_.diesPerChannel * config_.planesPerDie;
+    pools_.resize(pool_count);
+    blocks_.resize(pool_count * config_.blocksPerPlane);
+
+    for (unsigned ch = 0; ch < config_.channels; ++ch) {
+        for (unsigned die = 0; die < config_.diesPerChannel; ++die) {
+            for (unsigned pl = 0; pl < config_.planesPerDie; ++pl) {
+                Pool &pool = pools_[poolIndex(ch, die, pl)];
+                pool.channel = ch;
+                pool.die = die;
+                pool.plane = pl;
+                for (unsigned b = 0; b < config_.blocksPerPlane; ++b)
+                    pool.freeBlocks.push_back(b);
+            }
+        }
+    }
+}
+
+std::size_t
+Ftl::poolIndex(unsigned channel, unsigned die, unsigned plane) const
+{
+    return (static_cast<std::size_t>(channel)
+                * config_.diesPerChannel
+            + die)
+        * config_.planesPerDie
+        + plane;
+}
+
+std::size_t
+Ftl::blockIndex(const PhysicalPage &ppa) const
+{
+    return poolIndex(ppa.channel, ppa.die, ppa.plane)
+        * config_.blocksPerPlane
+        + ppa.block;
+}
+
+unsigned
+Ftl::channelOfLpa(LogicalPage lpa) const
+{
+    ECSSD_ASSERT(lpa < logicalPages_, "logical page out of range");
+    const unsigned channel =
+        static_cast<unsigned>(lpa / lpasPerChannel_);
+    return std::min(channel, config_.channels - 1);
+}
+
+std::optional<PhysicalPage>
+Ftl::translate(LogicalPage lpa) const
+{
+    const auto it = l2p_.find(lpa);
+    if (it == l2p_.end())
+        return std::nullopt;
+    return codec_.decode(it->second);
+}
+
+std::uint64_t
+Ftl::freePagesInPool(const Pool &pool) const
+{
+    std::uint64_t pages = static_cast<std::uint64_t>(
+                              pool.freeBlocks.size())
+        * config_.pagesPerBlock;
+    if (pool.hasActive)
+        pages += config_.pagesPerBlock - pool.nextPage;
+    return pages;
+}
+
+PhysicalPage
+Ftl::allocateInPool(Pool &pool)
+{
+    if (!pool.hasActive || pool.nextPage >= config_.pagesPerBlock) {
+        if (pool.freeBlocks.empty()) {
+            // Every block is live or retired: the device (or this
+            // pool) has worn out.  A real drive turns read-only.
+            sim::fatal("pool ch", pool.channel, " die", pool.die,
+                       " plane", pool.plane,
+                       " has no free blocks (", stats_.badBlocks,
+                       " retired); device worn out");
+        }
+        pool.activeBlock = pool.freeBlocks.front();
+        pool.freeBlocks.pop_front();
+        pool.nextPage = 0;
+        pool.hasActive = true;
+    }
+    PhysicalPage ppa;
+    ppa.channel = pool.channel;
+    ppa.die = pool.die;
+    ppa.plane = pool.plane;
+    ppa.block = pool.activeBlock;
+    ppa.page = pool.nextPage++;
+    return ppa;
+}
+
+Ftl::Pool &
+Ftl::pickPool(unsigned channel)
+{
+    Pool *best = nullptr;
+    std::uint64_t best_free = 0;
+    for (unsigned die = 0; die < config_.diesPerChannel; ++die) {
+        for (unsigned pl = 0; pl < config_.planesPerDie; ++pl) {
+            Pool &pool = pools_[poolIndex(channel, die, pl)];
+            const std::uint64_t free = freePagesInPool(pool);
+            if (best == nullptr || free > best_free) {
+                best = &pool;
+                best_free = free;
+            }
+        }
+    }
+    ECSSD_ASSERT(best != nullptr, "channel has no pools");
+    return *best;
+}
+
+sim::Tick
+Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
+{
+    progress = false;
+
+    // Greedy victim: fully-written block with the fewest valid pages;
+    // erase count breaks ties so wear stays level.  A victim with no
+    // stale pages reclaims nothing and is never worth the erase.
+    unsigned victim = 0;
+    bool found = false;
+    unsigned best_valid = std::numeric_limits<unsigned>::max();
+    std::uint64_t best_erase = 0;
+    for (unsigned b = 0; b < config_.blocksPerPlane; ++b) {
+        if (pool.hasActive && b == pool.activeBlock)
+            continue;
+        const bool is_free =
+            std::find(pool.freeBlocks.begin(), pool.freeBlocks.end(),
+                      b)
+            != pool.freeBlocks.end();
+        if (is_free)
+            continue;
+        PhysicalPage probe{pool.channel, pool.die, pool.plane, b, 0};
+        const BlockInfo &info = blocks_[blockIndex(probe)];
+        if (info.writtenPages < config_.pagesPerBlock
+            || info.validPages >= config_.pagesPerBlock)
+            continue;
+        if (!found || info.validPages < best_valid
+            || (info.validPages == best_valid
+                && info.eraseCount < best_erase)) {
+            victim = b;
+            best_valid = info.validPages;
+            best_erase = info.eraseCount;
+            found = true;
+        }
+    }
+    if (!found)
+        return issue_at; // Nothing reclaimable yet.
+
+    // Relocations consume free space before the erase returns it;
+    // without room for the victim's valid pages the collection would
+    // deadlock the pool.
+    if (freePagesInPool(pool) < best_valid)
+        return issue_at;
+    ++stats_.gcRuns;
+    progress = true;
+    ECSSD_TRACE_LOG(sim::TraceCategory::Ftl, issue_at,
+                    "GC: pool ch", pool.channel, " die", pool.die,
+                    " plane", pool.plane, " victim block ", victim,
+                    " valid ", best_valid);
+
+    // Relocate the victim's valid pages, then erase it.
+    sim::Tick t = issue_at;
+    for (unsigned pg = 0; pg < config_.pagesPerBlock; ++pg) {
+        PhysicalPage src{pool.channel, pool.die, pool.plane, victim,
+                         pg};
+        const std::uint64_t src_id = codec_.encode(src);
+        const auto it = p2l_.find(src_id);
+        if (it == p2l_.end())
+            continue;
+        const LogicalPage lpa = it->second;
+        t = flash_.readPage(src, t);
+        const PhysicalPage dst = allocateInPool(pool);
+        t = flash_.programPage(dst, t);
+        const std::uint64_t dst_id = codec_.encode(dst);
+        l2p_[lpa] = dst_id;
+        p2l_.erase(it);
+        p2l_[dst_id] = lpa;
+        BlockInfo &dst_info = blocks_[blockIndex(dst)];
+        ++dst_info.validPages;
+        ++dst_info.writtenPages;
+        ++stats_.gcRelocations;
+    }
+
+    PhysicalPage victim_addr{pool.channel, pool.die, pool.plane,
+                             victim, 0};
+    BlockInfo &victim_info = blocks_[blockIndex(victim_addr)];
+    victim_info.validPages = 0;
+    victim_info.writtenPages = 0;
+    ++victim_info.eraseCount;
+    ++stats_.gcErases;
+    bool erase_failed = false;
+    t = flash_.eraseBlock(victim_addr, t, &erase_failed);
+    if (erase_failed) {
+        // Retire the block: it never returns to the free pool.
+        ++stats_.badBlocks;
+        sim::warn("retiring bad block ch", pool.channel, " die",
+                  pool.die, " plane", pool.plane, " block ",
+                  victim);
+    } else {
+        pool.freeBlocks.push_back(victim);
+    }
+    return t;
+}
+
+sim::Tick
+Ftl::write(LogicalPage lpa, sim::Tick issue_at)
+{
+    ECSSD_ASSERT(lpa < logicalPages_, "logical page out of range");
+    ++stats_.hostWrites;
+
+    const unsigned channel = channelOfLpa(lpa);
+    Pool &pool = pickPool(channel);
+
+    sim::Tick t = issue_at;
+    const double threshold =
+        std::max(config_.gcThreshold, 1.0e-9);
+    const std::uint64_t pool_pages =
+        static_cast<std::uint64_t>(config_.blocksPerPlane)
+        * config_.pagesPerBlock;
+    // Collect until the pool is healthy again or no victim can make
+    // progress; a single pass may reclaim less than one block's
+    // worth when victims are mostly valid.
+    while (static_cast<double>(freePagesInPool(pool))
+           < threshold * static_cast<double>(pool_pages)) {
+        bool progress = false;
+        t = collectGarbage(pool, t, progress);
+        if (!progress)
+            break;
+    }
+
+    // Invalidate the previous copy, if any.
+    const auto old = l2p_.find(lpa);
+    if (old != l2p_.end()) {
+        const PhysicalPage old_ppa = codec_.decode(old->second);
+        BlockInfo &old_info = blocks_[blockIndex(old_ppa)];
+        ECSSD_ASSERT(old_info.validPages > 0,
+                     "invalidating page in empty block");
+        --old_info.validPages;
+        p2l_.erase(old->second);
+    }
+
+    const PhysicalPage ppa = allocateInPool(pool);
+    const std::uint64_t ppa_id = codec_.encode(ppa);
+    l2p_[lpa] = ppa_id;
+    p2l_[ppa_id] = lpa;
+    BlockInfo &info = blocks_[blockIndex(ppa)];
+    ++info.validPages;
+    ++info.writtenPages;
+
+    return flash_.programPage(ppa, t);
+}
+
+sim::Tick
+Ftl::read(LogicalPage lpa, sim::Tick issue_at)
+{
+    const auto it = l2p_.find(lpa);
+    if (it == l2p_.end())
+        sim::fatal("read of unmapped logical page ", lpa);
+    ++stats_.hostReads;
+    return flash_.readPage(codec_.decode(it->second), issue_at);
+}
+
+void
+Ftl::trim(LogicalPage lpa)
+{
+    const auto it = l2p_.find(lpa);
+    if (it == l2p_.end())
+        return;
+    const PhysicalPage ppa = codec_.decode(it->second);
+    BlockInfo &info = blocks_[blockIndex(ppa)];
+    ECSSD_ASSERT(info.validPages > 0,
+                 "trimming page in empty block");
+    --info.validPages;
+    p2l_.erase(it->second);
+    l2p_.erase(it);
+}
+
+double
+Ftl::freeFraction(unsigned channel) const
+{
+    std::uint64_t free = 0;
+    std::uint64_t total = 0;
+    for (unsigned die = 0; die < config_.diesPerChannel; ++die) {
+        for (unsigned pl = 0; pl < config_.planesPerDie; ++pl) {
+            const Pool &pool =
+                pools_[poolIndex(channel, die, pl)];
+            free += freePagesInPool(pool);
+            total += static_cast<std::uint64_t>(
+                         config_.blocksPerPlane)
+                * config_.pagesPerBlock;
+        }
+    }
+    return total ? static_cast<double>(free)
+            / static_cast<double>(total)
+                 : 0.0;
+}
+
+std::uint64_t
+Ftl::eraseCountSpread() const
+{
+    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t hi = 0;
+    for (const BlockInfo &info : blocks_) {
+        lo = std::min(lo, info.eraseCount);
+        hi = std::max(hi, info.eraseCount);
+    }
+    return blocks_.empty() ? 0 : hi - lo;
+}
+
+} // namespace ssdsim
+} // namespace ecssd

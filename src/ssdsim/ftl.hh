@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Flash translation layer.
+ *
+ * Implements the embedded-processor firmware functions the paper
+ * relies on (Section 2.2 / 5.3): logical-to-physical mapping, page
+ * allocation, greedy garbage collection, and wear tracking.
+ *
+ * Channel steering follows the paper's mechanism for the interleaving
+ * framework: the firmware statically assigns a logical-address range
+ * to every flash channel, so a layout strategy places a weight vector
+ * on channel c simply by giving it a logical page inside channel c's
+ * range.  Within a channel, writes stripe over dies and planes.
+ *
+ * The map is kept sparse (hash map) so that small-footprint SSD-mode
+ * workloads do not pay for the full 4 TB geometry; the accelerator
+ * path uses the layout strategies' *computed* placement instead of
+ * this table, mirroring how the paper keeps the weight L2P resident
+ * in DRAM.
+ */
+
+#ifndef ECSSD_SSDSIM_FTL_HH
+#define ECSSD_SSDSIM_FTL_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "ssdsim/address.hh"
+#include "ssdsim/config.hh"
+#include "ssdsim/flash.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+/** FTL activity counters. */
+struct FtlStats
+{
+    std::uint64_t hostWrites = 0;
+    std::uint64_t hostReads = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcRelocations = 0;
+    std::uint64_t gcErases = 0;
+    /** Blocks retired after erase failures. */
+    std::uint64_t badBlocks = 0;
+
+    /** Write amplification factor. */
+    double
+    writeAmplification() const
+    {
+        if (hostWrites == 0)
+            return 1.0;
+        return static_cast<double>(hostWrites + gcRelocations)
+            / static_cast<double>(hostWrites);
+    }
+};
+
+/** The flash translation layer. */
+class Ftl
+{
+  public:
+    /**
+     * @param config SSD geometry/timing.
+     * @param flash The flash array the FTL drives (must outlive it).
+     */
+    Ftl(const SsdConfig &config, FlashArray &flash);
+
+    /** Number of logical pages exposed to the host. */
+    std::uint64_t logicalPages() const { return logicalPages_; }
+
+    /** The channel owning @p lpa's logical-address range. */
+    unsigned channelOfLpa(LogicalPage lpa) const;
+
+    /** Current physical location of @p lpa, if mapped. */
+    std::optional<PhysicalPage> translate(LogicalPage lpa) const;
+
+    /**
+     * Write (or overwrite) one logical page.
+     *
+     * Allocates a physical page in the lpa's channel, programs it,
+     * invalidates the old copy, and runs GC if the channel's free
+     * pool dropped below the threshold.
+     *
+     * @return Completion tick of the program (including any GC work
+     *         that had to run first).
+     */
+    sim::Tick write(LogicalPage lpa, sim::Tick issue_at);
+
+    /**
+     * Read one logical page.
+     *
+     * @return Completion tick; fatal if the page was never written.
+     */
+    sim::Tick read(LogicalPage lpa, sim::Tick issue_at);
+
+    /** Invalidate a logical page (TRIM). */
+    void trim(LogicalPage lpa);
+
+    const FtlStats &stats() const { return stats_; }
+
+    /** Free-page fraction of a channel's pool, for tests. */
+    double freeFraction(unsigned channel) const;
+
+    /** Max erase-count spread across blocks (wear balance metric). */
+    std::uint64_t eraseCountSpread() const;
+
+  private:
+    struct BlockInfo
+    {
+        unsigned validPages = 0;
+        unsigned writtenPages = 0;
+        std::uint64_t eraseCount = 0;
+    };
+
+    /** One allocation pool: a (channel, die, plane) tuple. */
+    struct Pool
+    {
+        unsigned channel = 0;
+        unsigned die = 0;
+        unsigned plane = 0;
+        std::deque<unsigned> freeBlocks;
+        unsigned activeBlock = 0;
+        unsigned nextPage = 0;
+        bool hasActive = false;
+    };
+
+    std::size_t poolIndex(unsigned channel, unsigned die,
+                          unsigned plane) const;
+    std::size_t blockIndex(const PhysicalPage &ppa) const;
+
+    /** Allocate the next physical page in @p pool (GC-free path). */
+    PhysicalPage allocateInPool(Pool &pool);
+
+    /** Pick the pool with the most free pages within a channel. */
+    Pool &pickPool(unsigned channel);
+
+    /**
+     * Run one greedy GC pass on @p pool.
+     *
+     * @param[out] progress True when a victim was relocated+erased.
+     * @return Completion tick of the pass.
+     */
+    sim::Tick collectGarbage(Pool &pool, sim::Tick issue_at,
+                             bool &progress);
+
+    std::uint64_t freePagesInPool(const Pool &pool) const;
+
+    SsdConfig config_;
+    FlashArray &flash_;
+    AddressCodec codec_;
+    std::uint64_t logicalPages_;
+    std::uint64_t lpasPerChannel_;
+
+    std::unordered_map<LogicalPage, std::uint64_t> l2p_;
+    std::unordered_map<std::uint64_t, LogicalPage> p2l_;
+    std::vector<BlockInfo> blocks_;
+    std::vector<Pool> pools_;
+    FtlStats stats_;
+};
+
+} // namespace ssdsim
+} // namespace ecssd
+
+#endif // ECSSD_SSDSIM_FTL_HH

@@ -1,0 +1,167 @@
+#include "nvme.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+NvmeController::NvmeController(SsdDevice &device,
+                               unsigned queue_pairs,
+                               unsigned queue_depth,
+                               unsigned sq_size)
+    : device_(device), queues_(queue_pairs),
+      queueDepth_(queue_depth), sqSize_(sq_size)
+{
+    ECSSD_ASSERT(queue_pairs > 0 && queue_depth > 0 && sq_size > 0,
+                 "NVMe controller needs queues, depth, and a ring");
+}
+
+bool
+NvmeController::submit(unsigned qp, const NvmeCommand &command)
+{
+    ECSSD_ASSERT(qp < queues_.size(), "queue pair out of range");
+    ECSSD_ASSERT(command.pageCount > 0, "empty NVMe command");
+    QueuePair &queue = queues_[qp];
+    if (queue.submissions.size() >= sqSize_) {
+        ++queue.stats.rejectedFull;
+        return false;
+    }
+    queue.submissions.push_back(command);
+    ++queue.stats.submitted;
+    pump();
+    return true;
+}
+
+void
+NvmeController::pump()
+{
+    // Round-robin arbitration: visit queues starting at the cursor,
+    // issuing at most one command per visit, until nothing is
+    // eligible.
+    bool issued = true;
+    while (issued) {
+        issued = false;
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+            const unsigned qp = static_cast<unsigned>(
+                (arbitrationCursor_ + i) % queues_.size());
+            QueuePair &queue = queues_[qp];
+            if (queue.submissions.empty()
+                || queue.outstanding >= queueDepth_)
+                continue;
+            const NvmeCommand command = queue.submissions.front();
+            queue.submissions.pop_front();
+            ++queue.outstanding;
+            execute(qp, command);
+            issued = true;
+            arbitrationCursor_ = (qp + 1)
+                % static_cast<unsigned>(queues_.size());
+        }
+    }
+}
+
+void
+NvmeController::execute(unsigned qp, const NvmeCommand &command)
+{
+    QueuePair &queue = queues_[qp];
+    sim::EventQueue &events = device_.queue();
+    const sim::Tick submitted_at = events.now();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(command.pageCount)
+        * device_.config().pageBytes;
+
+    sim::Tick done = submitted_at;
+    bool ok = true;
+    switch (command.opcode) {
+      case NvmeOpcode::Write: {
+        // Payload crosses the link once, then pages program.
+        const sim::Tick arrived =
+            device_.hostTransfer(bytes, submitted_at);
+        for (std::uint32_t p = 0; p < command.pageCount; ++p)
+            done = std::max(
+                done,
+                device_.ftl().write(command.startPage + p,
+                                    arrived));
+        break;
+      }
+      case NvmeOpcode::Read: {
+        const sim::Tick arrived =
+            device_.hostTransfer(0, submitted_at);
+        sim::Tick flash_done = arrived;
+        for (std::uint32_t p = 0; p < command.pageCount; ++p) {
+            const LogicalPage lpa = command.startPage + p;
+            if (!device_.ftl().translate(lpa)) {
+                ok = false;
+                continue;
+            }
+            flash_done = std::max(
+                flash_done, device_.ftl().read(lpa, arrived));
+        }
+        done = ok ? device_.hostTransfer(bytes, flash_done)
+                  : flash_done;
+        break;
+      }
+      case NvmeOpcode::Trim: {
+        const sim::Tick arrived =
+            device_.hostTransfer(64, submitted_at);
+        for (std::uint32_t p = 0; p < command.pageCount; ++p)
+            device_.ftl().trim(command.startPage + p);
+        done = arrived;
+        break;
+      }
+    }
+
+    events.schedule(
+        done,
+        [this, qp, command, submitted_at, done, ok] {
+            QueuePair &q = queues_[qp];
+            ECSSD_ASSERT(q.outstanding > 0,
+                         "completion without outstanding command");
+            --q.outstanding;
+            ++q.stats.completed;
+            q.stats.totalLatency += done - submitted_at;
+            q.completions.push_back(
+                NvmeCompletion{command.commandId, done, ok});
+            pump();
+        },
+        "nvme_completion");
+}
+
+std::vector<NvmeCompletion>
+NvmeController::pollCompletions(unsigned qp)
+{
+    ECSSD_ASSERT(qp < queues_.size(), "queue pair out of range");
+    std::vector<NvmeCompletion> out;
+    out.swap(queues_[qp].completions);
+    return out;
+}
+
+std::size_t
+NvmeController::inFlight() const
+{
+    std::size_t count = 0;
+    for (const QueuePair &queue : queues_)
+        count += queue.submissions.size() + queue.outstanding;
+    return count;
+}
+
+sim::Tick
+NvmeController::drain()
+{
+    device_.queue().run();
+    ECSSD_ASSERT(inFlight() == 0, "drain left commands in flight");
+    return device_.queue().now();
+}
+
+const NvmeQueueStats &
+NvmeController::queueStats(unsigned qp) const
+{
+    ECSSD_ASSERT(qp < queues_.size(), "queue pair out of range");
+    return queues_[qp].stats;
+}
+
+} // namespace ssdsim
+} // namespace ecssd

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * NVMe-style multi-queue host interface (the "multi-queue SSD"
+ * behaviour MQSim models).
+ *
+ * The host posts commands to per-core submission queues; the
+ * controller arbitrates round-robin across queues, keeps up to a
+ * configured depth of commands in flight per queue, executes them
+ * through the FTL, and posts completions to the matching completion
+ * queue.  Multi-page commands move their payload across the host
+ * link once and touch the FTL per page.
+ */
+
+#ifndef ECSSD_SSDSIM_NVME_HH
+#define ECSSD_SSDSIM_NVME_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+#include "ssdsim/ssd.hh"
+
+namespace ecssd
+{
+namespace ssdsim
+{
+
+/** NVMe command opcodes the model supports. */
+enum class NvmeOpcode
+{
+    Read,
+    Write,
+    Trim,
+};
+
+/** One submitted command. */
+struct NvmeCommand
+{
+    NvmeOpcode opcode = NvmeOpcode::Read;
+    LogicalPage startPage = 0;
+    std::uint32_t pageCount = 1;
+    /** Host-chosen command id, echoed in the completion. */
+    std::uint64_t commandId = 0;
+};
+
+/** One completion queue entry. */
+struct NvmeCompletion
+{
+    std::uint64_t commandId = 0;
+    sim::Tick completedAt = 0;
+    bool success = true;
+};
+
+/** Per-queue statistics. */
+struct NvmeQueueStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejectedFull = 0;
+    sim::Tick totalLatency = 0;
+
+    double
+    meanLatencyUs() const
+    {
+        if (completed == 0)
+            return 0.0;
+        return sim::tickToUs(totalLatency)
+            / static_cast<double>(completed);
+    }
+};
+
+/** The multi-queue controller front-end. */
+class NvmeController
+{
+  public:
+    /**
+     * @param device The SSD (must outlive the controller).
+     * @param queue_pairs Number of submission/completion pairs.
+     * @param queue_depth Max commands in flight per pair.
+     * @param sq_size Submission ring capacity per pair (commands
+     *        waiting to be pulled by the controller).
+     */
+    NvmeController(SsdDevice &device, unsigned queue_pairs,
+                   unsigned queue_depth, unsigned sq_size = 1024);
+
+    unsigned queuePairs() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+    unsigned queueDepth() const { return queueDepth_; }
+
+    /**
+     * Post a command to submission queue @p qp.
+     *
+     * @retval true accepted.
+     * @retval false queue full (host must retry later).
+     */
+    bool submit(unsigned qp, const NvmeCommand &command);
+
+    /** Drain queue @p qp's completion entries. */
+    std::vector<NvmeCompletion> pollCompletions(unsigned qp);
+
+    /** Outstanding + pending command count across all queues. */
+    std::size_t inFlight() const;
+
+    /**
+     * Advance the simulation until every submitted command has
+     * completed.
+     *
+     * @return The tick of the last completion.
+     */
+    sim::Tick drain();
+
+    const NvmeQueueStats &queueStats(unsigned qp) const;
+
+  private:
+    struct QueuePair
+    {
+        std::deque<NvmeCommand> submissions;
+        std::vector<NvmeCompletion> completions;
+        unsigned outstanding = 0;
+        NvmeQueueStats stats;
+    };
+
+    /** Issue commands while arbitration and depth allow. */
+    void pump();
+
+    /** Execute one command; schedules its completion. */
+    void execute(unsigned qp, const NvmeCommand &command);
+
+    SsdDevice &device_;
+    std::vector<QueuePair> queues_;
+    unsigned queueDepth_;
+    unsigned sqSize_;
+    unsigned arbitrationCursor_ = 0;
+};
+
+} // namespace ssdsim
+} // namespace ecssd
+
+#endif // ECSSD_SSDSIM_NVME_HH

@@ -1,0 +1,223 @@
+#include "screening.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "xclass/metrics.hh"
+
+namespace ecssd
+{
+namespace xclass
+{
+
+Screener::Screener(const numeric::FloatMatrix &weights,
+                   const BenchmarkSpec &spec, std::uint64_t seed,
+                   const numeric::FloatMatrix *trained_projection)
+    : spec_(spec),
+      projector_(trained_projection
+                     ? numeric::Projector(*trained_projection)
+                     : numeric::Projector(weights.cols(),
+                                          spec.shrunkDim(), seed)),
+      screener_(projector_.projectRows(weights))
+{
+    ECSSD_ASSERT(weights.rows() == spec.categories,
+                 "weights/spec category mismatch");
+    if (trained_projection) {
+        ECSSD_ASSERT(trained_projection->cols() == weights.cols()
+                         && trained_projection->rows()
+                                == spec.shrunkDim(),
+                     "trained projection shape mismatch");
+    }
+}
+
+numeric::Int4Vector
+Screener::prepareFeature(std::span<const float> feature) const
+{
+    return numeric::quantizeVector(projector_.project(feature));
+}
+
+std::vector<double>
+Screener::scores(const numeric::Int4Vector &feature) const
+{
+    std::vector<double> out(screener_.rows());
+    for (std::size_t r = 0; r < screener_.rows(); ++r)
+        out[r] = screener_.dotRow(r, feature);
+    return out;
+}
+
+void
+Screener::calibrate(const std::vector<std::vector<float>> &queries)
+{
+    ECSSD_ASSERT(!queries.empty(), "calibration needs queries");
+    // Pool all screener scores and pick the global quantile that
+    // passes candidateRatio of them: the "pre-trained threshold".
+    std::vector<double> pooled;
+    pooled.reserve(queries.size() * screener_.rows());
+    for (const std::vector<float> &query : queries) {
+        const numeric::Int4Vector prepared = prepareFeature(query);
+        const std::vector<double> s = scores(prepared);
+        pooled.insert(pooled.end(), s.begin(), s.end());
+    }
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(pooled.size())
+               * spec_.candidateRatio));
+    std::nth_element(pooled.begin(),
+                     pooled.end() - static_cast<std::ptrdiff_t>(keep),
+                     pooled.end());
+    threshold_ = pooled[pooled.size() - keep];
+}
+
+std::vector<std::uint64_t>
+Screener::screen(std::span<const float> feature, FilterMode mode) const
+{
+    const numeric::Int4Vector prepared = prepareFeature(feature);
+    const std::vector<double> s = scores(prepared);
+
+    std::vector<std::uint64_t> candidates;
+    if (mode == FilterMode::Threshold) {
+        for (std::size_t r = 0; r < s.size(); ++r)
+            if (s[r] >= threshold_)
+                candidates.push_back(r);
+    } else {
+        const std::size_t want = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   static_cast<double>(s.size())
+                   * spec_.candidateRatio));
+        candidates = topKIndices(std::span<const double>(s), want);
+        std::sort(candidates.begin(), candidates.end());
+    }
+    return candidates;
+}
+
+std::vector<double>
+Screener::rowAbsMasses() const
+{
+    std::vector<double> masses(screener_.rows());
+    for (std::size_t r = 0; r < screener_.rows(); ++r)
+        masses[r] = static_cast<double>(screener_.rowAbsSum(r))
+            * screener_.rowScale(r);
+    return masses;
+}
+
+CandidateClassifier::CandidateClassifier(
+    const numeric::FloatMatrix &weights)
+    : weights_(weights)
+{
+}
+
+void
+CandidateClassifier::ensureAligned() const
+{
+    if (aligned_)
+        return;
+    alignedRows_.reserve(weights_.rows());
+    for (std::size_t r = 0; r < weights_.rows(); ++r)
+        alignedRows_.push_back(
+            numeric::Cfp32Vector::preAlign(weights_.row(r)));
+    aligned_ = true;
+}
+
+void
+CandidateClassifier::ensureAligned16() const
+{
+    if (aligned16_)
+        return;
+    alignedRows16_.reserve(weights_.rows());
+    for (std::size_t r = 0; r < weights_.rows(); ++r)
+        alignedRows16_.push_back(
+            numeric::Cfp16Vector::preAlign(weights_.row(r)));
+    aligned16_ = true;
+}
+
+std::vector<double>
+CandidateClassifier::scores(std::span<const float> feature,
+                            std::span<const std::uint64_t> candidates,
+                            Datapath datapath) const
+{
+    std::vector<double> out;
+    out.reserve(candidates.size());
+
+    if (datapath == Datapath::Fp32) {
+        for (const std::uint64_t row : candidates) {
+            const numeric::MacResult mac =
+                numeric::NaiveFpMac::dot(weights_.row(row), feature);
+            out.push_back(mac.value);
+        }
+        return out;
+    }
+
+    if (datapath == Datapath::Cfp16AlignmentFree) {
+        ensureAligned16();
+        const numeric::Cfp16Vector aligned_feature =
+            numeric::Cfp16Vector::preAlign(feature);
+        for (const std::uint64_t row : candidates)
+            out.push_back(numeric::alignmentFreeDot16(
+                              alignedRows16_[row], aligned_feature)
+                              .value);
+        return out;
+    }
+
+    ensureAligned();
+    const numeric::Cfp32Vector aligned_feature =
+        numeric::Cfp32Vector::preAlign(feature);
+    for (const std::uint64_t row : candidates) {
+        const numeric::MacResult mac = numeric::AlignmentFreeMac::dot(
+            alignedRows_[row], aligned_feature);
+        out.push_back(mac.value);
+    }
+    return out;
+}
+
+ApproximateClassifier::ApproximateClassifier(
+    const numeric::FloatMatrix &weights, const BenchmarkSpec &spec,
+    std::uint64_t seed,
+    const numeric::FloatMatrix *trained_projection)
+    : weights_(weights),
+      screener_(weights, spec, seed, trained_projection),
+      classifier_(weights)
+{
+}
+
+ApproximateClassifier::Prediction
+ApproximateClassifier::predict(
+    std::span<const float> feature, std::size_t k, FilterMode mode,
+    CandidateClassifier::Datapath datapath) const
+{
+    Prediction prediction;
+    const std::vector<std::uint64_t> candidates =
+        screener_.screen(feature, mode);
+    prediction.candidateCount = candidates.size();
+
+    const std::vector<double> scores =
+        classifier_.scores(feature, candidates, datapath);
+    const std::vector<std::uint64_t> best =
+        topKIndices(std::span<const double>(scores), k);
+    for (const std::uint64_t local : best) {
+        prediction.topCategories.push_back(candidates[local]);
+        prediction.topScores.push_back(scores[local]);
+    }
+    return prediction;
+}
+
+ApproximateClassifier::Prediction
+ApproximateClassifier::exact(std::span<const float> feature,
+                             std::size_t k) const
+{
+    Prediction prediction;
+    std::vector<double> scores(weights_.rows());
+    for (std::size_t r = 0; r < weights_.rows(); ++r)
+        scores[r] = numeric::referenceDot(weights_.row(r), feature);
+    prediction.candidateCount = weights_.rows();
+    const std::vector<std::uint64_t> best =
+        topKIndices(std::span<const double>(scores), k);
+    for (const std::uint64_t row : best) {
+        prediction.topCategories.push_back(row);
+        prediction.topScores.push_back(scores[row]);
+    }
+    return prediction;
+}
+
+} // namespace xclass
+} // namespace ecssd

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The approximate screening algorithm for extreme classification
+ * (Section 2.1, Fig 2).
+ *
+ * Pipeline: project the L x D FP32 weight matrix to L x K (K = D/4),
+ * quantize to INT4; at inference time score all L categories with the
+ * INT4 screener, keep rows whose score clears a pre-trained
+ * threshold, and run full-precision classification only on those
+ * candidates.
+ */
+
+#ifndef ECSSD_XCLASS_SCREENING_HH
+#define ECSSD_XCLASS_SCREENING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/cfp16.hh"
+#include "numeric/cfp32.hh"
+#include "numeric/int4.hh"
+#include "numeric/mac.hh"
+#include "numeric/matrix.hh"
+#include "numeric/projection.hh"
+#include "xclass/workload.hh"
+
+namespace ecssd
+{
+namespace xclass
+{
+
+/** How candidates are selected from screener scores. */
+enum class FilterMode
+{
+    /** Fixed pre-trained threshold (the paper's Filter_threshold). */
+    Threshold,
+    /** Exact per-query top-ratio selection (idealized reference). */
+    TopRatio,
+};
+
+/** The low-precision approximate screener. */
+class Screener
+{
+  public:
+    /**
+     * Build the screener from full-precision weights.
+     *
+     * @param weights L x D FP32 weight matrix.
+     * @param spec Benchmark parameters (projection scale, ratio).
+     * @param seed Seed for the (random) projection.
+     * @param trained_projection Optional pre-trained K x D
+     *        projection (e.g. the weight manifold's basis); when
+     *        null a seeded random Gaussian projection is used.
+     */
+    Screener(const numeric::FloatMatrix &weights,
+             const BenchmarkSpec &spec, std::uint64_t seed,
+             const numeric::FloatMatrix *trained_projection =
+                 nullptr);
+
+    std::size_t categories() const { return screener_.rows(); }
+    std::uint32_t shrunkDim() const
+    {
+        return static_cast<std::uint32_t>(screener_.cols());
+    }
+
+    const numeric::Int4Matrix &weightsInt4() const
+    {
+        return screener_;
+    }
+
+    const numeric::Projector &projector() const { return projector_; }
+
+    /** Project + quantize one full-dimension feature. */
+    numeric::Int4Vector prepareFeature(
+        std::span<const float> feature) const;
+
+    /** Screener scores of every category for a prepared feature. */
+    std::vector<double> scores(
+        const numeric::Int4Vector &feature) const;
+
+    /**
+     * Calibrate the threshold on @p queries so that on average a
+     * candidateRatio fraction of categories clears it.
+     */
+    void calibrate(const std::vector<std::vector<float>> &queries);
+
+    double threshold() const { return threshold_; }
+    void setThreshold(double t) { threshold_ = t; }
+
+    /**
+     * Select candidate categories for one feature.
+     *
+     * @param feature Full-dimension FP32 feature.
+     * @param mode Threshold (deployed behaviour) or TopRatio.
+     * @return Sorted candidate category indices.
+     */
+    std::vector<std::uint64_t> screen(std::span<const float> feature,
+                                      FilterMode mode) const;
+
+    /** Hot-degree input of the interleaving framework: the L1 mass of
+     *  each INT4 screener row (Section 5.3). */
+    std::vector<double> rowAbsMasses() const;
+
+  private:
+    BenchmarkSpec spec_;
+    numeric::Projector projector_;
+    numeric::Int4Matrix screener_;
+    double threshold_ = 0.0;
+};
+
+/** FP32 classification restricted to screened candidates. */
+class CandidateClassifier
+{
+  public:
+    /** Which arithmetic the full-precision stage uses. */
+    enum class Datapath
+    {
+        /** IEEE binary32 reference. */
+        Fp32,
+        /** ECSSD's CFP32 + alignment-free integer MAC. */
+        Cfp32AlignmentFree,
+        /** Half-width CFP16 storage + alignment-free integer MAC
+         *  (this repo's extension). */
+        Cfp16AlignmentFree,
+    };
+
+    /**
+     * @param weights The L x D FP32 matrix (kept by reference; must
+     *        outlive the classifier).
+     */
+    explicit CandidateClassifier(const numeric::FloatMatrix &weights);
+
+    /**
+     * Score @p candidates against @p feature.
+     *
+     * @return Scores parallel to @p candidates.
+     */
+    std::vector<double> scores(
+        std::span<const float> feature,
+        std::span<const std::uint64_t> candidates,
+        Datapath datapath) const;
+
+  private:
+    const numeric::FloatMatrix &weights_;
+    // Per-row pre-aligned weights, built lazily on first
+    // alignment-free use (the offline Pre_align() of the weights).
+    mutable std::vector<numeric::Cfp32Vector> alignedRows_;
+    mutable bool aligned_ = false;
+    mutable std::vector<numeric::Cfp16Vector> alignedRows16_;
+    mutable bool aligned16_ = false;
+
+    void ensureAligned() const;
+    void ensureAligned16() const;
+};
+
+/** End-to-end approximate classifier: screen, then classify. */
+class ApproximateClassifier
+{
+  public:
+    /** Result of one query. */
+    struct Prediction
+    {
+        /** Top-k categories, most likely first. */
+        std::vector<std::uint64_t> topCategories;
+        std::vector<double> topScores;
+        /** Candidate count the screener produced. */
+        std::size_t candidateCount = 0;
+    };
+
+    ApproximateClassifier(const numeric::FloatMatrix &weights,
+                          const BenchmarkSpec &spec,
+                          std::uint64_t seed,
+                          const numeric::FloatMatrix
+                              *trained_projection = nullptr);
+
+    Screener &screener() { return screener_; }
+    const Screener &screener() const { return screener_; }
+
+    /** Run the full algorithm for one query. */
+    Prediction predict(
+        std::span<const float> feature, std::size_t k,
+        FilterMode mode = FilterMode::TopRatio,
+        CandidateClassifier::Datapath datapath =
+            CandidateClassifier::Datapath::Cfp32AlignmentFree) const;
+
+    /** Exact full-precision top-k over all L rows (the baseline). */
+    Prediction exact(std::span<const float> feature,
+                     std::size_t k) const;
+
+  private:
+    const numeric::FloatMatrix &weights_;
+    Screener screener_;
+    CandidateClassifier classifier_;
+};
+
+} // namespace xclass
+} // namespace ecssd
+
+#endif // ECSSD_XCLASS_SCREENING_HH

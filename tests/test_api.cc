@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Table 1 API tests: mode discipline, the full inference call
+ * sequence, and SSD-mode commands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecssd/api.hh"
+#include "sim/rng.hh"
+#include "xclass/metrics.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+struct ApiFixture
+{
+    ApiFixture()
+        : spec(makeSpec()), model(spec, 1)
+    {
+        options.ssd = ssdsim::smallTestConfig();
+        options.ssd.channels = 8;
+    }
+
+    static xclass::BenchmarkSpec
+    makeSpec()
+    {
+        xclass::BenchmarkSpec spec = xclass::scaledDown(
+            xclass::benchmarkByName("GNMT-E32K"), 512);
+        spec.hiddenDim = 128;
+        return spec;
+    }
+
+    EcssdOptions options;
+    xclass::BenchmarkSpec spec;
+    xclass::SyntheticModel model;
+};
+
+} // namespace
+
+TEST(EcssdApi, StartsInSsdMode)
+{
+    EcssdApi api;
+    EXPECT_EQ(api.mode(), Mode::Ssd);
+    api.ecssdEnable();
+    EXPECT_EQ(api.mode(), Mode::Accelerator);
+    api.ecssdDisable();
+    EXPECT_EQ(api.mode(), Mode::Ssd);
+}
+
+TEST(EcssdApi, AcceleratorCallsRequireAcceleratorMode)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    EXPECT_THROW(api.weightDeploy(f.model.weights(), f.spec),
+                 sim::FatalError);
+    std::vector<float> feature(f.spec.hiddenDim, 1.0f);
+    EXPECT_THROW(api.int4InputSend(feature), sim::FatalError);
+    EXPECT_THROW(api.int4Screen(), sim::FatalError);
+    EXPECT_THROW(api.cfp32Classify(), sim::FatalError);
+    EXPECT_THROW(api.getResults(5), sim::FatalError);
+}
+
+TEST(EcssdApi, ComputeCallsRequireDeployedWeights)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    std::vector<float> feature(f.spec.hiddenDim, 1.0f);
+    EXPECT_THROW(api.int4InputSend(feature), sim::FatalError);
+    EXPECT_THROW(api.filterThreshold(0.0), sim::FatalError);
+}
+
+TEST(EcssdApi, FullInferenceSequence)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    const sim::Tick deploy =
+        api.weightDeploy(f.model.weights(), f.spec);
+    EXPECT_GT(deploy, 0u);
+
+    sim::Rng rng(2);
+    std::vector<std::vector<float>> calibration;
+    for (int q = 0; q < 4; ++q)
+        calibration.push_back(f.model.sampleQuery(rng));
+    api.calibrateThreshold(calibration);
+
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    api.int4InputSend(query);
+    api.cfp32InputSend(query);
+    api.int4Screen();
+    EXPECT_GT(api.lastCandidateCount(), 0u);
+    EXPECT_LT(api.lastCandidateCount(), f.spec.categories);
+    api.cfp32Classify();
+    EXPECT_GT(api.lastInferenceLatency(), 0u);
+
+    const auto prediction = api.getResults(5);
+    EXPECT_EQ(prediction.topCategories.size(), 5u);
+    EXPECT_EQ(prediction.candidateCount,
+              api.lastCandidateCount());
+    // Scores are sorted descending.
+    for (std::size_t i = 1; i < prediction.topScores.size(); ++i)
+        EXPECT_GE(prediction.topScores[i - 1],
+                  prediction.topScores[i]);
+}
+
+TEST(EcssdApi, PredictionMatchesDirectClassifier)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+
+    sim::Rng rng(3);
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    api.int4InputSend(query);
+    api.cfp32InputSend(query);
+    api.filterThreshold(-1e30); // pass everything: exact top-k
+    api.int4Screen();
+    api.cfp32Classify();
+    const auto api_pred = api.getResults(3);
+
+    const xclass::ApproximateClassifier reference(
+        f.model.weights(), f.spec, f.options.seed);
+    const auto exact = reference.exact(query, 3);
+    EXPECT_GE(xclass::recall(exact.topCategories,
+                             api_pred.topCategories),
+              0.66);
+}
+
+TEST(EcssdApi, OutOfOrderCallsAreFatal)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+    EXPECT_THROW(api.int4Screen(), sim::FatalError);
+
+    sim::Rng rng(4);
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    api.int4InputSend(query);
+    EXPECT_THROW(api.cfp32Classify(), sim::FatalError);
+    api.cfp32InputSend(query);
+    EXPECT_THROW(api.getResults(1), sim::FatalError);
+}
+
+TEST(EcssdApi, SsdModeReadWrite)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    const sim::Tick wrote = api.ssdWrite(7);
+    EXPECT_GT(wrote, 0u);
+    const sim::Tick read = api.ssdRead(7);
+    EXPECT_GT(read, 0u);
+}
+
+TEST(EcssdApi, SsdCallsRequireSsdMode)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    EXPECT_THROW(api.ssdWrite(0), sim::FatalError);
+    EXPECT_THROW(api.ssdRead(0), sim::FatalError);
+}
+
+TEST(EcssdApi, PreAlignIsTheHostPrimitive)
+{
+    const std::vector<float> values{1.0f, 0.5f, -0.25f};
+    const numeric::Cfp32Vector aligned = EcssdApi::preAlign(values);
+    EXPECT_EQ(aligned.size(), 3u);
+    EXPECT_FLOAT_EQ(aligned.toFloat(0), 1.0f);
+}
+
+TEST(EcssdApi, DimensionMismatchPanics)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+    std::vector<float> wrong(f.spec.hiddenDim + 1, 1.0f);
+    EXPECT_THROW(api.int4InputSend(wrong), sim::PanicError);
+}

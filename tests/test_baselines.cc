@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Baseline architecture tests: the Fig 13 ordering invariants on a
+ * scaled-down large benchmark.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/baselines.hh"
+
+using namespace ecssd;
+using namespace ecssd::baselines;
+
+namespace
+{
+
+xclass::BenchmarkSpec
+spec()
+{
+    // Scaled-down S10M: keeps ratios, runs fast.
+    return xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 65536);
+}
+
+std::map<Architecture, double>
+runAll()
+{
+    static std::map<Architecture, double> cache;
+    if (!cache.empty())
+        return cache;
+    const xclass::BenchmarkSpec s = spec();
+    for (const Architecture arch : allBaselines())
+        cache[arch] = simulate(arch, s, 1).batchMs;
+    cache[Architecture::Ecssd] =
+        simulate(Architecture::Ecssd, s, 1).batchMs;
+    return cache;
+}
+
+} // namespace
+
+TEST(Baselines, EnumerationAndNames)
+{
+    EXPECT_EQ(allBaselines().size(), 8u);
+    EXPECT_EQ(toString(Architecture::CpuN), "CPU-N");
+    EXPECT_EQ(toString(Architecture::SmartSsdHAp),
+              "SmartSSD-H-AP");
+    EXPECT_EQ(toString(Architecture::Ecssd), "ECSSD");
+}
+
+TEST(Baselines, ScreeningFlagPerArchitecture)
+{
+    EXPECT_FALSE(usesScreening(Architecture::CpuN));
+    EXPECT_TRUE(usesScreening(Architecture::CpuAp));
+    EXPECT_FALSE(usesScreening(Architecture::GenStoreN));
+    EXPECT_TRUE(usesScreening(Architecture::GenStoreAp));
+    EXPECT_TRUE(usesScreening(Architecture::Ecssd));
+}
+
+TEST(Baselines, AllProducePositiveLatency)
+{
+    const auto results = runAll();
+    for (const auto &[arch, ms] : results)
+        EXPECT_GT(ms, 0.0) << toString(arch);
+}
+
+TEST(Baselines, EcssdWinsAgainstEveryBaseline)
+{
+    const auto results = runAll();
+    const double ecssd = results.at(Architecture::Ecssd);
+    for (const Architecture arch : allBaselines())
+        EXPECT_GT(results.at(arch), ecssd)
+            << toString(arch) << " should be slower than ECSSD";
+}
+
+TEST(Baselines, ScreeningVariantsBeatDenseOnes)
+{
+    const auto results = runAll();
+    EXPECT_LT(results.at(Architecture::CpuAp),
+              results.at(Architecture::CpuN));
+    EXPECT_LT(results.at(Architecture::GenStoreAp),
+              results.at(Architecture::GenStoreN));
+    EXPECT_LT(results.at(Architecture::SmartSsdAp),
+              results.at(Architecture::SmartSsdN));
+    EXPECT_LT(results.at(Architecture::SmartSsdHAp),
+              results.at(Architecture::SmartSsdHN));
+}
+
+TEST(Baselines, HigherSwitchBandwidthHelpsSmartSsd)
+{
+    const auto results = runAll();
+    EXPECT_LT(results.at(Architecture::SmartSsdHN),
+              results.at(Architecture::SmartSsdN));
+    EXPECT_LE(results.at(Architecture::SmartSsdHAp),
+              results.at(Architecture::SmartSsdAp));
+}
+
+TEST(Baselines, CpuNIsTheSlowestArchitecture)
+{
+    const auto results = runAll();
+    for (const Architecture arch : allBaselines()) {
+        if (arch == Architecture::CpuN)
+            continue;
+        EXPECT_LE(results.at(arch),
+                  results.at(Architecture::CpuN) * 1.05)
+            << toString(arch);
+    }
+}
+
+TEST(Baselines, SpeedupBandsAreInThePaperBallpark)
+{
+    // Fig 13 averages: 49.87x (CPU-N) down to 3.24x
+    // (SmartSSD-H-AP).  Shapes, not digits: the dense CPU gap must
+    // be tens-of-x, the best screened baseline a few x.
+    const auto results = runAll();
+    const double ecssd = results.at(Architecture::Ecssd);
+    const double cpu_n = results.at(Architecture::CpuN) / ecssd;
+    const double best_ap =
+        results.at(Architecture::SmartSsdHAp) / ecssd;
+    EXPECT_GT(cpu_n, 15.0);
+    EXPECT_LT(cpu_n, 120.0);
+    EXPECT_GT(best_ap, 1.5);
+    EXPECT_LT(best_ap, 12.0);
+}
+
+TEST(Baselines, CandidateRowsReported)
+{
+    const xclass::BenchmarkSpec s = spec();
+    const BaselineResult dense =
+        simulate(Architecture::GenStoreN, s, 1);
+    EXPECT_EQ(dense.candidateRows, s.categories);
+    const BaselineResult screened =
+        simulate(Architecture::CpuAp, s, 1);
+    EXPECT_NEAR(static_cast<double>(screened.candidateRows),
+                static_cast<double>(s.categories) * s.candidateRatio,
+                static_cast<double>(s.categories) * 0.02);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Circuit model tests: Table 4 totals, Fig 9 ratios, Section 3.3/4.2
+ * constants, and the roofline helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/accelerator_model.hh"
+#include "circuit/mac_circuit.hh"
+
+using namespace ecssd::circuit;
+
+TEST(MacCircuit, NaiveAlignmentShareMatchesPaper)
+{
+    // Section 4.2: alignment-related components are 37.7% of the
+    // naive FP MAC.
+    const CircuitBlock naive = naiveFp32Mac();
+    const double share = naive.areaFraction(
+        {"exponent_comparator_8b", "mantissa_shifter_24b"});
+    EXPECT_NEAR(share, 0.377, 0.005);
+}
+
+TEST(MacCircuit, AreaRatiosMatchFig9)
+{
+    const double naive = naiveFp32Mac().areaUm2();
+    const double skh = skHynixFp32Mac().areaUm2();
+    const double af = alignmentFreeFp32Mac().areaUm2();
+    EXPECT_NEAR(naive / af, 1.73, 0.02);
+    EXPECT_NEAR(skh / af, 1.38, 0.02);
+    EXPECT_LT(af, skh);
+    EXPECT_LT(skh, naive);
+}
+
+TEST(MacCircuit, PowerRatiosMatchFig9)
+{
+    const double naive = naiveFp32Mac().powerUw();
+    const double skh = skHynixFp32Mac().powerUw();
+    const double af = alignmentFreeFp32Mac().powerUw();
+    EXPECT_NEAR(naive / af, 1.53, 0.02);
+    EXPECT_NEAR(skh / af, 1.19, 0.02);
+}
+
+TEST(MacCircuit, ArrayScalesLinearly)
+{
+    const CircuitBlock mac = alignmentFreeFp32Mac();
+    const CircuitBlock array = macArray(mac, 64);
+    EXPECT_NEAR(array.areaUm2(), 64.0 * mac.areaUm2(), 1e-6);
+    EXPECT_NEAR(array.powerUw(), 64.0 * mac.powerUw(), 1e-6);
+}
+
+TEST(MacCircuit, PeakGflopsAt400Mhz)
+{
+    // 64 MACs x 2 ops x 400 MHz = 51.2 GFLOPS ("50 GFLOPS").
+    EXPECT_NEAR(peakGflops(64), 51.2, 1e-9);
+    EXPECT_NEAR(peakGflops(256), 204.8, 1e-9);
+}
+
+TEST(MacCircuit, MacsForGflopsInverts)
+{
+    EXPECT_EQ(macsForGflops(51.2), 64u);
+    EXPECT_EQ(macsForGflops(34.8), 44u);
+    EXPECT_GE(peakGflops(macsForGflops(34.8)), 34.8);
+}
+
+TEST(MacCircuit, NaiveAtIsoAreaLandsNear29Gflops)
+{
+    // Section 4.2: under the same area the naive circuit reaches
+    // only ~29.2 GFLOPS where alignment-free reaches ~50.
+    const double area =
+        macArray(alignmentFreeFp32Mac(), 64).areaMm2();
+    const unsigned naive_macs = macsInArea(naiveFp32Mac(), area);
+    const double naive_gflops = peakGflops(naive_macs);
+    EXPECT_NEAR(naive_gflops, 29.2, 1.5);
+    EXPECT_LT(naive_gflops, 34.8); // cannot feed the channels
+    EXPECT_GT(peakGflops(64), 34.8); // ours can
+}
+
+TEST(AcceleratorModel, Table4Totals)
+{
+    const AcceleratorEstimate est =
+        estimateAccelerator(AcceleratorConfig{});
+    EXPECT_NEAR(est.totalAreaMm2, 0.1836, 0.002);
+    EXPECT_NEAR(est.totalPowerMw, 52.93, 0.3);
+    EXPECT_TRUE(est.fitsBudget());
+}
+
+TEST(AcceleratorModel, Table4Breakdown)
+{
+    const AcceleratorEstimate est =
+        estimateAccelerator(AcceleratorConfig{});
+    ASSERT_EQ(est.rows.size(), 4u);
+    EXPECT_NEAR(est.rows[0].areaMm2, 0.139, 0.002);  // FP32 MAC
+    EXPECT_NEAR(est.rows[0].powerMw, 33.87, 0.2);
+    EXPECT_NEAR(est.rows[1].areaMm2, 0.044, 0.001);  // INT4 MAC
+    EXPECT_NEAR(est.rows[1].powerMw, 19.04, 0.2);
+    EXPECT_NEAR(est.rows[2].areaMm2, 0.0004, 0.0001);
+    EXPECT_NEAR(est.rows[3].areaMm2, 0.0002, 0.0001);
+}
+
+TEST(AcceleratorModel, Fp32ShareOfTotal)
+{
+    // Section 6.2: the FP32 array takes 75.7% of area, 63.9% of
+    // power.
+    const AcceleratorEstimate est =
+        estimateAccelerator(AcceleratorConfig{});
+    EXPECT_NEAR(est.rows[0].areaMm2 / est.totalAreaMm2, 0.757, 0.01);
+    EXPECT_NEAR(est.rows[0].powerMw / est.totalPowerMw, 0.639, 0.01);
+}
+
+TEST(AcceleratorModel, NaiveVariantExceedsIsoPerformanceBudget)
+{
+    // Section 6.2: iso-performance naive FP32 needs ~0.24 mm2, which
+    // busts the 0.21 mm2 budget.
+    AcceleratorConfig config;
+    config.fpKind = FpMacKind::Naive;
+    config.fp32Macs = macsForGflops(peakGflops(64));
+    const AcceleratorEstimate est = estimateAccelerator(config);
+    EXPECT_NEAR(est.rows[0].areaMm2, 0.24, 0.01);
+    EXPECT_FALSE(est.fitsBudget());
+}
+
+TEST(AcceleratorModel, PeakRatesExposed)
+{
+    const AcceleratorEstimate est =
+        estimateAccelerator(AcceleratorConfig{});
+    EXPECT_NEAR(est.fp32PeakGflops, 51.2, 1e-9);
+    EXPECT_NEAR(est.int4PeakGops, 204.8, 1e-9);
+}
+
+TEST(Roofline, MemoryBoundBelowRidge)
+{
+    // Peak 50 GFLOPS over 8 GB/s: ridge at 6.25 FLOP/byte.
+    const RooflinePoint p = roofline(50.0, 8.0, 1.0);
+    EXPECT_FALSE(p.computeBound);
+    EXPECT_NEAR(p.attainableGflops, 8.0, 1e-9);
+}
+
+TEST(Roofline, ComputeBoundAboveRidge)
+{
+    const RooflinePoint p = roofline(50.0, 8.0, 100.0);
+    EXPECT_TRUE(p.computeBound);
+    EXPECT_NEAR(p.attainableGflops, 50.0, 1e-9);
+}
+
+TEST(Roofline, BaselineIsComputeBoundOursIsNot)
+{
+    // Fig 1: the naive in-storage baseline (29.2 GFLOPS) is compute
+    // bound at the workload's intensity, while the alignment-free
+    // design (51.2) clears the memory roof.
+    const double intensity = 34.8 / 8.0; // needs 34.8 GFLOPS at 8 GB/s
+    const RooflinePoint a = roofline(29.2, 8.0, intensity);
+    const RooflinePoint b = roofline(51.2, 8.0, intensity);
+    EXPECT_TRUE(a.computeBound);
+    EXPECT_FALSE(b.computeBound);
+    EXPECT_GT(b.attainableGflops, a.attainableGflops);
+}
+
+TEST(CircuitBlock, AreaFractionOfMissingComponentIsZero)
+{
+    const CircuitBlock naive = naiveFp32Mac();
+    EXPECT_EQ(naive.areaFraction({"bogus"}), 0.0);
+}
+
+TEST(CircuitBlock, ToStringNames)
+{
+    EXPECT_EQ(toString(FpMacKind::Naive), "naive");
+    EXPECT_EQ(toString(FpMacKind::SkHynix), "skhynix");
+    EXPECT_EQ(toString(FpMacKind::AlignmentFree), "alignment_free");
+}

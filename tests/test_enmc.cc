@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ENMC baseline tests: capacity behaviour, rank parallelism, and the
+ * Section 7.3 relationship to ECSSD (faster peak, worse efficiency,
+ * capacity cliff).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hh"
+#include "baselines/enmc.hh"
+
+using namespace ecssd;
+using namespace ecssd::baselines;
+
+namespace
+{
+
+xclass::BenchmarkSpec
+spec(std::uint64_t categories = 10000000)
+{
+    return xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), categories);
+}
+
+} // namespace
+
+TEST(Enmc, ProducesPositiveLatency)
+{
+    const EnmcResult r = simulateEnmc(spec(), 2);
+    EXPECT_GT(r.batchMs, 0.0);
+    EXPECT_GT(r.effectiveGflops, 0.0);
+    EXPECT_TRUE(r.fitsInDram); // S10M = 40 GB FP32 << 512 GB
+}
+
+TEST(Enmc, BeatsSingleEcssdOnLatencyWhenModelFits)
+{
+    // Section 7.3: ENMC's 800 GFLOPS / 1.2 TB/s aggregate DRAM
+    // bandwidth outruns one 8-channel SSD...
+    const xclass::BenchmarkSpec s = spec(2000000);
+    const EnmcResult enmc = simulateEnmc(s, 1);
+    const BaselineResult ecssd =
+        simulate(Architecture::Ecssd, s, 1);
+    EXPECT_LT(enmc.batchMs, ecssd.batchMs);
+}
+
+TEST(Enmc, WorseEnergyEfficiencyThanEcssdClaim)
+{
+    // ...but at ~3.8 GFLOPS/W it is less efficient than ECSSD's
+    // 4.55 (the paper's headline for Section 7.3).
+    const EnmcResult r = simulateEnmc(spec(), 2);
+    EXPECT_LT(r.gflopsPerWatt, 4.55);
+}
+
+TEST(Enmc, CapacityCliffWhenModelOutgrowsDram)
+{
+    // A 200M-category layer (800 GB FP32) exceeds the 512 GB pool:
+    // the overflow streams from storage and latency collapses.
+    xclass::BenchmarkSpec huge =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    huge.categories = 200000000;
+
+    const EnmcResult fits = simulateEnmc(spec(100000000), 1);
+    const EnmcResult spills = simulateEnmc(huge, 1);
+    EXPECT_TRUE(fits.fitsInDram);
+    EXPECT_FALSE(spills.fitsInDram);
+    // Latency per category is far worse once streaming kicks in.
+    const double fits_per_cat = fits.batchMs / 100000000.0;
+    const double spills_per_cat = spills.batchMs / 200000000.0;
+    EXPECT_GT(spills_per_cat, fits_per_cat * 3.0);
+}
+
+TEST(Enmc, MoreRanksReduceLatency)
+{
+    EnmcConfig few;
+    few.ranks = 16;
+    few.peakGflops = 200.0;
+    few.peakInt4Gops = 800.0;
+    EnmcConfig many; // default 64 ranks
+    const xclass::BenchmarkSpec s = spec(2000000);
+    const double t_few = simulateEnmc(s, 1, 1, few).batchMs;
+    const double t_many = simulateEnmc(s, 1, 1, many).batchMs;
+    EXPECT_LT(t_many, t_few);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests of the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace ecssd::sim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_EQ(queue.pendingEvents(), 0u);
+    EXPECT_EQ(queue.firedEvents(), 0u);
+}
+
+TEST(EventQueue, FiresEventsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    queue.schedule(30, [&] { fired.push_back(3); });
+    queue.schedule(10, [&] { fired.push_back(1); });
+    queue.schedule(20, [&] { fired.push_back(2); });
+    queue.run();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsFireInInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    for (int i = 0; i < 8; ++i)
+        queue.schedule(5, [&fired, i] { fired.push_back(i); });
+    queue.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    Tick seen = 0;
+    queue.schedule(100, [&] {
+        queue.scheduleAfter(50, [&] { seen = queue.now(); });
+    });
+    queue.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue queue;
+    queue.schedule(100, [] {});
+    queue.run();
+    EXPECT_THROW(queue.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, NullActionPanics)
+{
+    EventQueue queue;
+    EXPECT_THROW(queue.schedule(10, EventAction{}), PanicError);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue queue;
+    bool fired = false;
+    const auto id = queue.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(queue.cancel(id));
+    queue.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(queue.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue queue;
+    const auto id = queue.schedule(10, [] {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));
+    queue.run();
+}
+
+TEST(EventQueue, CancelAfterFiringFails)
+{
+    EventQueue queue;
+    const auto id = queue.schedule(10, [] {});
+    queue.run();
+    EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelBogusIdFails)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.cancel(0));
+    EXPECT_FALSE(queue.cancel(12345));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule(10, [&] { ++count; });
+    queue.schedule(20, [&] { ++count; });
+    queue.schedule(30, [&] { ++count; });
+    queue.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(queue.now(), 20u);
+    EXPECT_EQ(queue.pendingEvents(), 1u);
+    queue.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilOnDrainedQueueKeepsLastEventTime)
+{
+    EventQueue queue;
+    queue.schedule(10, [] {});
+    queue.runUntil(100);
+    EXPECT_EQ(queue.now(), 10u);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.schedule(1, [&] { ++count; });
+    queue.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            queue.scheduleAfter(1, chain);
+    };
+    queue.schedule(0, chain);
+    queue.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(queue.now(), 9u);
+    EXPECT_EQ(queue.firedEvents(), 10u);
+}
+
+TEST(EventQueue, PendingCountTracksScheduleAndFire)
+{
+    EventQueue queue;
+    queue.schedule(1, [] {});
+    queue.schedule(2, [] {});
+    EXPECT_EQ(queue.pendingEvents(), 2u);
+    queue.step();
+    EXPECT_EQ(queue.pendingEvents(), 1u);
+    queue.run();
+    EXPECT_EQ(queue.pendingEvents(), 0u);
+}

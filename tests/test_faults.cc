@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fault-injection tests: read retries slow reads down without
+ * breaking correctness; erase failures grow the bad-block list
+ * while the FTL keeps serving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecssd/system.hh"
+#include "ssdsim/flash.hh"
+#include "ssdsim/ftl.hh"
+
+using namespace ecssd;
+using namespace ecssd::ssdsim;
+
+TEST(Faults, ReadRetriesAreCountedAndCostTime)
+{
+    SsdConfig clean = smallTestConfig();
+    SsdConfig faulty = clean;
+    faulty.readRetryRate = 0.5;
+
+    FlashArray good(clean);
+    FlashArray bad(faulty);
+    sim::Tick good_done = 0, bad_done = 0;
+    for (unsigned p = 0; p < 64; ++p) {
+        const PhysicalPage ppa{0, 0, 0, 0, p % clean.pagesPerBlock};
+        good_done = std::max(good_done, good.readPage(ppa, 0));
+        bad_done = std::max(bad_done, bad.readPage(ppa, 0));
+    }
+    EXPECT_EQ(good.channelStats(0).readRetries, 0u);
+    EXPECT_GT(bad.channelStats(0).readRetries, 10u);
+    EXPECT_LT(bad.channelStats(0).readRetries, 64u);
+    EXPECT_GT(bad_done, good_done);
+}
+
+TEST(Faults, RetryRateZeroIsDeterministicBaseline)
+{
+    const SsdConfig c = smallTestConfig();
+    FlashArray a(c), b(c);
+    const PhysicalPage ppa{1, 0, 0, 2, 3};
+    EXPECT_EQ(a.readPage(ppa, 0), b.readPage(ppa, 0));
+}
+
+TEST(Faults, EraseFailuresRetireBlocks)
+{
+    SsdConfig config = smallTestConfig();
+    config.eraseFailureRate = 0.02; // realistic wear-out rate
+    FlashArray flash(config);
+    Ftl ftl(config, flash);
+
+    // Churn hard enough to force many GC erases.
+    sim::Tick now = 0;
+    for (int round = 0; round < 4000; ++round)
+        now = ftl.write(round % 8, now);
+    EXPECT_GT(ftl.stats().badBlocks, 0u);
+    // Despite retirements, the mapping stays intact.
+    for (LogicalPage lpa = 0; lpa < 8; ++lpa)
+        EXPECT_TRUE(ftl.translate(lpa).has_value());
+}
+
+TEST(Faults, TotalWearOutIsAFatalUserCondition)
+{
+    SsdConfig config = smallTestConfig();
+    config.eraseFailureRate = 0.6; // pathological: blocks die fast
+    FlashArray flash(config);
+    Ftl ftl(config, flash);
+    sim::Tick now = 0;
+    EXPECT_THROW(
+        {
+            for (int round = 0; round < 100000; ++round)
+                now = ftl.write(round % 8, now);
+        },
+        sim::FatalError);
+    EXPECT_GT(ftl.stats().badBlocks, 5u);
+}
+
+TEST(Faults, NoFailuresMeansNoBadBlocks)
+{
+    SsdConfig config = smallTestConfig();
+    FlashArray flash(config);
+    Ftl ftl(config, flash);
+    sim::Tick now = 0;
+    for (int round = 0; round < 1000; ++round)
+        now = ftl.write(round % 8, now);
+    EXPECT_EQ(ftl.stats().badBlocks, 0u);
+}
+
+TEST(Faults, RetriesDegradeInferenceGracefully)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 16384);
+    EcssdOptions clean = EcssdOptions::full();
+    EcssdOptions worn = EcssdOptions::full();
+    worn.ssd.readRetryRate = 0.2;
+
+    const double clean_ms =
+        EcssdSystem(spec, clean).runInference(1).meanBatchMs();
+    const double worn_ms =
+        EcssdSystem(spec, worn).runInference(1).meanBatchMs();
+    EXPECT_GT(worn_ms, clean_ms);
+    // 20% retries at tR/transfer ~ 12 cost well under 2x.
+    EXPECT_LT(worn_ms, clean_ms * 2.0);
+}

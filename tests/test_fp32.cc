@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-level IEEE-754 utility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "numeric/fp32.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd::numeric;
+
+TEST(Fp32, DecomposeOne)
+{
+    const Fp32Fields f = decompose(1.0f);
+    EXPECT_EQ(f.sign, 0u);
+    EXPECT_EQ(f.exponent, 127u);
+    EXPECT_EQ(f.fraction, 0u);
+}
+
+TEST(Fp32, DecomposeMinusTwo)
+{
+    const Fp32Fields f = decompose(-2.0f);
+    EXPECT_EQ(f.sign, 1u);
+    EXPECT_EQ(f.exponent, 128u);
+    EXPECT_EQ(f.fraction, 0u);
+}
+
+TEST(Fp32, DecomposeFraction)
+{
+    const Fp32Fields f = decompose(0.75f); // 1.5 * 2^-1
+    EXPECT_EQ(f.exponent, 126u);
+    EXPECT_EQ(f.fraction, 1u << 22);
+}
+
+TEST(Fp32, ComposeRoundTripsRandomValues)
+{
+    ecssd::sim::Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const float v = static_cast<float>(
+            rng.gaussian(0.0, 100.0));
+        EXPECT_EQ(compose(decompose(v)), v);
+    }
+}
+
+TEST(Fp32, ComposeRoundTripsNegativeZero)
+{
+    const float nz = -0.0f;
+    EXPECT_EQ(floatToBits(compose(decompose(nz))),
+              floatToBits(nz));
+}
+
+TEST(Fp32, Significand24HasHiddenOne)
+{
+    EXPECT_EQ(significand24(decompose(1.0f)), 1u << 23);
+    EXPECT_EQ(significand24(decompose(1.5f)),
+              (1u << 23) | (1u << 22));
+}
+
+TEST(Fp32, Significand24FlushesZeroAndSubnormal)
+{
+    EXPECT_EQ(significand24(decompose(0.0f)), 0u);
+    const float subnormal = std::numeric_limits<float>::denorm_min();
+    EXPECT_EQ(significand24(decompose(subnormal)), 0u);
+}
+
+TEST(Fp32, ZeroAndSubnormalDetection)
+{
+    EXPECT_TRUE(isZeroOrSubnormal(0.0f));
+    EXPECT_TRUE(isZeroOrSubnormal(-0.0f));
+    EXPECT_TRUE(
+        isZeroOrSubnormal(std::numeric_limits<float>::denorm_min()));
+    EXPECT_FALSE(isZeroOrSubnormal(1.0e-30f));
+    EXPECT_FALSE(isZeroOrSubnormal(1.0f));
+}
+
+TEST(Fp32, NanInfDetection)
+{
+    EXPECT_TRUE(isNanOrInf(std::numeric_limits<float>::infinity()));
+    EXPECT_TRUE(isNanOrInf(-std::numeric_limits<float>::infinity()));
+    EXPECT_TRUE(isNanOrInf(std::numeric_limits<float>::quiet_NaN()));
+    EXPECT_FALSE(isNanOrInf(std::numeric_limits<float>::max()));
+    EXPECT_FALSE(isNanOrInf(0.0f));
+}
+
+TEST(Fp32, SignificandReconstructsValue)
+{
+    // value = m24 * 2^(E - bias - 23) must hold for normal floats.
+    ecssd::sim::Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const float v =
+            static_cast<float>(rng.uniform(0.001, 1000.0));
+        const Fp32Fields f = decompose(v);
+        const double reconstructed = std::ldexp(
+            static_cast<double>(significand24(f)),
+            static_cast<int>(f.exponent) - fp32ExponentBias
+                - fp32MantissaBits);
+        EXPECT_FLOAT_EQ(static_cast<float>(reconstructed), v);
+    }
+}

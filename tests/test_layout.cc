@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Layout strategy tests: placement invariants and the balance
+ * ordering sequential < uniform < learning on skewed access sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "layout/strategy.hh"
+#include "sim/logging.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+using namespace ecssd::layout;
+
+TEST(SequentialLayout, ContiguousRunsPerChannel)
+{
+    const SequentialLayout strat(80, 8);
+    EXPECT_EQ(strat.channelOf(0), 0u);
+    EXPECT_EQ(strat.channelOf(9), 0u);
+    EXPECT_EQ(strat.channelOf(10), 1u);
+    EXPECT_EQ(strat.channelOf(79), 7u);
+    EXPECT_EQ(strat.kind(), LayoutKind::Sequential);
+}
+
+TEST(SequentialLayout, UnevenDivisionClampsLastChannel)
+{
+    const SequentialLayout strat(10, 8);
+    for (std::uint64_t r = 0; r < 10; ++r)
+        EXPECT_LT(strat.channelOf(r), 8u);
+    EXPECT_EQ(strat.channelOf(9), 4u); // ceil(10/8)=2 rows/channel
+}
+
+TEST(UniformLayout, RoundRobinStripes)
+{
+    const UniformLayout strat(64, 8);
+    for (std::uint64_t r = 0; r < 64; ++r)
+        EXPECT_EQ(strat.channelOf(r), r % 8);
+}
+
+TEST(LayoutStrategy, OutOfRangePanics)
+{
+    const UniformLayout strat(10, 4);
+    EXPECT_THROW(strat.channelOf(10), sim::PanicError);
+    const SequentialLayout seq(10, 4);
+    EXPECT_THROW(seq.channelOf(10), sim::PanicError);
+}
+
+TEST(LearningLayout, GreedyBalancesHotMass)
+{
+    // One very hot row per 8 plus uniform tail: greedy must spread
+    // the hot rows one per channel.
+    std::vector<double> hotness(64, 1.0);
+    for (int i = 0; i < 8; ++i)
+        hotness[static_cast<std::size_t>(i)] = 100.0;
+    const auto strat =
+        LearningAdaptiveLayout::build(hotness, 8);
+    std::set<unsigned> hot_channels;
+    for (std::uint64_t r = 0; r < 8; ++r)
+        hot_channels.insert(strat->channelOf(r));
+    EXPECT_EQ(hot_channels.size(), 8u);
+}
+
+TEST(LearningLayout, GreedyMassBalanceIsTight)
+{
+    sim::Rng rng(1);
+    std::vector<double> hotness(4096);
+    for (double &h : hotness)
+        h = std::exp(rng.gaussian(0.0, 2.0));
+    const auto strat =
+        LearningAdaptiveLayout::build(hotness, 8);
+    std::vector<double> mass(8, 0.0);
+    for (std::size_t r = 0; r < hotness.size(); ++r)
+        mass[strat->channelOf(r)] += hotness[r];
+    const double total =
+        std::accumulate(mass.begin(), mass.end(), 0.0);
+    for (const double m : mass)
+        EXPECT_NEAR(m, total / 8.0, total / 8.0 * 0.02);
+}
+
+TEST(LearningLayout, StreamingBuilderCoversAllChannels)
+{
+    const auto strat = LearningAdaptiveLayout::buildStreaming(
+        10000,
+        [](std::uint64_t row) {
+            return 1.0 / static_cast<double>(row + 1);
+        },
+        8);
+    std::vector<std::uint64_t> counts(8, 0);
+    for (std::uint64_t r = 0; r < 10000; ++r)
+        ++counts[strat->channelOf(r)];
+    for (const std::uint64_t c : counts)
+        EXPECT_NEAR(static_cast<double>(c), 1250.0, 200.0);
+}
+
+TEST(LearningLayout, StreamingSpreadsTheHotHead)
+{
+    // The hottest `grades`-quantile rows must round-robin across
+    // channels: consecutive hot rows land on different channels.
+    const auto strat = LearningAdaptiveLayout::buildStreaming(
+        8000,
+        [](std::uint64_t row) {
+            return row < 1000 ? 100.0 : 1.0;
+        },
+        8);
+    std::vector<std::uint64_t> head_counts(8, 0);
+    for (std::uint64_t r = 0; r < 1000; ++r)
+        ++head_counts[strat->channelOf(r)];
+    for (const std::uint64_t c : head_counts)
+        EXPECT_NEAR(static_cast<double>(c), 125.0, 5.0);
+}
+
+TEST(MakeLayout, DispatchesAllKinds)
+{
+    EXPECT_EQ(makeLayout(LayoutKind::Sequential, 100, 8)->kind(),
+              LayoutKind::Sequential);
+    EXPECT_EQ(makeLayout(LayoutKind::Uniform, 100, 8)->kind(),
+              LayoutKind::Uniform);
+    const auto learning = makeLayout(
+        LayoutKind::LearningAdaptive, 100, 8,
+        [](std::uint64_t) { return 1.0; });
+    EXPECT_EQ(learning->kind(), LayoutKind::LearningAdaptive);
+}
+
+TEST(MakeLayout, LearningWithoutOracleIsAnError)
+{
+    EXPECT_THROW(
+        makeLayout(LayoutKind::LearningAdaptive, 100, 8),
+        sim::PanicError);
+}
+
+TEST(AccessPattern, CountsPerChannel)
+{
+    const UniformLayout strat(32, 4);
+    const std::vector<std::uint64_t> candidates{0, 1, 4, 5, 8};
+    const std::vector<std::uint64_t> pattern =
+        channelAccessPattern(candidates, strat);
+    ASSERT_EQ(pattern.size(), 4u);
+    EXPECT_EQ(pattern[0], 3u);
+    EXPECT_EQ(pattern[1], 2u);
+    EXPECT_EQ(pattern[2], 0u);
+}
+
+TEST(AccessPattern, BalanceMetricEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(accessBalance(std::vector<std::uint64_t>{}),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        accessBalance(std::vector<std::uint64_t>{0, 0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        accessBalance(std::vector<std::uint64_t>{4, 4, 4, 4}), 1.0);
+    EXPECT_NEAR(
+        accessBalance(std::vector<std::uint64_t>{8, 0, 0, 0}), 0.25,
+        1e-12);
+}
+
+TEST(AccessPattern, BalanceOrderingOnSkewedCandidates)
+{
+    // Fig 11/12's qualitative result: learning > uniform >>
+    // sequential on popularity-skewed candidate sets.
+    using namespace ecssd::xclass;
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 65536);
+    CandidateTrace trace(spec, 42);
+
+    const SequentialLayout seq(spec.categories, 8);
+    const UniformLayout uni(spec.categories, 8);
+    const auto learn = LearningAdaptiveLayout::buildStreaming(
+        spec.categories,
+        [&trace](std::uint64_t row) { return trace.hotness(row); },
+        8);
+
+    double seq_balance = 0.0, uni_balance = 0.0,
+           learn_balance = 0.0;
+    const int batches = 5;
+    for (int b = 0; b < batches; ++b) {
+        const std::vector<std::uint64_t> candidates =
+            trace.drawCandidates();
+        seq_balance +=
+            accessBalance(channelAccessPattern(candidates, seq));
+        uni_balance +=
+            accessBalance(channelAccessPattern(candidates, uni));
+        learn_balance +=
+            accessBalance(channelAccessPattern(candidates, *learn));
+    }
+    EXPECT_GT(uni_balance, seq_balance);
+    EXPECT_GE(learn_balance, uni_balance * 0.98);
+    EXPECT_GT(learn_balance / batches, 0.9);
+}
+
+TEST(PageOfRow, RespectsStrategyChannelAndGeometry)
+{
+    const ssdsim::SsdConfig config = ssdsim::smallTestConfig();
+    const UniformLayout strat(1024, config.channels);
+    for (std::uint64_t row = 0; row < 256; ++row) {
+        const ssdsim::PhysicalPage ppa =
+            pageOfRow(strat, config, row);
+        EXPECT_EQ(ppa.channel, strat.channelOf(row));
+        EXPECT_LT(ppa.die, config.diesPerChannel);
+        EXPECT_LT(ppa.plane, config.planesPerDie);
+        EXPECT_LT(ppa.block, config.blocksPerPlane);
+        EXPECT_LT(ppa.page, config.pagesPerBlock);
+    }
+}
+
+TEST(PageOfRow, SpreadsRowsAcrossDies)
+{
+    const ssdsim::SsdConfig config; // 8 dies/channel
+    const UniformLayout strat(8192, config.channels);
+    std::set<unsigned> dies;
+    for (std::uint64_t row = 0; row < 128; ++row)
+        dies.insert(pageOfRow(strat, config, row * 8).die);
+    EXPECT_GE(dies.size(), config.diesPerChannel / 2);
+}
+
+TEST(LayoutKind, Names)
+{
+    EXPECT_EQ(toString(LayoutKind::Sequential), "sequential");
+    EXPECT_EQ(toString(LayoutKind::Uniform), "uniform");
+    EXPECT_EQ(toString(LayoutKind::LearningAdaptive),
+              "learning_adaptive");
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests of the three MAC datapath models: numeric accuracy against a
+ * double-precision reference and micro-operation accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "numeric/mac.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd::numeric;
+
+namespace
+{
+
+std::pair<std::vector<float>, std::vector<float>>
+randomVectors(std::size_t n, std::uint64_t seed, double scale = 1.0)
+{
+    ecssd::sim::Rng rng(seed);
+    std::vector<float> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<float>(rng.gaussian(0.0, scale));
+        b[i] = static_cast<float>(rng.gaussian(0.0, scale));
+    }
+    return {a, b};
+}
+
+} // namespace
+
+TEST(NaiveFpMac, EmptyDotIsZero)
+{
+    const MacResult r = NaiveFpMac::dot({}, {});
+    EXPECT_EQ(r.value, 0.0);
+    EXPECT_EQ(r.ops.mantissaMultiplies, 0u);
+}
+
+TEST(NaiveFpMac, SingleElement)
+{
+    const std::vector<float> a{3.0f}, b{4.0f};
+    const MacResult r = NaiveFpMac::dot(a, b);
+    EXPECT_DOUBLE_EQ(r.value, 12.0);
+    EXPECT_EQ(r.ops.mantissaMultiplies, 1u);
+    EXPECT_EQ(r.ops.mantissaAdds, 0u);
+}
+
+TEST(NaiveFpMac, MatchesReferenceClosely)
+{
+    const auto [a, b] = randomVectors(1024, 10);
+    const double reference = referenceDot(a, b);
+    const MacResult r = NaiveFpMac::dot(a, b);
+    EXPECT_NEAR(r.value, reference,
+                1e-3 * std::max(1.0, std::fabs(reference)));
+}
+
+TEST(NaiveFpMac, OpCountsScaleWithLength)
+{
+    const auto [a, b] = randomVectors(256, 11);
+    const MacResult r = NaiveFpMac::dot(a, b);
+    EXPECT_EQ(r.ops.mantissaMultiplies, 256u);
+    EXPECT_EQ(r.ops.exponentAdds, 256u);
+    // A pairwise tree over n values does n-1 adds, each with one
+    // compare, one shift, and one normalize.
+    EXPECT_EQ(r.ops.mantissaAdds, 255u);
+    EXPECT_EQ(r.ops.exponentCompares, 255u);
+    EXPECT_EQ(r.ops.mantissaShifts, 255u);
+}
+
+TEST(SkHynixMac, MatchesReferenceClosely)
+{
+    const auto [a, b] = randomVectors(1024, 12);
+    const double reference = referenceDot(a, b);
+    const MacResult r = SkHynixMac::dot(a, b);
+    EXPECT_NEAR(r.value, reference,
+                1e-3 * std::max(1.0, std::fabs(reference)));
+}
+
+TEST(SkHynixMac, SingleNormalizationPerDot)
+{
+    const auto [a, b] = randomVectors(64, 13);
+    const MacResult r = SkHynixMac::dot(a, b);
+    EXPECT_EQ(r.ops.normalizations, 1u);
+    EXPECT_EQ(r.ops.mantissaShifts, 64u);
+}
+
+TEST(SkHynixMac, HandlesZeros)
+{
+    const std::vector<float> a{0.0f, 2.0f, 0.0f};
+    const std::vector<float> b{5.0f, 3.0f, 7.0f};
+    const MacResult r = SkHynixMac::dot(a, b);
+    EXPECT_DOUBLE_EQ(r.value, 6.0);
+}
+
+TEST(AlignmentFreeMac, ExactOnAlignedInputs)
+{
+    // Values sharing one exponent pre-align losslessly, so the
+    // integer datapath is exact.
+    const std::vector<float> a{1.5f, 1.25f, 1.75f, 1.0f};
+    const std::vector<float> b{1.0f, 1.5f, 1.25f, 1.875f};
+    const Cfp32Vector ca = Cfp32Vector::preAlign(a);
+    const Cfp32Vector cb = Cfp32Vector::preAlign(b);
+    const MacResult r = AlignmentFreeMac::dot(ca, cb);
+    EXPECT_DOUBLE_EQ(r.value, referenceDot(a, b));
+}
+
+TEST(AlignmentFreeMac, MatchesReferenceOnModelData)
+{
+    // Gaussian data: the no-accuracy-drop claim of Section 4.2.
+    const auto [a, b] = randomVectors(1024, 14, 0.05);
+    const Cfp32Vector ca = Cfp32Vector::preAlign(a);
+    const Cfp32Vector cb = Cfp32Vector::preAlign(b);
+    const double reference = referenceDot(a, b);
+    const MacResult r = AlignmentFreeMac::dot(ca, cb);
+    EXPECT_NEAR(r.value, reference,
+                1e-4 * std::max(1.0, std::fabs(reference)));
+}
+
+TEST(AlignmentFreeMac, NoAlignmentOps)
+{
+    const auto [a, b] = randomVectors(128, 15);
+    const MacResult r = AlignmentFreeMac::dot(
+        Cfp32Vector::preAlign(a), Cfp32Vector::preAlign(b));
+    EXPECT_EQ(r.ops.exponentCompares, 0u);
+    EXPECT_EQ(r.ops.mantissaShifts, 0u);
+    EXPECT_EQ(r.ops.alignmentOps(), 0u);
+    EXPECT_EQ(r.ops.mantissaMultiplies, 128u);
+    EXPECT_EQ(r.ops.normalizations, 1u);
+}
+
+TEST(AlignmentFreeMac, NegativeAccumulation)
+{
+    const std::vector<float> a{1.0f, -1.0f, 2.0f};
+    const std::vector<float> b{3.0f, 3.0f, -1.5f};
+    const MacResult r = AlignmentFreeMac::dot(
+        Cfp32Vector::preAlign(a), Cfp32Vector::preAlign(b));
+    EXPECT_DOUBLE_EQ(r.value, -3.0);
+}
+
+TEST(AlignmentFreeMac, EmptyIsZero)
+{
+    const MacResult r = AlignmentFreeMac::dot(Cfp32Vector{},
+                                              Cfp32Vector{});
+    EXPECT_EQ(r.value, 0.0);
+}
+
+TEST(MacOpCounts, Accumulate)
+{
+    MacOpCounts a;
+    a.mantissaMultiplies = 3;
+    a.mantissaShifts = 2;
+    MacOpCounts b;
+    b.mantissaMultiplies = 4;
+    b.exponentCompares = 5;
+    a += b;
+    EXPECT_EQ(a.mantissaMultiplies, 7u);
+    EXPECT_EQ(a.mantissaShifts, 2u);
+    EXPECT_EQ(a.alignmentOps(), 7u);
+}
+
+/** Accuracy sweep across vector lengths and magnitudes. */
+class MacAccuracySweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(MacAccuracySweep, AllDatapathsTrackReference)
+{
+    const auto [length, scale] = GetParam();
+    const auto [a, b] =
+        randomVectors(static_cast<std::size_t>(length),
+                      static_cast<std::uint64_t>(length) * 7 + 1,
+                      scale);
+    const double reference = referenceDot(a, b);
+    const double tolerance =
+        2e-3 * std::max(1.0, std::fabs(reference))
+        + 1e-6 * scale * scale * length;
+
+    EXPECT_NEAR(NaiveFpMac::dot(a, b).value, reference, tolerance);
+    EXPECT_NEAR(SkHynixMac::dot(a, b).value, reference, tolerance);
+    EXPECT_NEAR(AlignmentFreeMac::dot(Cfp32Vector::preAlign(a),
+                                      Cfp32Vector::preAlign(b))
+                    .value,
+                reference, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndScales, MacAccuracySweep,
+    ::testing::Combine(::testing::Values(1, 2, 7, 64, 255, 1024,
+                                         1500),
+                       ::testing::Values(0.01, 1.0, 100.0)));

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Random-projection tests: shape, determinism, and inner-product
+ * preservation (the property screening relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/mac.hh"
+#include "numeric/projection.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd::numeric;
+
+TEST(Projector, ShapeIsKxD)
+{
+    const Projector p(64, 16, 1);
+    EXPECT_EQ(p.fullDim(), 64u);
+    EXPECT_EQ(p.shrunkDim(), 16u);
+}
+
+TEST(Projector, RejectsExpansion)
+{
+    EXPECT_THROW(Projector(16, 32, 1), ecssd::sim::PanicError);
+    EXPECT_THROW(Projector(16, 0, 1), ecssd::sim::PanicError);
+}
+
+TEST(Projector, DeterministicForSeed)
+{
+    const Projector a(32, 8, 99);
+    const Projector b(32, 8, 99);
+    std::vector<float> v(32, 1.0f);
+    EXPECT_EQ(a.project(v), b.project(v));
+}
+
+TEST(Projector, DifferentSeedsDiffer)
+{
+    const Projector a(32, 8, 1);
+    const Projector b(32, 8, 2);
+    std::vector<float> v(32, 1.0f);
+    EXPECT_NE(a.project(v), b.project(v));
+}
+
+TEST(Projector, ProjectionIsLinear)
+{
+    const Projector p(32, 8, 5);
+    ecssd::sim::Rng rng(6);
+    std::vector<float> x(32), y(32), sum(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        x[i] = static_cast<float>(rng.gaussian());
+        y[i] = static_cast<float>(rng.gaussian());
+        sum[i] = x[i] + y[i];
+    }
+    const std::vector<float> px = p.project(x);
+    const std::vector<float> py = p.project(y);
+    const std::vector<float> psum = p.project(sum);
+    for (std::size_t k = 0; k < 8; ++k)
+        EXPECT_NEAR(psum[k], px[k] + py[k], 1e-4f);
+}
+
+TEST(Projector, PreservesInnerProductsOnAverage)
+{
+    // E[<Px, Pw>] = <x, w>: check across many pairs the average
+    // relative deviation is small and the correlation strong.
+    const std::size_t d = 256, k = 64;
+    const Projector p(d, k, 7);
+    ecssd::sim::Rng rng(8);
+
+    double num = 0.0, den_x = 0.0, den_y = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<float> x(d), w(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            x[i] = static_cast<float>(rng.gaussian());
+            w[i] = static_cast<float>(rng.gaussian());
+        }
+        const double true_dot = referenceDot(x, w);
+        const double proj_dot =
+            referenceDot(p.project(x), p.project(w));
+        num += true_dot * proj_dot;
+        den_x += true_dot * true_dot;
+        den_y += proj_dot * proj_dot;
+    }
+    // For independent Gaussian pairs the JL estimator's noise floor
+    // is |x||w|/sqrt(K), so the correlation is ~1/sqrt(1 + D/K).
+    const double correlation = num / std::sqrt(den_x * den_y);
+    EXPECT_GT(correlation, 0.4);
+}
+
+TEST(Projector, PreservesLargeInnerProducts)
+{
+    // The screening-relevant regime: when w is close to x, the true
+    // dot dominates the JL noise and the projected score must stand
+    // far above unrelated rows.
+    const std::size_t d = 256, k = 64;
+    const Projector p(d, k, 17);
+    ecssd::sim::Rng rng(18);
+    int wins = 0;
+    const int trials = 50;
+    for (int trial = 0; trial < trials; ++trial) {
+        std::vector<float> x(d), related(d), unrelated(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            x[i] = static_cast<float>(rng.gaussian());
+            related[i] = x[i]
+                + static_cast<float>(rng.gaussian(0.0, 0.3));
+            unrelated[i] = static_cast<float>(rng.gaussian());
+        }
+        const std::vector<float> px = p.project(x);
+        const double related_score =
+            referenceDot(px, p.project(related));
+        const double unrelated_score =
+            referenceDot(px, p.project(unrelated));
+        wins += related_score > unrelated_score;
+    }
+    EXPECT_GE(wins, trials - 2);
+}
+
+TEST(Projector, ProjectRowsMatchesPerRowProject)
+{
+    const Projector p(16, 4, 9);
+    FloatMatrix weights(3, 16);
+    ecssd::sim::Rng rng(10);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 16; ++c)
+            weights.at(r, c) = static_cast<float>(rng.gaussian());
+
+    const FloatMatrix projected = p.projectRows(weights);
+    EXPECT_EQ(projected.rows(), 3u);
+    EXPECT_EQ(projected.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        const std::vector<float> row = p.project(weights.row(r));
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(projected.at(r, c), row[c]);
+    }
+}
+
+TEST(Projector, InputLengthMismatchPanics)
+{
+    const Projector p(16, 4, 11);
+    std::vector<float> wrong(8, 1.0f);
+    EXPECT_THROW(p.project(wrong), ecssd::sim::PanicError);
+}
+
+TEST(FloatMatrix, IndexingAndRows)
+{
+    FloatMatrix m(2, 3);
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+    EXPECT_EQ(m.fp32Bytes(), 24u);
+}
+
+TEST(FloatMatrix, OutOfRangePanics)
+{
+    FloatMatrix m(2, 3);
+    EXPECT_THROW(m.at(2, 0), ecssd::sim::PanicError);
+    EXPECT_THROW(m.at(0, 3), ecssd::sim::PanicError);
+    EXPECT_THROW(m.row(2), ecssd::sim::PanicError);
+}

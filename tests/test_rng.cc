@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit and statistical tests of the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hh"
+
+using namespace ecssd::sim;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(17);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 7000; ++i)
+        ++counts[rng.uniformInt(std::uint64_t(7))];
+    EXPECT_EQ(counts.size(), 7u);
+    for (const auto &[value, count] : counts) {
+        EXPECT_LT(value, 7u);
+        EXPECT_GT(count, 700);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(19);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(23);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaleAndShift)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ZipfStaysInSupport)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.zipf(100, 1.0), 100u);
+}
+
+TEST(Rng, ZipfSingletonSupport)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, ZipfHeadIsHeavierThanTail)
+{
+    Rng rng(41);
+    int head = 0, tail = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = rng.zipf(1000, 1.0);
+        if (k < 10)
+            ++head;
+        if (k >= 500)
+            ++tail;
+    }
+    EXPECT_GT(head, tail * 2);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform)
+{
+    Rng rng(43);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.zipf(100, 0.0));
+    EXPECT_NEAR(sum / n, 49.5, 1.5);
+}
+
+TEST(Rng, ZipfAlternatingParamsStayInSupport)
+{
+    // Exercises the cached-harmonic invalidation path.
+    Rng rng(47);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_LT(rng.zipf(50, 0.8), 50u);
+        EXPECT_LT(rng.zipf(500, 1.2), 500u);
+    }
+}
+
+TEST(Rng, PermutationIsBijective)
+{
+    Rng rng(53);
+    std::vector<std::uint32_t> perm = rng.permutation(1000);
+    std::sort(perm.begin(), perm.end());
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(perm[i], i);
+}
+
+TEST(Rng, PermutationActuallyShuffles)
+{
+    Rng rng(59);
+    const std::vector<std::uint32_t> perm = rng.permutation(1000);
+    int fixed_points = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        fixed_points += perm[i] == i;
+    EXPECT_LT(fixed_points, 20);
+}
+
+TEST(Rng, ShuffleKeepsElements)
+{
+    Rng rng(61);
+    std::vector<int> values{1, 2, 3, 4, 5, 6};
+    rng.shuffle(values);
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Scale-out system tests (Section 7.1): partition sizing, parallel
+ * execution, and the DRAM-fit guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecssd/scale_out.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+xclass::BenchmarkSpec
+spec(std::uint64_t categories)
+{
+    return xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), categories);
+}
+
+} // namespace
+
+TEST(ScaleOut, DevicesNeededMatchesPaperArithmetic)
+{
+    // 500M categories at K=256: 64 GB INT4 over 16 GB devices at
+    // the 80% fill target -> 5 ECSSDs (Section 7.1).
+    xclass::BenchmarkSpec huge =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    huge.categories = 500000000;
+    EXPECT_EQ(ScaleOutEcssd::devicesNeeded(huge, 16ULL << 30), 5u);
+    // 100M fits one device.
+    EXPECT_EQ(ScaleOutEcssd::devicesNeeded(
+                  xclass::benchmarkByName("XMLCNN-S100M"),
+                  16ULL << 30),
+              1u);
+}
+
+TEST(ScaleOut, ShardSpecSplitsRows)
+{
+    const ScaleOutEcssd fleet(spec(65536), 4);
+    EXPECT_EQ(fleet.devices(), 4u);
+    EXPECT_EQ(fleet.shardSpec().categories, 16384u);
+}
+
+TEST(ScaleOut, SingleDeviceDegenerates)
+{
+    const xclass::BenchmarkSpec s = spec(32768);
+    ScaleOutEcssd fleet(s, 1);
+    EcssdSystem single(s, EcssdOptions::full());
+    const ScaleOutResult fleet_run = fleet.runInference(1);
+    const accel::RunResult single_run = single.runInference(1);
+    // Same work modulo the merge overhead.
+    EXPECT_NEAR(
+        static_cast<double>(fleet_run.totalTime),
+        static_cast<double>(single_run.totalTime),
+        static_cast<double>(single_run.totalTime) * 0.05);
+}
+
+TEST(ScaleOut, PartitioningCutsLatency)
+{
+    const xclass::BenchmarkSpec s = spec(65536);
+    ScaleOutEcssd one(s, 1);
+    ScaleOutEcssd four(s, 4);
+    const ScaleOutResult slow = one.runInference(1);
+    const ScaleOutResult fast = four.runInference(1);
+    // Four devices work on a quarter of the rows each.
+    EXPECT_LT(fast.totalTime, slow.totalTime);
+    EXPECT_GT(static_cast<double>(slow.totalTime)
+                  / static_cast<double>(fast.totalTime),
+              2.0);
+}
+
+TEST(ScaleOut, EnergySumsOverShards)
+{
+    const xclass::BenchmarkSpec s = spec(32768);
+    ScaleOutEcssd one(s, 1);
+    ScaleOutEcssd two(s, 2);
+    const double one_uj = one.runInference(1).totalEnergyUj;
+    const double two_uj = two.runInference(1).totalEnergyUj;
+    EXPECT_GT(one_uj, 0.0);
+    // Two devices burn at least as much total energy as one (same
+    // total work plus a second controller's background power).
+    EXPECT_GT(two_uj, one_uj * 0.8);
+}
+
+TEST(ScaleOut, RejectsShardsThatDoNotFitDram)
+{
+    xclass::BenchmarkSpec huge =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    huge.categories = 500000000; // 64 GB INT4
+    EXPECT_THROW(ScaleOutEcssd(huge, 2), sim::PanicError);
+}
+
+TEST(ScaleOut, ShardResultsAreComplete)
+{
+    ScaleOutEcssd fleet(spec(32768), 2);
+    const ScaleOutResult result = fleet.runInference(2);
+    ASSERT_EQ(result.shards.size(), 2u);
+    for (const accel::RunResult &shard : result.shards) {
+        EXPECT_EQ(shard.batches.size(), 2u);
+        EXPECT_GT(shard.totalTime, 0u);
+    }
+    EXPECT_GT(result.meanBatchMs, 0.0);
+}

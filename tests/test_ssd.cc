@@ -1,0 +1,171 @@
+/**
+ * @file
+ * SSD device front-end tests: host commands, link timing, DRAM and
+ * buffer components.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "ssdsim/data_buffer.hh"
+#include "ssdsim/dram.hh"
+#include "ssdsim/ssd.hh"
+
+using namespace ecssd::sim;
+using namespace ecssd::ssdsim;
+
+TEST(DramModel, StreamAccountsLatencyAndBandwidth)
+{
+    SsdConfig config;
+    DramModel dram(config);
+    const Tick done = dram.stream(12800, 0); // 12.8 KB at 12.8 GB/s
+    EXPECT_EQ(done, nanoseconds(config.dramAccessLatencyNs)
+                        + microseconds(1));
+    EXPECT_EQ(dram.bytesMoved(), 12800u);
+    EXPECT_EQ(dram.accesses(), 1u);
+}
+
+TEST(DramModel, BackToBackStreamsSerialize)
+{
+    SsdConfig config;
+    DramModel dram(config);
+    const Tick first = dram.stream(1 << 20, 0);
+    const Tick second = dram.stream(1 << 20, 0);
+    EXPECT_GT(second, first);
+    EXPECT_EQ(dram.busyTime(), second);
+}
+
+TEST(DramModel, ResetClearsState)
+{
+    SsdConfig config;
+    DramModel dram(config);
+    dram.stream(4096, 0);
+    dram.reset();
+    EXPECT_EQ(dram.bytesMoved(), 0u);
+    EXPECT_EQ(dram.busyTime(), 0u);
+    EXPECT_EQ(dram.accesses(), 0u);
+}
+
+TEST(DataBuffer, PingPongDiscipline)
+{
+    DataBuffer buffer(1024);
+    EXPECT_EQ(buffer.halfCapacity(), 512u);
+    EXPECT_TRUE(buffer.reserve(400));
+    EXPECT_FALSE(buffer.reserve(200)); // would exceed the half
+    EXPECT_TRUE(buffer.reserve(100));
+    buffer.flip();
+    EXPECT_EQ(buffer.drainOccupancy(), 500u);
+    EXPECT_EQ(buffer.fillOccupancy(), 0u);
+    buffer.release(500);
+    buffer.flip();
+    EXPECT_EQ(buffer.flips(), 2u);
+}
+
+TEST(DataBuffer, FlipWithUndrainedDataPanics)
+{
+    DataBuffer buffer(1024);
+    buffer.reserve(100);
+    buffer.flip();
+    buffer.reserve(50);
+    EXPECT_THROW(buffer.flip(), PanicError);
+}
+
+TEST(DataBuffer, OverReleasePanics)
+{
+    DataBuffer buffer(1024);
+    buffer.reserve(100);
+    buffer.flip();
+    EXPECT_THROW(buffer.release(200), PanicError);
+}
+
+TEST(DataBuffer, PeakOccupancyTracksBothHalves)
+{
+    DataBuffer buffer(1024);
+    buffer.reserve(512);
+    buffer.flip();
+    buffer.reserve(512);
+    EXPECT_EQ(buffer.peakOccupancy(), 1024u);
+}
+
+TEST(SsdDevice, ConfigCapacityMatchesTable2)
+{
+    SsdConfig config; // paper defaults
+    EXPECT_EQ(config.channels, 8u);
+    EXPECT_EQ(config.pageBytes, 4096u);
+    EXPECT_EQ(config.capacityBytes(), 4ULL << 40); // 4 TiB
+    EXPECT_EQ(config.dramBytes, 16ULL << 30);
+    EXPECT_EQ(config.dataBufferBytes, 4ULL << 20);
+    EXPECT_DOUBLE_EQ(config.internalBandwidthGbps(), 8.0);
+}
+
+TEST(SsdDevice, HostWriteCompletesThroughEventQueue)
+{
+    EventQueue queue;
+    SsdDevice ssd(smallTestConfig(), queue);
+    Tick completed = 0;
+    ssd.hostWrite(0, [&](Tick t) { completed = t; });
+    EXPECT_EQ(completed, 0u); // not yet fired
+    queue.run();
+    EXPECT_GT(completed, 0u);
+    EXPECT_EQ(ssd.stats().hostWriteCommands, 1u);
+    EXPECT_EQ(ssd.stats().hostBytesIn, 4096u);
+}
+
+TEST(SsdDevice, HostReadAfterWriteReturnsLater)
+{
+    EventQueue queue;
+    SsdDevice ssd(smallTestConfig(), queue);
+    Tick write_done = 0;
+    ssd.hostWrite(1, [&](Tick t) { write_done = t; });
+    queue.run();
+    Tick read_done = 0;
+    ssd.hostRead(1, [&](Tick t) { read_done = t; });
+    queue.run();
+    EXPECT_GT(read_done, write_done);
+    EXPECT_EQ(ssd.stats().hostReadCommands, 1u);
+}
+
+TEST(SsdDevice, HostTransferSerializesOnLink)
+{
+    EventQueue queue;
+    const SsdConfig config = smallTestConfig();
+    SsdDevice ssd(config, queue);
+    const Tick first = ssd.hostTransfer(1 << 20, 0);
+    const Tick second = ssd.hostTransfer(1 << 20, 0);
+    EXPECT_GT(second, first);
+    const Tick expected_each =
+        microseconds(config.hostLinkLatencyUs)
+        + transferTime(1 << 20, config.hostLinkGbps);
+    EXPECT_EQ(first, expected_each);
+    EXPECT_EQ(second, 2 * expected_each);
+}
+
+TEST(SsdDevice, ResetTimelinesKeepsMapping)
+{
+    EventQueue queue;
+    SsdDevice ssd(smallTestConfig(), queue);
+    ssd.hostWrite(2, [](Tick) {});
+    queue.run();
+    ssd.resetTimelines();
+    EXPECT_EQ(ssd.stats().hostWriteCommands, 0u);
+    // Mapping survives a timeline reset: the read must succeed.
+    Tick read_done = 0;
+    ssd.hostRead(2, [&](Tick t) { read_done = t; });
+    queue.run();
+    EXPECT_GT(read_done, 0u);
+}
+
+TEST(SsdDevice, WriteReadManyPagesKeepsOrder)
+{
+    EventQueue queue;
+    SsdDevice ssd(smallTestConfig(), queue);
+    int completions = 0;
+    for (LogicalPage lpa = 0; lpa < 32; ++lpa)
+        ssd.hostWrite(lpa, [&](Tick) { ++completions; });
+    queue.run();
+    EXPECT_EQ(completions, 32);
+    for (LogicalPage lpa = 0; lpa < 32; ++lpa)
+        ssd.hostRead(lpa, [&](Tick) { ++completions; });
+    queue.run();
+    EXPECT_EQ(completions, 64);
+}

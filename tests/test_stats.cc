@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests of the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace ecssd::sim;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    for (const double v : {2.0, 4.0, 6.0, 8.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 20.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 5.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(-3.0);
+    EXPECT_DOUBLE_EQ(d.min(), -3.0);
+    EXPECT_DOUBLE_EQ(d.max(), -3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), -3.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.bucketCount(b), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(Histogram, OutOfRangeGoesToUnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(-0.1);
+    h.sample(1.0); // hi is exclusive
+    h.sample(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, BucketLowIsLinear)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 18.0);
+}
+
+TEST(Histogram, BadShapePanics)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+}
+
+TEST(StatGroup, LooksUpRegisteredScalars)
+{
+    Scalar s;
+    s.set(7.0);
+    StatGroup group("ssd");
+    group.addScalar("pages_read", &s);
+    EXPECT_DOUBLE_EQ(group.scalar("pages_read"), 7.0);
+}
+
+TEST(StatGroup, UnknownStatIsFatal)
+{
+    StatGroup group("ssd");
+    EXPECT_THROW(group.scalar("nope"), FatalError);
+    EXPECT_THROW(group.distribution("nope"), FatalError);
+}
+
+TEST(StatGroup, DumpEmitsAllStats)
+{
+    Scalar s;
+    s.set(3.0);
+    Distribution d;
+    d.sample(4.0);
+    StatGroup group("g");
+    group.addScalar("s", &s);
+    group.addDistribution("d", &d);
+    std::ostringstream os;
+    group.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("g.s 3"), std::string::npos);
+    EXPECT_NE(text.find("g.d.count 1"), std::string::npos);
+    EXPECT_NE(text.find("g.d.mean 4"), std::string::npos);
+}
+
+TEST(StatGroup, NullRegistrationPanics)
+{
+    StatGroup group("g");
+    EXPECT_THROW(group.addScalar("s", nullptr), PanicError);
+    EXPECT_THROW(group.addDistribution("d", nullptr), PanicError);
+}

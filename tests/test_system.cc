@@ -1,0 +1,165 @@
+/**
+ * @file
+ * EcssdSystem integration tests: option presets, end-to-end runs,
+ * the Fig 8 stepwise improvement chain, and deployment estimates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecssd/system.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+xclass::BenchmarkSpec
+spec(std::uint64_t categories = 32768)
+{
+    return xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), categories);
+}
+
+} // namespace
+
+TEST(EcssdSystem, FullOptionsDescribe)
+{
+    const std::string text = describe(EcssdOptions::full());
+    EXPECT_NE(text.find("alignment_free"), std::string::npos);
+    EXPECT_NE(text.find("learning_adaptive"), std::string::npos);
+    EXPECT_NE(text.find("int4=dram"), std::string::npos);
+}
+
+TEST(EcssdSystem, BaselineOptionsDescribe)
+{
+    const std::string text =
+        describe(EcssdOptions::startingBaseline());
+    EXPECT_NE(text.find("naive"), std::string::npos);
+    EXPECT_NE(text.find("sequential"), std::string::npos);
+    EXPECT_NE(text.find("int4=flash"), std::string::npos);
+}
+
+TEST(EcssdSystem, FullSystemRuns)
+{
+    EcssdSystem system(spec(), EcssdOptions::full());
+    const accel::RunResult result = system.runInference(1);
+    EXPECT_GT(result.totalTime, 0u);
+    EXPECT_GT(result.channelUtilization, 0.5);
+}
+
+TEST(EcssdSystem, Fig8StepwiseChainImproves)
+{
+    // Each Fig 8 step must not regress, and the full chain must be a
+    // large win over the starting baseline.
+    const xclass::BenchmarkSpec s = spec();
+
+    EcssdOptions step0 = EcssdOptions::startingBaseline();
+
+    EcssdOptions step1 = step0; // + uniform interleaving
+    step1.layoutKind = layout::LayoutKind::Uniform;
+
+    EcssdOptions step2 = step1; // + alignment-free MAC
+    step2.fpKind = circuit::FpMacKind::AlignmentFree;
+
+    EcssdOptions step3 = step2; // + heterogeneous layout
+    step3.int4Placement = accel::Int4Placement::Dram;
+
+    EcssdOptions step4 = step3; // + learning interleaving
+    step4.layoutKind = layout::LayoutKind::LearningAdaptive;
+
+    const double t0 =
+        EcssdSystem(s, step0).runInference(1).meanBatchMs();
+    const double t1 =
+        EcssdSystem(s, step1).runInference(1).meanBatchMs();
+    const double t2 =
+        EcssdSystem(s, step2).runInference(1).meanBatchMs();
+    const double t3 =
+        EcssdSystem(s, step3).runInference(1).meanBatchMs();
+    const double t4 =
+        EcssdSystem(s, step4).runInference(1).meanBatchMs();
+
+    EXPECT_LT(t1, t0); // uniform interleaving is a big win
+    EXPECT_LE(t2, t1 * 1.02);
+    EXPECT_LT(t3, t2);
+    EXPECT_LT(t4, t3);
+    EXPECT_GT(t0 / t4, 4.0); // the whole chain is a multi-x win
+    EXPECT_GT(t0 / t1, 2.0);
+}
+
+TEST(EcssdSystem, UtilizationClimbsAlongTheChain)
+{
+    const xclass::BenchmarkSpec s = spec();
+    EcssdOptions seq = EcssdOptions::full();
+    seq.layoutKind = layout::LayoutKind::Sequential;
+    EcssdOptions uni = EcssdOptions::full();
+    uni.layoutKind = layout::LayoutKind::Uniform;
+    const EcssdOptions learn = EcssdOptions::full();
+
+    const double u_seq =
+        EcssdSystem(s, seq).runInference(1).channelUtilization;
+    const double u_uni =
+        EcssdSystem(s, uni).runInference(1).channelUtilization;
+    const double u_learn =
+        EcssdSystem(s, learn).runInference(1).channelUtilization;
+
+    EXPECT_LT(u_seq, 0.2);   // paper: < 10% for sequential
+    EXPECT_GT(u_uni, u_seq);
+    EXPECT_GT(u_learn, u_uni);
+    EXPECT_GT(u_learn, 0.8); // paper: 94.7%
+}
+
+TEST(EcssdSystem, RunsAreReproducible)
+{
+    const xclass::BenchmarkSpec s = spec(8192);
+    EcssdSystem a(s, EcssdOptions::full());
+    EcssdSystem b(s, EcssdOptions::full());
+    EXPECT_EQ(a.runInference(1).totalTime,
+              b.runInference(1).totalTime);
+}
+
+TEST(EcssdSystem, RepeatedRunsAreIndependent)
+{
+    EcssdSystem system(spec(8192), EcssdOptions::full());
+    const accel::RunResult first = system.runInference(1);
+    system.runInference(1);
+    const accel::RunResult third = system.runInference(1);
+    // Timelines reset between runs, so latency stays in one band
+    // (candidate sets differ batch to batch).
+    EXPECT_NEAR(
+        static_cast<double>(third.totalTime),
+        static_cast<double>(first.totalTime),
+        static_cast<double>(first.totalTime) * 0.3);
+}
+
+TEST(EcssdSystem, DeployEstimateScalesWithFootprint)
+{
+    const sim::Tick small_deploy =
+        EcssdSystem(spec(8192), EcssdOptions::full())
+            .deployTimeEstimate();
+    const sim::Tick big_deploy =
+        EcssdSystem(spec(65536), EcssdOptions::full())
+            .deployTimeEstimate();
+    EXPECT_GT(big_deploy, small_deploy);
+}
+
+TEST(EcssdSystem, DramCapacityGuard)
+{
+    // Section 7.1: a 16 GB DRAM cannot hold the INT4 screener of a
+    // >100M-category layer; deployment must refuse rather than
+    // silently thrash.
+    xclass::BenchmarkSpec huge =
+        xclass::benchmarkByName("XMLCNN-S100M");
+    huge.categories = 200000000; // 25.6 GB of INT4 at K=256
+    EcssdOptions options = EcssdOptions::full();
+    EcssdSystem system(huge, options);
+    EXPECT_THROW(system.deployTimeEstimate(), sim::PanicError);
+}
+
+TEST(EcssdSystem, ScreeningOffReadsEverything)
+{
+    EcssdOptions options = EcssdOptions::full();
+    options.screening = false;
+    EcssdSystem system(spec(8192), options);
+    const accel::RunResult result = system.runInference(1);
+    EXPECT_EQ(result.batches[0].candidateRows, 8192u);
+}

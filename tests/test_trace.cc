@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests of the category-gated trace infrastructure and the
+ * Percentiles sampler added for serving studies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+using namespace ecssd::sim;
+
+namespace
+{
+
+struct TraceReset
+{
+    static void
+    disableAll()
+    {
+        for (const TraceCategory c :
+             {TraceCategory::Flash, TraceCategory::Ftl,
+              TraceCategory::Dram, TraceCategory::Nvme,
+              TraceCategory::Pipeline, TraceCategory::Layout,
+              TraceCategory::Api})
+            setTraceEnabled(c, false);
+    }
+    TraceReset() { disableAll(); }
+    ~TraceReset() { disableAll(); }
+};
+
+} // namespace
+
+TEST(Trace, CategoriesStartDisabled)
+{
+    TraceReset reset;
+    EXPECT_FALSE(traceEnabled(TraceCategory::Ftl));
+    EXPECT_FALSE(traceEnabled(TraceCategory::Pipeline));
+}
+
+TEST(Trace, EnableDisableSingleCategory)
+{
+    TraceReset reset;
+    setTraceEnabled(TraceCategory::Ftl, true);
+    EXPECT_TRUE(traceEnabled(TraceCategory::Ftl));
+    EXPECT_FALSE(traceEnabled(TraceCategory::Flash));
+    setTraceEnabled(TraceCategory::Ftl, false);
+    EXPECT_FALSE(traceEnabled(TraceCategory::Ftl));
+}
+
+TEST(Trace, ParseCommaSeparatedList)
+{
+    TraceReset reset;
+    enableTraceCategories("ftl,pipeline");
+    EXPECT_TRUE(traceEnabled(TraceCategory::Ftl));
+    EXPECT_TRUE(traceEnabled(TraceCategory::Pipeline));
+    EXPECT_FALSE(traceEnabled(TraceCategory::Nvme));
+}
+
+TEST(Trace, AllEnablesEverything)
+{
+    TraceReset reset;
+    enableTraceCategories("all");
+    EXPECT_TRUE(traceEnabled(TraceCategory::Flash));
+    EXPECT_TRUE(traceEnabled(TraceCategory::Api));
+}
+
+TEST(Trace, UnknownCategoryIsIgnored)
+{
+    TraceReset reset;
+    enableTraceCategories("bogus,ftl");
+    EXPECT_TRUE(traceEnabled(TraceCategory::Ftl));
+}
+
+TEST(Trace, CategoryNames)
+{
+    EXPECT_STREQ(traceCategoryName(TraceCategory::Flash), "flash");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::Nvme), "nvme");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::Layout),
+                 "layout");
+}
+
+TEST(Trace, MacroIsCheapWhenDisabled)
+{
+    TraceReset reset;
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return 42;
+    };
+    ECSSD_TRACE_LOG(TraceCategory::Ftl, 0, "value ", expensive());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Percentiles, EmptyIsZero)
+{
+    Percentiles p;
+    EXPECT_EQ(p.count(), 0u);
+    EXPECT_EQ(p.p50(), 0.0);
+    EXPECT_EQ(p.p99(), 0.0);
+}
+
+TEST(Percentiles, SingleSample)
+{
+    Percentiles p;
+    p.sample(7.0);
+    EXPECT_EQ(p.quantile(0.0), 7.0);
+    EXPECT_EQ(p.p50(), 7.0);
+    EXPECT_EQ(p.quantile(1.0), 7.0);
+}
+
+TEST(Percentiles, QuantilesOfUniformRamp)
+{
+    Percentiles p;
+    for (int i = 100; i >= 1; --i) // reversed insertion order
+        p.sample(i);
+    EXPECT_NEAR(p.p50(), 50.0, 1.0);
+    EXPECT_NEAR(p.p95(), 95.0, 1.0);
+    EXPECT_NEAR(p.p99(), 99.0, 1.0);
+    EXPECT_EQ(p.quantile(0.0), 1.0);
+    EXPECT_EQ(p.quantile(1.0), 100.0);
+}
+
+TEST(Percentiles, InterleavedSampleAndQuery)
+{
+    Percentiles p;
+    p.sample(10.0);
+    EXPECT_EQ(p.p50(), 10.0);
+    p.sample(20.0);
+    p.sample(30.0);
+    EXPECT_EQ(p.p50(), 20.0);
+}
+
+TEST(Percentiles, ResetClears)
+{
+    Percentiles p;
+    p.sample(1.0);
+    p.reset();
+    EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(Percentiles, OutOfRangeQuantilePanics)
+{
+    Percentiles p;
+    p.sample(1.0);
+    EXPECT_THROW(p.quantile(-0.1), PanicError);
+    EXPECT_THROW(p.quantile(1.1), PanicError);
+}

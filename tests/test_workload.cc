@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Workload generation tests: Table 3 shapes, synthetic model
+ * structure, and the trace-tier candidate generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd::xclass;
+
+TEST(BenchmarkSpec, Table3HasSevenEntries)
+{
+    const std::vector<BenchmarkSpec> specs = table3Benchmarks();
+    ASSERT_EQ(specs.size(), 7u);
+    EXPECT_EQ(specs[0].name, "GNMT-E32K");
+    EXPECT_EQ(specs[0].categories, 32317u);
+    EXPECT_EQ(specs[1].hiddenDim, 1500u);
+    EXPECT_EQ(specs[6].categories, 100000000u);
+}
+
+TEST(BenchmarkSpec, ShrunkDimIsQuarter)
+{
+    const BenchmarkSpec spec = benchmarkByName("XMLCNN-S100M");
+    EXPECT_EQ(spec.shrunkDim(), 256u);
+}
+
+TEST(BenchmarkSpec, S100MFootprintsMatchSection61)
+{
+    // Section 6.1: XMLCNN-S100M has 12.8 GB / 400 GB weight
+    // matrices.
+    const BenchmarkSpec spec = benchmarkByName("XMLCNN-S100M");
+    EXPECT_EQ(spec.int4WeightBytes(), 12800000000ULL);
+    EXPECT_EQ(spec.fp32WeightBytes(), 409600000000ULL);
+}
+
+TEST(BenchmarkSpec, UnknownNameIsFatal)
+{
+    EXPECT_THROW(benchmarkByName("bogus"), ecssd::sim::FatalError);
+}
+
+TEST(BenchmarkSpec, LargeScaleSetIsTheSynthTrio)
+{
+    const std::vector<BenchmarkSpec> large =
+        largeScaleBenchmarks();
+    ASSERT_EQ(large.size(), 3u);
+    EXPECT_EQ(large[0].categories, 10000000u);
+    EXPECT_EQ(large[2].categories, 100000000u);
+}
+
+TEST(BenchmarkSpec, ScaledDownPreservesRatios)
+{
+    const BenchmarkSpec spec = benchmarkByName("XMLCNN-S10M");
+    const BenchmarkSpec scaled = scaledDown(spec, 4096);
+    EXPECT_EQ(scaled.categories, 4096u);
+    EXPECT_EQ(scaled.hiddenDim, spec.hiddenDim);
+    EXPECT_EQ(scaled.projectionScale, spec.projectionScale);
+    EXPECT_NE(scaled.name, spec.name);
+    // No-op when already small enough.
+    const BenchmarkSpec same = scaledDown(scaled, 1 << 20);
+    EXPECT_EQ(same.categories, 4096u);
+}
+
+TEST(SyntheticModel, ShapesMatchSpec)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("GNMT-E32K"), 512);
+    const SyntheticModel model(spec, 1);
+    EXPECT_EQ(model.weights().rows(), 512u);
+    EXPECT_EQ(model.weights().cols(), 1024u);
+    EXPECT_EQ(model.popularityRank().size(), 512u);
+}
+
+TEST(SyntheticModel, PopularityRanksAreAPermutation)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("GNMT-E32K"), 256);
+    const SyntheticModel model(spec, 2);
+    std::set<std::uint32_t> ranks(model.popularityRank().begin(),
+                                  model.popularityRank().end());
+    EXPECT_EQ(ranks.size(), 256u);
+    EXPECT_EQ(*ranks.begin(), 0u);
+    EXPECT_EQ(*ranks.rbegin(), 255u);
+}
+
+TEST(SyntheticModel, PopularRowsHaveLargerNorms)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("GNMT-E32K"), 1024);
+    spec.hiddenDim = 128;
+    const SyntheticModel model(spec, 3);
+    double head_norm = 0.0, tail_norm = 0.0;
+    int head = 0, tail = 0;
+    for (std::size_t r = 0; r < 1024; ++r) {
+        double norm = 0.0;
+        for (const float w : model.weights().row(r))
+            norm += static_cast<double>(w) * w;
+        if (model.popularityRank()[r] < 64) {
+            head_norm += norm;
+            ++head;
+        } else if (model.popularityRank()[r] >= 960) {
+            tail_norm += norm;
+            ++tail;
+        }
+    }
+    EXPECT_GT(head_norm / head, tail_norm / tail);
+}
+
+TEST(SyntheticModel, QueriesHaveCorrectDimension)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("GNMT-E32K"), 128);
+    spec.hiddenDim = 64;
+    const SyntheticModel model(spec, 4);
+    ecssd::sim::Rng rng(5);
+    const std::vector<float> query = model.sampleQuery(rng);
+    EXPECT_EQ(query.size(), 64u);
+}
+
+TEST(CandidateTrace, PermutationRoundTrips)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 100003); // prime-ish
+    const CandidateTrace trace(spec, 6);
+    for (std::uint64_t rank : {0ULL, 1ULL, 57ULL, 100002ULL}) {
+        const std::uint64_t category = trace.categoryAtRank(rank);
+        EXPECT_LT(category, spec.categories);
+        EXPECT_EQ(trace.rankOf(category), rank);
+    }
+}
+
+TEST(CandidateTrace, DrawsApproximatelyTheCandidateRatio)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 20000);
+    CandidateTrace trace(spec, 7);
+    const std::vector<std::uint64_t> candidates =
+        trace.drawCandidates();
+    const double want = spec.candidateRatio
+        * static_cast<double>(spec.categories);
+    EXPECT_NEAR(static_cast<double>(candidates.size()), want,
+                want * 0.05);
+}
+
+TEST(CandidateTrace, CandidatesAreSortedAndUnique)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 10000);
+    CandidateTrace trace(spec, 8);
+    const std::vector<std::uint64_t> candidates =
+        trace.drawCandidates();
+    EXPECT_TRUE(std::is_sorted(candidates.begin(),
+                               candidates.end()));
+    EXPECT_EQ(std::adjacent_find(candidates.begin(),
+                                 candidates.end()),
+              candidates.end());
+    for (const std::uint64_t c : candidates)
+        EXPECT_LT(c, spec.categories);
+}
+
+TEST(CandidateTrace, PopularCategoriesAppearMoreOften)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 10000);
+    CandidateTrace trace(spec, 9);
+    const std::uint64_t head = trace.categoryAtRank(0);
+    const std::uint64_t deep_tail = trace.categoryAtRank(9999);
+    int head_hits = 0, tail_hits = 0;
+    for (int batch = 0; batch < 20; ++batch) {
+        const std::vector<std::uint64_t> candidates =
+            trace.drawCandidates();
+        head_hits += std::binary_search(candidates.begin(),
+                                        candidates.end(), head);
+        tail_hits += std::binary_search(candidates.begin(),
+                                        candidates.end(),
+                                        deep_tail);
+    }
+    EXPECT_GT(head_hits, tail_hits);
+    EXPECT_GE(head_hits, 18); // the head is a near-certain candidate
+}
+
+TEST(CandidateTrace, OracleHotnessFollowsRank)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 10000);
+    const CandidateTrace trace(spec, 10, /*predictor_noise=*/0.0);
+    // Ranks inside the hot set share the top mass; beyond it the
+    // mass decays with rank.
+    const double head = trace.hotness(trace.categoryAtRank(0));
+    const double mid = trace.hotness(
+        trace.categoryAtRank(trace.hotSetSize() + 100));
+    const double tail = trace.hotness(trace.categoryAtRank(9999));
+    EXPECT_GT(head, mid);
+    EXPECT_GT(mid, tail);
+}
+
+TEST(CandidateTrace, NoisyHotnessStaysCorrelated)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 10000);
+    const CandidateTrace trace(spec, 11, /*predictor_noise=*/0.25);
+    double head_sum = 0.0, tail_sum = 0.0;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        head_sum += trace.hotness(trace.categoryAtRank(i));
+        tail_sum += trace.hotness(trace.categoryAtRank(9899 + i));
+    }
+    EXPECT_GT(head_sum, tail_sum * 5);
+}
+
+TEST(CandidateTrace, HotnessIsDeterministicPerCategory)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 1000);
+    const CandidateTrace trace(spec, 12);
+    for (std::uint64_t c = 0; c < 50; ++c)
+        EXPECT_DOUBLE_EQ(trace.hotness(c), trace.hotness(c));
+}
+
+/** Feistel bijection property over assorted category counts,
+ *  including odd and power-of-two-adjacent sizes (cycle-walking). */
+class FeistelSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FeistelSweep, RankCategoryBijection)
+{
+    BenchmarkSpec spec = benchmarkByName("XMLCNN-S10M");
+    spec.categories = GetParam();
+    const CandidateTrace trace(spec, 3);
+    std::set<std::uint64_t> seen;
+    const std::uint64_t probe =
+        std::min<std::uint64_t>(spec.categories, 4096);
+    for (std::uint64_t rank = 0; rank < probe; ++rank) {
+        const std::uint64_t category = trace.categoryAtRank(rank);
+        ASSERT_LT(category, spec.categories);
+        ASSERT_TRUE(seen.insert(category).second)
+            << "collision at rank " << rank;
+        ASSERT_EQ(trace.rankOf(category), rank);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FeistelSweep,
+                         ::testing::Values(2u, 3u, 255u, 256u, 257u,
+                                           1023u, 4096u, 65537u,
+                                           1000003u));
+
+TEST(CandidateTrace, HotSetScattersAcrossChannelsAndResidues)
+{
+    // The hot set must not be an arithmetic progression: its
+    // residues modulo the channel count should be multinomially
+    // spread, not equal.
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 65536);
+    const CandidateTrace trace(spec, 4);
+    std::vector<int> residues(8, 0);
+    const std::uint64_t hot = trace.hotSetSize();
+    for (std::uint64_t rank = 0; rank < hot; ++rank)
+        ++residues[trace.categoryAtRank(rank) % 8];
+    int distinct_counts = 0;
+    for (int c = 1; c < 8; ++c)
+        distinct_counts += residues[c] != residues[0];
+    // A Feistel image virtually never lands perfectly balanced.
+    EXPECT_GT(distinct_counts, 0);
+    // ...but it is also not degenerate: every residue is populated.
+    for (const int count : residues)
+        EXPECT_GT(count, 0);
+}
+
+TEST(CandidateTrace, StickyTailPersistsAcrossBatches)
+{
+    BenchmarkSpec spec = scaledDown(
+        benchmarkByName("XMLCNN-S10M"), 20000);
+    CandidateTrace trace(spec, 5);
+    const std::vector<std::uint64_t> &sticky = trace.stickyTail();
+    ASSERT_FALSE(sticky.empty());
+    // Across batches, at least (1 - churn) of the sticky tail is
+    // always present.
+    for (int batch = 0; batch < 5; ++batch) {
+        const std::vector<std::uint64_t> candidates =
+            trace.drawCandidates();
+        std::size_t present = 0;
+        for (const std::uint64_t category : sticky)
+            present += std::binary_search(candidates.begin(),
+                                          candidates.end(),
+                                          category);
+        EXPECT_GE(static_cast<double>(present)
+                      / static_cast<double>(sticky.size()),
+                  1.0 - spec.candidateChurn - 0.02);
+    }
+}

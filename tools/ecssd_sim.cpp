@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Command-line experiment driver: run any benchmark/architecture
+ * combination without writing code.
+ *
+ *   ecssd_sim --benchmark GNMT-E32K --layout learning --batches 4
+ *   ecssd_sim --benchmark XMLCNN-S10M --arch GenStore-AP
+ *   ecssd_sim --list
+ *   ecssd_sim --benchmark LSTM-W33K --sweep-layouts --energy
+ *
+ * Options:
+ *   --benchmark NAME      Table 3 benchmark (see --list)
+ *   --scale N             cap the category count at N
+ *   --batches N           inference batches to simulate (default 2)
+ *   --layout KIND         sequential | uniform | learning
+ *   --mac KIND            naive | skhynix | alignment-free
+ *   --int4 PLACE          dram | flash
+ *   --no-screening        dense classification (the -N mode)
+ *   --no-overlap          disable stage overlap
+ *   --arch NAME           simulate a baseline architecture instead
+ *   --sweep-layouts       run all three layouts and compare
+ *   --energy              print the energy breakdown
+ *   --trace CATS          enable trace categories (ftl,pipeline,...)
+ *   --seed N              trace/workload seed
+ *   --list                list benchmarks and architectures
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/baselines.hh"
+#include "ecssd/system.hh"
+#include "sim/trace.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string benchmark = "GNMT-E32K";
+    std::uint64_t scale = 0;
+    unsigned batches = 2;
+    std::string arch;
+    bool sweepLayouts = false;
+    bool energy = false;
+    EcssdOptions device = EcssdOptions::full();
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::printf("usage: %s [--benchmark NAME] [--scale N] "
+                "[--batches N]\n"
+                "  [--layout sequential|uniform|learning]\n"
+                "  [--mac naive|skhynix|alignment-free]\n"
+                "  [--precision cfp32|cfp16]\n"
+                "  [--int4 dram|flash] [--no-screening] "
+                "[--no-overlap]\n"
+                "  [--arch NAME] [--sweep-layouts] [--energy]\n"
+                "  [--trace CATS] [--seed N] [--list]\n",
+                argv0);
+    std::exit(code);
+}
+
+void
+listTargets()
+{
+    std::printf("benchmarks:\n");
+    for (const xclass::BenchmarkSpec &spec :
+         xclass::table3Benchmarks())
+        std::printf("  %-20s L=%-11llu D=%u\n", spec.name.c_str(),
+                    (unsigned long long)spec.categories,
+                    spec.hiddenDim);
+    std::printf("architectures:\n  ECSSD\n");
+    for (const baselines::Architecture arch :
+         baselines::allBaselines())
+        std::printf("  %s\n", baselines::toString(arch).c_str());
+}
+
+layout::LayoutKind
+parseLayout(const std::string &value)
+{
+    if (value == "sequential")
+        return layout::LayoutKind::Sequential;
+    if (value == "uniform")
+        return layout::LayoutKind::Uniform;
+    if (value == "learning")
+        return layout::LayoutKind::LearningAdaptive;
+    sim::fatal("unknown layout '", value, "'");
+}
+
+circuit::FpMacKind
+parseMac(const std::string &value)
+{
+    if (value == "naive")
+        return circuit::FpMacKind::Naive;
+    if (value == "skhynix")
+        return circuit::FpMacKind::SkHynix;
+    if (value == "alignment-free")
+        return circuit::FpMacKind::AlignmentFree;
+    sim::fatal("unknown MAC kind '", value, "'");
+}
+
+void
+report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
+       unsigned batches, bool energy)
+{
+    EcssdSystem system(spec, options);
+    const accel::RunResult result = system.runInference(batches);
+    std::printf("%-20s %-55s %10.3f ms/batch  util %5.1f%%  "
+                "%6.1f GFLOPS\n",
+                spec.name.c_str(), describe(options).c_str(),
+                result.meanBatchMs(),
+                result.channelUtilization * 100.0,
+                result.effectiveGflops);
+    if (energy) {
+        const circuit::EnergyBreakdown e =
+            system.estimateRunEnergy(result);
+        std::printf(
+            "  energy: total %.2f mJ  (flash %.1f%%, dram %.1f%%, "
+            "link %.1f%%, accel %.1f%%, background %.1f%%)\n",
+            e.totalUj() / 1000.0, e.flashUj / e.totalUj() * 100.0,
+            e.dramUj / e.totalUj() * 100.0,
+            e.hostLinkUj / e.totalUj() * 100.0,
+            e.acceleratorUj / e.totalUj() * 100.0,
+            e.backgroundUj / e.totalUj() * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *name) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--list") {
+            listTargets();
+            return 0;
+        } else if (arg == "--benchmark") {
+            cli.benchmark = next("--benchmark");
+        } else if (arg == "--scale") {
+            cli.scale = std::strtoull(next("--scale").c_str(),
+                                      nullptr, 10);
+        } else if (arg == "--batches") {
+            cli.batches = static_cast<unsigned>(
+                std::strtoul(next("--batches").c_str(), nullptr,
+                             10));
+        } else if (arg == "--layout") {
+            cli.device.layoutKind = parseLayout(next("--layout"));
+        } else if (arg == "--mac") {
+            cli.device.fpKind = parseMac(next("--mac"));
+        } else if (arg == "--precision") {
+            const std::string value = next("--precision");
+            cli.device.weightPrecision = value == "cfp16"
+                ? accel::WeightPrecision::Cfp16
+                : accel::WeightPrecision::Cfp32;
+        } else if (arg == "--int4") {
+            const std::string value = next("--int4");
+            cli.device.int4Placement = value == "dram"
+                ? accel::Int4Placement::Dram
+                : accel::Int4Placement::Flash;
+        } else if (arg == "--no-screening") {
+            cli.device.screening = false;
+        } else if (arg == "--no-overlap") {
+            cli.device.overlapStages = false;
+        } else if (arg == "--arch") {
+            cli.arch = next("--arch");
+        } else if (arg == "--sweep-layouts") {
+            cli.sweepLayouts = true;
+        } else if (arg == "--energy") {
+            cli.energy = true;
+        } else if (arg == "--trace") {
+            sim::enableTraceCategories(next("--trace"));
+        } else if (arg == "--seed") {
+            cli.device.seed = std::strtoull(
+                next("--seed").c_str(), nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    sim::initTraceFromEnvironment();
+
+    xclass::BenchmarkSpec spec =
+        xclass::benchmarkByName(cli.benchmark);
+    if (cli.scale > 0)
+        spec = xclass::scaledDown(spec, cli.scale);
+
+    if (!cli.arch.empty()) {
+        for (const baselines::Architecture arch :
+             baselines::allBaselines()) {
+            if (baselines::toString(arch) == cli.arch) {
+                const baselines::BaselineResult result =
+                    baselines::simulate(arch, spec, cli.batches,
+                                        cli.device.seed);
+                std::printf("%-20s %-15s %10.3f ms/batch "
+                            "(%llu candidate rows)\n",
+                            spec.name.c_str(), result.name.c_str(),
+                            result.batchMs,
+                            (unsigned long long)
+                                result.candidateRows);
+                return 0;
+            }
+        }
+        if (cli.arch != "ECSSD")
+            sim::fatal("unknown architecture '", cli.arch,
+                       "'; try --list");
+    }
+
+    if (cli.sweepLayouts) {
+        for (const layout::LayoutKind kind :
+             {layout::LayoutKind::Sequential,
+              layout::LayoutKind::Uniform,
+              layout::LayoutKind::LearningAdaptive}) {
+            EcssdOptions options = cli.device;
+            options.layoutKind = kind;
+            report(spec, options, cli.batches, cli.energy);
+        }
+        return 0;
+    }
+
+    report(spec, cli.device, cli.batches, cli.energy);
+    return 0;
+}
