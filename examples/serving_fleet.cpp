@@ -1,8 +1,11 @@
 /**
  * @file
  * Production-style serving: a request queue in front of one ECSSD
- * (latency percentiles via the InferenceServer), and the Section 7.1
- * scale-out path when the model outgrows one device's DRAM.
+ * (latency percentiles via the InferenceServer), the Section 7.1
+ * scale-out path when the model outgrows one device's DRAM, and the
+ * fault-tolerance story — serving through uncorrectable reads via
+ * the INT4 screener fallback, and merging over survivors when a
+ * fleet device dies mid-run.
  */
 
 #include <cstdio>
@@ -61,5 +64,45 @@ main()
                 "faster)\n",
                 alone.meanBatchMs,
                 alone.meanBatchMs / result.meanBatchMs);
+
+    // --- Serving through media faults ------------------------------
+    // Worn flash: 1 in 1000 page reads is uncorrectable. The default
+    // ScreenerFallback policy keeps serving — rows on a lost FP32
+    // page fall back to their INT4 screener score instead of
+    // aborting the batch.
+    EcssdOptions worn = EcssdOptions::full();
+    worn.ssd.uncorrectableReadRate = 1e-3;
+    worn.degradedPolicy =
+        accel::DegradedReadPolicy::ScreenerFallback;
+    InferenceServer degraded(model.weights(), spec, worn,
+                             &model.basis());
+    sim::Rng faulty_rng(43);
+    for (int request = 0; request < 64; ++request)
+        degraded.enqueue(model.sampleQuery(faulty_rng));
+    const auto faulty = degraded.processAll(/*k=*/5);
+    unsigned degraded_count = 0;
+    for (const auto &response : faulty)
+        if (response.status
+            == InferenceServer::Response::Status::Degraded)
+            ++degraded_count;
+    std::printf("\nworn flash (1e-3 uncorrectable): served %zu/%zu "
+                "requests, %u degraded, %llu rows on screener "
+                "score, 0 batches aborted\n",
+                faulty.size(), faulty.size(), degraded_count,
+                static_cast<unsigned long long>(
+                    degraded.serverStats().degradedRows));
+
+    // --- Mid-run device loss in the fleet --------------------------
+    // One of four devices dies after its first batch; the host merge
+    // proceeds over the three survivors and quantifies the recall
+    // lost with the dead shard's category range.
+    ScaleOutEcssd lossy(scaled, 4);
+    lossy.failShardAfterBatches(2, 1);
+    const ScaleOutResult failover = lossy.runInference(3);
+    std::printf("device 2 died mid-run: %u/%u shards survive, "
+                "%.3f ms/batch, est. recall loss %.1f%%\n",
+                failover.survivingDevices, lossy.devices(),
+                failover.meanBatchMs,
+                failover.recallLossEstimate * 100.0);
     return 0;
 }

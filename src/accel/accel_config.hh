@@ -30,6 +30,44 @@ enum class WeightPrecision
     Cfp16,
 };
 
+/**
+ * What the pipeline does when a candidate row's FP32 page comes back
+ * uncorrectable from flash.
+ */
+enum class DegradedReadPolicy
+{
+    /** Abort: the batch is marked failed and the caller retries. */
+    FailBatch,
+    /**
+     * Degrade per row: the affected rows keep their INT4 screener
+     * score (already computed in the screening stage) instead of the
+     * full-precision score.  Costs nothing extra; quality drops only
+     * for the lost rows.
+     */
+    ScreenerFallback,
+    /**
+     * Re-fetch the lost page from the host's DRAM copy of the weight
+     * matrix over the host link (latency penalty, full precision
+     * preserved).
+     */
+    HostRefetch,
+};
+
+/** Short policy name for describe()/logs. */
+inline const char *
+toString(DegradedReadPolicy policy)
+{
+    switch (policy) {
+    case DegradedReadPolicy::FailBatch:
+        return "fail-batch";
+    case DegradedReadPolicy::ScreenerFallback:
+        return "screener-fallback";
+    case DegradedReadPolicy::HostRefetch:
+        return "host-refetch";
+    }
+    return "?";
+}
+
 /** Performance-relevant accelerator parameters. */
 struct AccelConfig
 {
@@ -41,6 +79,9 @@ struct AccelConfig
     bool overlapStages = true;
     /** On-flash weight precision for the candidate rows. */
     WeightPrecision weightPrecision = WeightPrecision::Cfp32;
+    /** Reaction to uncorrectable candidate-row reads. */
+    DegradedReadPolicy degradedPolicy =
+        DegradedReadPolicy::ScreenerFallback;
     /** Accelerator clock. */
     double frequencyHz = circuit::acceleratorFrequencyHz;
 

@@ -165,19 +165,42 @@ InferencePipeline::fetchFp32Rows(
             static_cast<std::uint64_t>(pagesPerRow_)
                 * ssd_.config().pageBytes);
         std::uint64_t bytes_left = bytes_wanted;
+        bool group_lost = false;
         for (unsigned p = 0; p < pagesPerRow_; ++p) {
             const ssdsim::PhysicalPage ppa = layout::pageOfRow(
                 strategy_, ssd_.config(), group, p);
             const std::uint32_t chunk =
                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
                     bytes_left, ssd_.config().pageBytes));
-            done = std::max(
-                done, ssd_.flash().readPage(ppa, issue_at,
-                                            transfer_gate, chunk));
+            bool unreadable = false;
+            sim::Tick page_done = ssd_.flash().readPage(
+                ppa, issue_at, transfer_gate, chunk, &unreadable);
+            if (unreadable) {
+                ++timing.uncorrectablePages;
+                switch (config_.degradedPolicy) {
+                case DegradedReadPolicy::FailBatch:
+                    timing.failed = true;
+                    break;
+                case DegradedReadPolicy::ScreenerFallback:
+                    // The rows packed in this page keep their INT4
+                    // screener score; no extra device time.
+                    group_lost = true;
+                    break;
+                case DegradedReadPolicy::HostRefetch:
+                    // Pull the page from the host's DRAM copy of the
+                    // weights over the host link.
+                    page_done = ssd_.hostTransfer(chunk, page_done);
+                    ++timing.hostRefetches;
+                    break;
+                }
+            }
+            done = std::max(done, page_done);
             bytes_left -= chunk;
             ++timing.fp32PagesRead;
             ++timing.channelPages[ppa.channel];
         }
+        if (group_lost)
+            timing.degradedRows += rows_wanted;
         timing.fp32BytesRead += bytes_wanted;
     }
     return done;
@@ -332,6 +355,11 @@ InferencePipeline::run(CandidateSource &source, unsigned batches)
         cursor = timing.finishedAt;
         flops += timing.fp32Flops;
         fp32_bytes += timing.fp32BytesRead;
+        result.uncorrectablePages += timing.uncorrectablePages;
+        result.degradedRows += timing.degradedRows;
+        result.hostRefetches += timing.hostRefetches;
+        if (timing.failed)
+            ++result.failedBatches;
         result.batches.push_back(std::move(timing));
     }
     result.totalTime = cursor - started;

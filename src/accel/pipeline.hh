@@ -64,6 +64,17 @@ struct BatchTiming
     sim::Tick int4StageTime = 0;
     /** Per-channel pages read during this batch (FP32 weights). */
     std::vector<std::uint64_t> channelPages;
+    /** FP32 candidate pages lost to uncorrectable ECC errors. */
+    std::uint64_t uncorrectablePages = 0;
+    /** Candidate rows served with the INT4 screener score because
+     *  their FP32 page was lost (ScreenerFallback policy). */
+    std::uint64_t degradedRows = 0;
+    /** Lost pages re-fetched from host DRAM (HostRefetch policy). */
+    std::uint64_t hostRefetches = 0;
+    /** True when an uncorrectable read aborted the batch (FailBatch
+     *  policy); timing still covers the work done up to the abort
+     *  decision, but the batch produced no usable result. */
+    bool failed = false;
 
     sim::Tick
     latency() const
@@ -81,6 +92,14 @@ struct RunResult
     double channelUtilization = 0.0;
     /** Average effective FP32 GFLOPS across the run. */
     double effectiveGflops = 0.0;
+    /** Sum of per-batch uncorrectable FP32 page losses. */
+    std::uint64_t uncorrectablePages = 0;
+    /** Sum of per-batch screener-degraded rows. */
+    std::uint64_t degradedRows = 0;
+    /** Sum of per-batch host-DRAM page refetches. */
+    std::uint64_t hostRefetches = 0;
+    /** Batches aborted under the FailBatch policy. */
+    unsigned failedBatches = 0;
 
     /** Mean batch latency in milliseconds. */
     double
@@ -157,6 +176,21 @@ class InferencePipeline
 
     /** Disable the INT4 screening stage (the -N architectures). */
     void setScreeningEnabled(bool enabled) { screening_ = enabled; }
+
+    /** Reaction to uncorrectable candidate-row reads. */
+    DegradedReadPolicy
+    degradedPolicy() const
+    {
+        return config_.degradedPolicy;
+    }
+
+    /** Switch the degraded-read policy (e.g. the server's last-resort
+     *  fallback after FailBatch retries are exhausted). */
+    void
+    setDegradedPolicy(DegradedReadPolicy policy)
+    {
+        config_.degradedPolicy = policy;
+    }
 
   private:
     /** Fetch one tile's INT4 weights; returns the completion tick. */

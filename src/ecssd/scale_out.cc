@@ -30,6 +30,7 @@ ScaleOutEcssd::ScaleOutEcssd(const xclass::BenchmarkSpec &spec,
         shards_.push_back(std::make_unique<EcssdSystem>(
             shardSpec_, shard_options));
     }
+    health_.resize(devices);
 }
 
 unsigned
@@ -40,9 +41,54 @@ ScaleOutEcssd::devicesNeeded(const xclass::BenchmarkSpec &spec,
     // and management data).
     const std::uint64_t usable = static_cast<std::uint64_t>(
         static_cast<double>(dram_bytes) * 0.8);
-    ECSSD_ASSERT(usable > 0, "device has no usable DRAM");
+    if (usable == 0) {
+        // A user/configuration error, not a simulator bug: without
+        // usable DRAM the shard count is unbounded (and the division
+        // below would be by zero).
+        sim::fatal("devicesNeeded: per-device DRAM of ", dram_bytes,
+                   " bytes leaves no usable weight capacity");
+    }
     return static_cast<unsigned>(
         (spec.int4WeightBytes() + usable - 1) / usable);
+}
+
+void
+ScaleOutEcssd::failShard(unsigned shard)
+{
+    failShardAfterBatches(shard, 0);
+}
+
+void
+ScaleOutEcssd::failShardAfterBatches(unsigned shard,
+                                     unsigned batches)
+{
+    ECSSD_ASSERT(shard < shards_.size(), "shard index out of range");
+    health_[shard].failAfterBatches = batches;
+    if (batches == 0)
+        health_[shard].alive = false;
+}
+
+bool
+ScaleOutEcssd::shardAlive(unsigned shard) const
+{
+    ECSSD_ASSERT(shard < shards_.size(), "shard index out of range");
+    return health_[shard].alive;
+}
+
+const ShardHealth &
+ScaleOutEcssd::health(unsigned shard) const
+{
+    ECSSD_ASSERT(shard < shards_.size(), "shard index out of range");
+    return health_[shard];
+}
+
+unsigned
+ScaleOutEcssd::aliveDevices() const
+{
+    unsigned alive = 0;
+    for (const ShardHealth &health : health_)
+        alive += health.alive ? 1 : 0;
+    return alive;
 }
 
 ScaleOutResult
@@ -50,18 +96,58 @@ ScaleOutEcssd::runInference(unsigned batches)
 {
     ScaleOutResult result;
     sim::Tick slowest = 0;
-    for (const std::unique_ptr<EcssdSystem> &shard : shards_) {
-        accel::RunResult run = shard->runInference(batches);
-        slowest = std::max(slowest, run.totalTime);
-        result.totalEnergyUj +=
-            shard->estimateRunEnergy(run).totalUj();
+    std::uint64_t served_shard_batches = 0;
+    std::uint64_t lost_shard_batches = 0;
+    for (unsigned d = 0; d < devices(); ++d) {
+        ShardHealth &health = health_[d];
+        const unsigned quota = health.alive
+            ? std::min(batches, health.failAfterBatches)
+            : 0;
+        accel::RunResult run;
+        if (quota > 0) {
+            run = shards_[d]->runInference(quota);
+            slowest = std::max(slowest, run.totalTime);
+            result.totalEnergyUj +=
+                shards_[d]->estimateRunEnergy(run).totalUj();
+        }
+        if (quota < batches && health.alive) {
+            health.alive = false;
+            sim::warn("shard ", d, " failed after ", quota,
+                      " of ", batches, " batches; merging over "
+                      "survivors");
+        }
+        if (health.failAfterBatches
+            != std::numeric_limits<unsigned>::max())
+            health.failAfterBatches -= quota;
+        health.batchesServed += quota;
+        served_shard_batches += quota;
+        lost_shard_batches += batches - quota;
         result.shards.push_back(std::move(run));
     }
+    if (served_shard_batches == 0)
+        sim::fatal("scale-out run with no surviving shards: every "
+                   "device failed before serving a batch");
+
+    result.survivingDevices = aliveDevices();
+    result.failedDevices = devices() - result.survivingDevices;
+
+    // A dead shard's categories never reach the merge; under a
+    // uniform true-label distribution each lost shard-batch forfeits
+    // its share of the category space.
+    const double shard_share =
+        static_cast<double>(shardSpec_.categories)
+        / static_cast<double>(fullSpec_.categories);
+    result.recallLossEstimate = std::min(
+        1.0,
+        static_cast<double>(lost_shard_batches) * shard_share
+            / std::max(1u, batches));
+
     // Devices run concurrently; the host-side top-k merge of
     // per-shard results is a trivial K-way merge over the PCIe
-    // fabric, modeled as a small fixed cost per batch.
+    // fabric, modeled as a small fixed cost per shard-batch that
+    // actually produced results.
     const sim::Tick merge =
-        sim::microseconds(5.0) * batches * devices();
+        sim::microseconds(5.0) * served_shard_batches;
     result.totalTime = slowest + merge;
     result.meanBatchMs = sim::tickToMs(result.totalTime)
         / std::max(1u, batches);

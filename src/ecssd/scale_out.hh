@@ -4,11 +4,20 @@
  * for one device's DRAM is partitioned row-wise across several
  * ECSSDs that execute in parallel; the host merges per-device top-k
  * results.
+ *
+ * Fleet fault tolerance: a device can be marked failed (immediately
+ * or after a number of batches, modeling a mid-run loss), the fleet
+ * tracks per-shard health, and the merge proceeds over the surviving
+ * shards.  Because the partition is row-wise, losing a shard loses
+ * exactly its category range: the merged top-k stays correct for
+ * every surviving category, and ScaleOutResult carries the expected
+ * recall loss.
  */
 
 #ifndef ECSSD_ECSSD_SCALE_OUT_HH
 #define ECSSD_ECSSD_SCALE_OUT_HH
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -17,10 +26,24 @@
 namespace ecssd
 {
 
+/** Liveness and service record of one fleet shard. */
+struct ShardHealth
+{
+    /** False once the device failed (injected or scheduled). */
+    bool alive = true;
+    /** Batches this shard completed across all runs. */
+    std::uint64_t batchesServed = 0;
+    /** Batches remaining before a scheduled failure triggers;
+     *  max() means no failure is scheduled. */
+    unsigned failAfterBatches =
+        std::numeric_limits<unsigned>::max();
+};
+
 /** Outcome of one scale-out inference run. */
 struct ScaleOutResult
 {
-    /** Per-device run results, in partition order. */
+    /** Per-device run results, in partition order (a shard that was
+     *  dead for the whole run contributes an empty result). */
     std::vector<accel::RunResult> shards;
     /** Wall-clock time: max over devices plus the host merge. */
     sim::Tick totalTime = 0;
@@ -28,6 +51,18 @@ struct ScaleOutResult
     double meanBatchMs = 0.0;
     /** Total energy over all devices, microjoules. */
     double totalEnergyUj = 0.0;
+    /** Shards still alive after the run. */
+    unsigned survivingDevices = 0;
+    /** Shards dead by the end of the run. */
+    unsigned failedDevices = 0;
+    /**
+     * Expected fraction of true top-k answers lost to dead shards,
+     * averaged over the run's batches: a dead shard's category range
+     * simply does not compete in the merge, so under a uniform true
+     * label distribution each dead-shard batch loses its share of
+     * the categories.
+     */
+    double recallLossEstimate = 0.0;
 };
 
 /**
@@ -61,12 +96,37 @@ class ScaleOutEcssd
     /**
      * Minimum device count for @p spec given a per-device DRAM
      * capacity and the ~80% fill target the paper plans with.
+     *
+     * Fatal when @p dram_bytes leaves no usable weight capacity (a
+     * zero-DRAM device can never hold a shard).
      */
     static unsigned devicesNeeded(const xclass::BenchmarkSpec &spec,
                                   std::uint64_t dram_bytes);
 
+    // --- Fault injection / health ---------------------------------
+    /** Mark @p shard failed immediately: it serves no further
+     *  batches. */
+    void failShard(unsigned shard);
+
+    /** Schedule @p shard to fail after serving @p batches more
+     *  batches (0 = immediately), modeling a mid-run device loss. */
+    void failShardAfterBatches(unsigned shard, unsigned batches);
+
+    /** Liveness of one shard. */
+    bool shardAlive(unsigned shard) const;
+
+    /** Health record of one shard. */
+    const ShardHealth &health(unsigned shard) const;
+
+    /** Currently-alive device count. */
+    unsigned aliveDevices() const;
+
     /**
-     * Run @p batches batches on every shard in parallel and merge.
+     * Run @p batches batches on every live shard in parallel and
+     * merge over the survivors.  A shard whose scheduled failure
+     * triggers mid-run stops after its remaining quota; the merge
+     * then proceeds without it and the result reports the estimated
+     * recall loss.  Fatal when no shard serves any batch.
      */
     ScaleOutResult runInference(unsigned batches);
 
@@ -74,6 +134,7 @@ class ScaleOutEcssd
     xclass::BenchmarkSpec fullSpec_;
     xclass::BenchmarkSpec shardSpec_;
     std::vector<std::unique_ptr<EcssdSystem>> shards_;
+    std::vector<ShardHealth> health_;
 };
 
 } // namespace ecssd

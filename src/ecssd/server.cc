@@ -13,8 +13,9 @@ namespace ecssd
 InferenceServer::InferenceServer(
     const numeric::FloatMatrix &weights,
     const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
-    const numeric::FloatMatrix *trained_projection)
-    : weights_(weights), spec_(spec),
+    const numeric::FloatMatrix *trained_projection,
+    const ServerConfig &server_config)
+    : weights_(weights), spec_(spec), config_(server_config),
       classifier_(weights, spec, options.seed, trained_projection),
       system_(std::make_unique<EcssdSystem>(spec, options))
 {
@@ -36,24 +37,94 @@ InferenceServer::enqueueAt(std::vector<float> feature,
     ECSSD_ASSERT(feature.size() == spec_.hiddenDim,
                  "feature dimension mismatch");
     const RequestId id = nextId_++;
+    if (config_.queueCapacity != 0
+        && pending_.size() >= config_.queueCapacity) {
+        // Admission control: shedding at arrival keeps the queue
+        // (and therefore worst-case queueing delay) bounded under
+        // overload.
+        ++stats_.shedRequests;
+        unservedResponses_.push_back(
+            Response{id, {}, arrival, Response::Status::Shed});
+        return id;
+    }
+    ++stats_.acceptedRequests;
     pending_.push_back(
         PendingRequest{id, std::move(feature), arrival});
     return id;
 }
 
+bool
+InferenceServer::expiredBy(const PendingRequest &request,
+                           sim::Tick at) const
+{
+    return config_.requestDeadline != 0
+        && at > request.enqueuedAt + config_.requestDeadline;
+}
+
+accel::BatchTiming
+InferenceServer::timeBatchWithRetries(
+    const std::vector<std::uint64_t> &candidates, sim::Tick &backoff)
+{
+    backoff = 0;
+    system_->ssd().resetTimelines();
+    accel::BatchTiming timing =
+        system_->pipeline().runBatch(candidates, 0);
+
+    // FailBatch aborts retry with exponential backoff; every retry
+    // re-reads the flash, so a transient ECC loss usually clears
+    // (the fault draws advance with the device's event counter).
+    double backoff_us = config_.retryBackoffUs;
+    for (unsigned attempt = 0;
+         timing.failed && attempt < config_.maxBatchRetries;
+         ++attempt) {
+        ++stats_.batchRetries;
+        backoff += sim::microseconds(backoff_us);
+        backoff_us *= 2.0;
+        system_->ssd().resetTimelines();
+        timing = system_->pipeline().runBatch(candidates, 0);
+    }
+
+    if (timing.failed) {
+        // Retry budget exhausted: serve the batch degraded (screener
+        // scores for the lost rows) rather than dropping it.
+        ++stats_.exhaustedBatches;
+        accel::InferencePipeline &pipeline = system_->pipeline();
+        const accel::DegradedReadPolicy saved =
+            pipeline.degradedPolicy();
+        pipeline.setDegradedPolicy(
+            accel::DegradedReadPolicy::ScreenerFallback);
+        system_->ssd().resetTimelines();
+        timing = pipeline.runBatch(candidates, 0);
+        pipeline.setDegradedPolicy(saved);
+    }
+    return timing;
+}
+
 std::vector<InferenceServer::Response>
 InferenceServer::serveOneBatch(std::size_t k)
 {
-    if (pending_.empty())
-        return {};
-    // Take up to one device batch of requests.
-    const std::size_t take =
-        std::min<std::size_t>(spec_.batchSize, pending_.size());
+    std::vector<Response> responses;
+
+    // Form the batch, dropping requests that already missed their
+    // deadline — serving a dead request burns device time that live
+    // requests behind it are waiting for.
     std::vector<PendingRequest> batch;
-    for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(pending_.front()));
+    while (batch.size() < spec_.batchSize && !pending_.empty()) {
+        PendingRequest request = std::move(pending_.front());
         pending_.pop_front();
+        if (expiredBy(request, deviceClock_)) {
+            ++stats_.timedOutRequests;
+            ++stats_.droppedBeforeService;
+            responses.push_back(Response{request.id,
+                                         {},
+                                         deviceClock_,
+                                         Response::Status::TimedOut});
+            continue;
+        }
+        batch.push_back(std::move(request));
     }
+    if (batch.empty())
+        return responses;
 
     // Functional pass: screen every query and union the candidate
     // rows the device must fetch for this batch.
@@ -77,19 +148,33 @@ InferenceServer::serveOneBatch(std::size_t k)
         start = std::max(start, request.enqueuedAt);
     const std::vector<std::uint64_t> candidates(union_rows.begin(),
                                                 union_rows.end());
-    system_->ssd().resetTimelines();
+    sim::Tick backoff = 0;
     const accel::BatchTiming timing =
-        system_->pipeline().runBatch(candidates, 0);
-    const sim::Tick finished = start + timing.latency();
+        timeBatchWithRetries(candidates, backoff);
+    const sim::Tick finished = start + backoff + timing.latency();
+    stats_.degradedRows += timing.degradedRows;
 
-    std::vector<Response> responses;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const double ms =
             sim::tickToMs(finished - batch[i].enqueuedAt);
         latencyMs_.sample(ms);
         latencyPercentiles_.sample(ms);
-        responses.push_back(Response{
-            batch[i].id, std::move(predictions[i]), finished});
+        Response::Status status;
+        if (config_.requestDeadline != 0
+            && finished
+                > batch[i].enqueuedAt + config_.requestDeadline) {
+            status = Response::Status::TimedOut;
+            ++stats_.timedOutRequests;
+        } else if (timing.degradedRows > 0) {
+            status = Response::Status::Degraded;
+            ++stats_.degradedResponses;
+        } else {
+            status = Response::Status::Ok;
+            ++stats_.okResponses;
+        }
+        responses.push_back(Response{batch[i].id,
+                                     std::move(predictions[i]),
+                                     finished, status});
     }
     deviceClock_ = finished;
     return responses;
@@ -104,6 +189,9 @@ InferenceServer::processAll(std::size_t k)
         for (Response &response : batch)
             responses.push_back(std::move(response));
     }
+    for (Response &response : unservedResponses_)
+        responses.push_back(std::move(response));
+    unservedResponses_.clear();
     return responses;
 }
 
@@ -146,6 +234,9 @@ InferenceServer::runOpenLoop(
         for (Response &response : batch)
             responses.push_back(std::move(response));
     }
+    for (Response &response : unservedResponses_)
+        responses.push_back(std::move(response));
+    unservedResponses_.clear();
     return responses;
 }
 

@@ -5,6 +5,14 @@
  * (Section 4.5 processes a batch of inputs per tile sweep), runs the
  * functional screening + classification, and reports per-request
  * latency statistics.
+ *
+ * Production hardening: per-request deadlines (late answers complete
+ * as TimedOut, already-expired requests are dropped before burning
+ * device time), bounded-queue admission control (overload sheds new
+ * arrivals instead of growing the queue without bound), and a
+ * retry-with-backoff path for batches the device aborts under the
+ * FailBatch degraded-read policy (with a screener-fallback last
+ * resort so the server keeps answering on a dying device).
  */
 
 #ifndef ECSSD_ECSSD_SERVER_HH
@@ -22,6 +30,47 @@
 namespace ecssd
 {
 
+/** Serving-policy knobs of the InferenceServer. */
+struct ServerConfig
+{
+    /** Per-request completion deadline measured from arrival; a
+     *  request finishing later completes as TimedOut, and a request
+     *  already expired when its batch forms is dropped without device
+     *  work.  0 disables deadlines. */
+    sim::Tick requestDeadline = 0;
+    /** Admission-control bound on the pending queue; arrivals beyond
+     *  it are shed immediately.  0 means unbounded. */
+    std::size_t queueCapacity = 0;
+    /** Device-batch retries after a FailBatch abort before the
+     *  screener-fallback last resort serves the batch degraded. */
+    unsigned maxBatchRetries = 2;
+    /** First retry backoff; doubles on every further attempt. */
+    double retryBackoffUs = 100.0;
+};
+
+/** Fault/health counters of one server instance. */
+struct ServerStats
+{
+    std::uint64_t acceptedRequests = 0;
+    /** Arrivals rejected by the bounded queue. */
+    std::uint64_t shedRequests = 0;
+    /** Requests that missed their deadline (dropped or served
+     *  late). */
+    std::uint64_t timedOutRequests = 0;
+    /** Expired requests dropped before any device work. */
+    std::uint64_t droppedBeforeService = 0;
+    /** Responses carrying screener-degraded rows. */
+    std::uint64_t degradedResponses = 0;
+    std::uint64_t okResponses = 0;
+    /** Device-batch re-executions after FailBatch aborts. */
+    std::uint64_t batchRetries = 0;
+    /** Batches that exhausted retries and fell back to degraded
+     *  service. */
+    std::uint64_t exhaustedBatches = 0;
+    /** Candidate rows served from the INT4 screener score. */
+    std::uint64_t degradedRows = 0;
+};
+
 /** The batching inference server. */
 class InferenceServer
 {
@@ -31,10 +80,26 @@ class InferenceServer
     /** One finished request. */
     struct Response
     {
+        /** How the request left the server. */
+        enum class Status
+        {
+            /** Served at full precision before the deadline. */
+            Ok,
+            /** Served, but some candidate rows carry screener scores
+             *  (uncorrectable FP32 pages). */
+            Degraded,
+            /** Deadline missed: either dropped unserved (empty
+             *  prediction) or completed late. */
+            TimedOut,
+            /** Rejected at admission by the bounded queue. */
+            Shed,
+        };
+
         RequestId id = 0;
         xclass::ApproximateClassifier::Prediction prediction;
         /** Device-time completion of the request's batch. */
         sim::Tick completedAt = 0;
+        Status status = Status::Ok;
     };
 
     /**
@@ -43,12 +108,16 @@ class InferenceServer
      * @param spec Benchmark parameters.
      * @param options Device configuration.
      * @param trained_projection Optional learned projection.
+     * @param server_config Serving-policy knobs (deadlines, queue
+     *        bound, retry budget).
      */
     InferenceServer(const numeric::FloatMatrix &weights,
                     const xclass::BenchmarkSpec &spec,
                     const EcssdOptions &options = EcssdOptions::full(),
                     const numeric::FloatMatrix *trained_projection =
-                        nullptr);
+                        nullptr,
+                    const ServerConfig &server_config =
+                        ServerConfig{});
 
     /** Queue one query arriving now; returns its request id. */
     RequestId enqueue(std::vector<float> feature);
@@ -64,7 +133,8 @@ class InferenceServer
      * Process every pending request in device batches.
      *
      * @param k Top-k size per request.
-     * @return Responses in completion order.
+     * @return Responses in completion order (shed/dropped requests
+     *         included, with their terminal status).
      */
     std::vector<Response> processAll(std::size_t k);
 
@@ -85,7 +155,8 @@ class InferenceServer
         double requests_per_second, unsigned request_count,
         std::size_t k, std::uint64_t seed = 1);
 
-    /** Per-request latency samples (milliseconds). */
+    /** Per-request latency samples (milliseconds; served requests
+     *  only). */
     const sim::Distribution &latencyMs() const { return latencyMs_; }
 
     /** Latency quantiles (milliseconds). */
@@ -97,6 +168,12 @@ class InferenceServer
     /** Total simulated device time consumed so far. */
     sim::Tick deviceTime() const { return deviceClock_; }
 
+    /** Fault/health counters. */
+    const ServerStats &serverStats() const { return stats_; }
+
+    /** The serving-policy knobs this server runs with. */
+    const ServerConfig &serverConfig() const { return config_; }
+
   private:
     struct PendingRequest
     {
@@ -105,11 +182,32 @@ class InferenceServer
         sim::Tick enqueuedAt;
     };
 
+    /** True when @p request missed its deadline by tick @p at. */
+    bool expiredBy(const PendingRequest &request, sim::Tick at) const;
+
+    /**
+     * Run the device-timing pass for one batch, retrying FailBatch
+     * aborts with exponential backoff and falling back to degraded
+     * service when the retry budget is exhausted.
+     *
+     * @param candidates Union candidate rows of the batch.
+     * @param[out] backoff Accumulated retry backoff to add to the
+     *        batch completion time.
+     */
+    accel::BatchTiming timeBatchWithRetries(
+        const std::vector<std::uint64_t> &candidates,
+        sim::Tick &backoff);
+
     const numeric::FloatMatrix &weights_;
     xclass::BenchmarkSpec spec_;
+    ServerConfig config_;
     xclass::ApproximateClassifier classifier_;
     std::unique_ptr<EcssdSystem> system_;
     std::deque<PendingRequest> pending_;
+    /** Terminal responses produced outside a served batch (shed at
+     *  admission, dropped at expiry); drained by processAll /
+     *  runOpenLoop. */
+    std::vector<Response> unservedResponses_;
     /** Serve the oldest <= batchSize pending requests once. */
     std::vector<Response> serveOneBatch(std::size_t k);
 
@@ -117,6 +215,7 @@ class InferenceServer
     sim::Tick deviceClock_ = 0;
     sim::Distribution latencyMs_;
     sim::Percentiles latencyPercentiles_;
+    ServerStats stats_;
 };
 
 } // namespace ecssd

@@ -20,6 +20,9 @@ describe(const EcssdOptions &options)
                : "flash")
        << " overlap=" << (options.overlapStages ? "on" : "off")
        << " screening=" << (options.screening ? "on" : "off");
+    if (options.ssd.uncorrectableReadRate > 0.0)
+        os << " degraded-policy="
+           << accel::toString(options.degradedPolicy);
     return os.str();
 }
 
@@ -64,6 +67,7 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
     accel_config.fpKind = options.fpKind;
     accel_config.overlapStages = options.overlapStages;
     accel_config.weightPrecision = options.weightPrecision;
+    accel_config.degradedPolicy = options.degradedPolicy;
     pipeline_ = std::make_unique<accel::InferencePipeline>(
         spec_, accel_config, *ssd_, *strategy_,
         options.int4Placement);

@@ -66,6 +66,15 @@ struct SsdConfig
      * block growth).  0 disables injection.
      */
     double eraseFailureRate = 0.0;
+    /**
+     * Fraction of page reads whose ECC cannot recover the data even
+     * after the full retry ladder.  The read still occupies the die
+     * and bus (the failure is discovered after the transfer, when
+     * the controller decodes the codeword) plus one extra tR for the
+     * exhausted retry ladder; callers receive the failure through
+     * readPage's out-parameter.  0 disables injection.
+     */
+    double uncorrectableReadRate = 0.0;
 
     // --- DRAM ------------------------------------------------------------
     std::uint64_t dramBytes = 16ULL * 1024 * 1024 * 1024;

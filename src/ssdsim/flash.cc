@@ -60,8 +60,11 @@ FlashArray::senseTimelineOf(const PhysicalPage &ppa)
 
 sim::Tick
 FlashArray::readPage(const PhysicalPage &ppa, sim::Tick issue_at,
-                     sim::Tick transfer_gate, std::uint32_t bytes)
+                     sim::Tick transfer_gate, std::uint32_t bytes,
+                     bool *uncorrectable)
 {
+    if (uncorrectable)
+        *uncorrectable = false;
     if (bytes == 0 || bytes > config_.pageBytes)
         bytes = config_.pageBytes;
     sim::Tick &sense_timeline = senseTimelineOf(ppa);
@@ -81,6 +84,15 @@ FlashArray::readPage(const PhysicalPage &ppa, sim::Tick issue_at,
         && faultDraw(ppa, 0x5ead) < config_.readRetryRate) {
         sense_done += config_.readLatency();
         ++channel.stats.readRetries;
+    }
+    if (config_.uncorrectableReadRate > 0.0
+        && faultDraw(ppa, 0xecc) < config_.uncorrectableReadRate) {
+        // The controller walks the whole retry ladder before giving
+        // up: one more tR on top of whatever retries already ran.
+        sense_done += config_.readLatency();
+        ++channel.stats.uncorrectableReads;
+        if (uncorrectable)
+            *uncorrectable = true;
     }
     const sim::Tick transfer =
         sim::transferTime(bytes, config_.channelBandwidthGbps);

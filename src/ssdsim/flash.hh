@@ -40,6 +40,8 @@ struct ChannelStats
     std::uint64_t blocksErased = 0;
     /** Reads that needed a retry (extra tR). */
     std::uint64_t readRetries = 0;
+    /** Reads whose ECC failed even after the retry ladder. */
+    std::uint64_t uncorrectableReads = 0;
     /** Total bus-occupied time. */
     sim::Tick busBusyTime = 0;
     /** Bytes streamed over the channel bus by reads. */
@@ -70,12 +72,18 @@ class FlashArray
      * @param bytes Bytes actually streamed over the bus (partial
      *        page transfers are allowed; 0 means the full page).
      *        Sensing always costs a full tR.
+     * @param[out] uncorrectable Set true when ECC could not recover
+     *        the page even after the retry ladder; the returned tick
+     *        then includes one extra tR for the exhausted ladder and
+     *        the caller must treat the data as lost (nullptr to
+     *        ignore).
      * @return Tick at which the data has fully crossed the channel
      *         bus into the data buffer.
      */
     sim::Tick readPage(const PhysicalPage &ppa, sim::Tick issue_at,
                        sim::Tick transfer_gate = 0,
-                       std::uint32_t bytes = 0);
+                       std::uint32_t bytes = 0,
+                       bool *uncorrectable = nullptr);
 
     /**
      * Program one page (bus transfer in, then array program).

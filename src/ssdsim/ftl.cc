@@ -192,7 +192,17 @@ Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
         if (it == p2l_.end())
             continue;
         const LogicalPage lpa = it->second;
-        t = flash_.readPage(src, t);
+        bool unreadable = false;
+        t = flash_.readPage(src, t, 0, 0, &unreadable);
+        if (unreadable) {
+            // The stale codeword still relocates (the block must be
+            // reclaimed) but the copy is latent data loss: a future
+            // host read of this lpa returns corrupt data on a real
+            // drive.  Surfacing that would need per-page poison
+            // state; counting + warning keeps the model honest.
+            ++stats_.gcUncorrectableReads;
+            sim::warn("GC relocating uncorrectable page lpa ", lpa);
+        }
         const PhysicalPage dst = allocateInPool(pool);
         t = flash_.programPage(dst, t);
         const std::uint64_t dst_id = codec_.encode(dst);
@@ -275,13 +285,20 @@ Ftl::write(LogicalPage lpa, sim::Tick issue_at)
 }
 
 sim::Tick
-Ftl::read(LogicalPage lpa, sim::Tick issue_at)
+Ftl::read(LogicalPage lpa, sim::Tick issue_at, bool *uncorrectable)
 {
     const auto it = l2p_.find(lpa);
     if (it == l2p_.end())
         sim::fatal("read of unmapped logical page ", lpa);
     ++stats_.hostReads;
-    return flash_.readPage(codec_.decode(it->second), issue_at);
+    bool failed = false;
+    const sim::Tick done = flash_.readPage(
+        codec_.decode(it->second), issue_at, 0, 0, &failed);
+    if (failed)
+        ++stats_.uncorrectableReads;
+    if (uncorrectable)
+        *uncorrectable = failed;
+    return done;
 }
 
 void

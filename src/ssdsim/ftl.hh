@@ -48,6 +48,12 @@ struct FtlStats
     std::uint64_t gcErases = 0;
     /** Blocks retired after erase failures. */
     std::uint64_t badBlocks = 0;
+    /** Host reads whose page was uncorrectable (surfaced to the
+     *  caller instead of being reported as success). */
+    std::uint64_t uncorrectableReads = 0;
+    /** GC relocation reads that hit an uncorrectable page; the stale
+     *  copy is relocated anyway (latent data loss, warned). */
+    std::uint64_t gcUncorrectableReads = 0;
 
     /** Write amplification factor. */
     double
@@ -94,9 +100,16 @@ class Ftl
     /**
      * Read one logical page.
      *
+     * @param[out] uncorrectable Set true when the media could not
+     *        deliver the page (ECC failure after the retry ladder);
+     *        the caller decides whether to degrade, refetch, or fail
+     *        (nullptr to ignore, restoring the legacy
+     *        pretend-success behaviour — the failure still counts in
+     *        FtlStats).
      * @return Completion tick; fatal if the page was never written.
      */
-    sim::Tick read(LogicalPage lpa, sim::Tick issue_at);
+    sim::Tick read(LogicalPage lpa, sim::Tick issue_at,
+                   bool *uncorrectable = nullptr);
 
     /** Invalidate a logical page (TRIM). */
     void trim(LogicalPage lpa);

@@ -66,7 +66,6 @@ NvmeController::pump()
 void
 NvmeController::execute(unsigned qp, const NvmeCommand &command)
 {
-    QueuePair &queue = queues_[qp];
     sim::EventQueue &events = device_.queue();
     const sim::Tick submitted_at = events.now();
     const std::uint64_t bytes =
@@ -97,8 +96,14 @@ NvmeController::execute(unsigned qp, const NvmeCommand &command)
                 ok = false;
                 continue;
             }
+            bool uncorrectable = false;
             flash_done = std::max(
-                flash_done, device_.ftl().read(lpa, arrived));
+                flash_done,
+                device_.ftl().read(lpa, arrived, &uncorrectable));
+            // Uncorrectable media errors complete the command with
+            // an error status, like a real NVMe device.
+            if (uncorrectable)
+                ok = false;
         }
         done = ok ? device_.hostTransfer(bytes, flash_done)
                   : flash_done;

@@ -57,7 +57,22 @@ SsdDevice::hostRead(LogicalPage lpa, Completion on_done)
 
     const sim::Tick arrived = hostTransfer(0, queue_.now());
     const sim::Tick map_done = dram_.stream(8, arrived);
-    const sim::Tick flash_done = ftl_.read(lpa, map_done);
+    bool uncorrectable = false;
+    const sim::Tick flash_done =
+        ftl_.read(lpa, map_done, &uncorrectable);
+    if (uncorrectable) {
+        // The command completes with a media error status; only the
+        // completion entry (no payload) crosses the host link.
+        ++stats_.hostUncorrectableReads;
+        stats_.hostBytesOut -= config_.pageBytes;
+        const sim::Tick done = hostTransfer(0, flash_done);
+        queue_.schedule(done,
+                        [on_done = std::move(on_done), done] {
+                            on_done(done);
+                        },
+                        "host_read_error");
+        return;
+    }
     const sim::Tick done =
         hostTransfer(config_.pageBytes, flash_done);
     queue_.schedule(done,

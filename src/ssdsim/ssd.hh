@@ -40,6 +40,8 @@ struct SsdStats
     std::uint64_t hostBytesOut = 0;
     /** Raw bytes moved via hostTransfer (accelerator-mode I/O). */
     std::uint64_t hostBytesRaw = 0;
+    /** Host reads completed with an uncorrectable-media error. */
+    std::uint64_t hostUncorrectableReads = 0;
 };
 
 /** The simulated SSD device. */

@@ -2,12 +2,16 @@
  * @file
  * Fault-injection tests: read retries slow reads down without
  * breaking correctness; erase failures grow the bad-block list
- * while the FTL keeps serving.
+ * while the FTL keeps serving; uncorrectable reads propagate from
+ * the flash array through the FTL and pipeline up to the server,
+ * which degrades gracefully instead of aborting.
  */
 
 #include <gtest/gtest.h>
 
+#include "ecssd/server.hh"
 #include "ecssd/system.hh"
+#include "sim/rng.hh"
 #include "ssdsim/flash.hh"
 #include "ssdsim/ftl.hh"
 
@@ -84,6 +88,210 @@ TEST(Faults, NoFailuresMeansNoBadBlocks)
     for (int round = 0; round < 1000; ++round)
         now = ftl.write(round % 8, now);
     EXPECT_EQ(ftl.stats().badBlocks, 0u);
+}
+
+TEST(Faults, UncorrectableReadsAreCountedAndFlagged)
+{
+    SsdConfig config = smallTestConfig();
+    config.uncorrectableReadRate = 0.5;
+    FlashArray clean(smallTestConfig());
+    FlashArray worn(config);
+
+    unsigned flagged = 0;
+    sim::Tick clean_done = 0, worn_done = 0;
+    for (unsigned p = 0; p < 64; ++p) {
+        const PhysicalPage ppa{0, 0, 0, 0,
+                               p % config.pagesPerBlock};
+        clean_done =
+            std::max(clean_done, clean.readPage(ppa, 0));
+        bool uncorrectable = false;
+        worn_done = std::max(
+            worn_done,
+            worn.readPage(ppa, 0, 0, 0, &uncorrectable));
+        flagged += uncorrectable ? 1 : 0;
+    }
+    EXPECT_EQ(clean.channelStats(0).uncorrectableReads, 0u);
+    EXPECT_EQ(worn.channelStats(0).uncorrectableReads, flagged);
+    EXPECT_GT(flagged, 10u);
+    EXPECT_LT(flagged, 64u);
+    // The exhausted retry ladder costs die time.
+    EXPECT_GT(worn_done, clean_done);
+}
+
+TEST(Faults, FtlSurfacesUncorrectableReads)
+{
+    SsdConfig config = smallTestConfig();
+    config.uncorrectableReadRate = 0.3;
+    FlashArray flash(config);
+    Ftl ftl(config, flash);
+
+    sim::Tick now = 0;
+    for (LogicalPage lpa = 0; lpa < 32; ++lpa)
+        now = ftl.write(lpa, now);
+
+    unsigned flagged = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (LogicalPage lpa = 0; lpa < 32; ++lpa) {
+            bool uncorrectable = false;
+            now = ftl.read(lpa, now, &uncorrectable);
+            flagged += uncorrectable ? 1 : 0;
+        }
+    }
+    EXPECT_GT(flagged, 0u);
+    EXPECT_EQ(ftl.stats().uncorrectableReads, flagged);
+    // The legacy nullptr path still counts the failure.
+    const std::uint64_t before = ftl.stats().uncorrectableReads;
+    for (int round = 0; round < 8; ++round)
+        for (LogicalPage lpa = 0; lpa < 32; ++lpa)
+            now = ftl.read(lpa, now);
+    EXPECT_GT(ftl.stats().uncorrectableReads, before);
+}
+
+TEST(Faults, ZeroFaultRatesAreBitIdenticalAcrossPolicies)
+{
+    // The fault machinery must be zero-cost when disabled: with all
+    // rates at 0, every policy produces the exact same timeline.
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 16384);
+    EcssdOptions base = EcssdOptions::full();
+    EcssdOptions fail_batch = base;
+    fail_batch.degradedPolicy =
+        accel::DegradedReadPolicy::FailBatch;
+    EcssdOptions refetch = base;
+    refetch.degradedPolicy =
+        accel::DegradedReadPolicy::HostRefetch;
+
+    const accel::RunResult a =
+        EcssdSystem(spec, base).runInference(2);
+    const accel::RunResult b =
+        EcssdSystem(spec, fail_batch).runInference(2);
+    const accel::RunResult c =
+        EcssdSystem(spec, refetch).runInference(2);
+    EXPECT_EQ(a.totalTime, b.totalTime);
+    EXPECT_EQ(a.totalTime, c.totalTime);
+    for (const accel::RunResult *run : {&a, &b, &c}) {
+        EXPECT_EQ(run->uncorrectablePages, 0u);
+        EXPECT_EQ(run->degradedRows, 0u);
+        EXPECT_EQ(run->hostRefetches, 0u);
+        EXPECT_EQ(run->failedBatches, 0u);
+    }
+}
+
+TEST(Faults, ScreenerFallbackDegradesRowsWithoutAborting)
+{
+    // The acceptance scenario: a realistic 1e-3 uncorrectable rate
+    // under ScreenerFallback keeps serving — degraded rows, zero
+    // aborted batches.
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 16384);
+    EcssdOptions worn = EcssdOptions::full();
+    worn.ssd.uncorrectableReadRate = 1e-3;
+    worn.degradedPolicy =
+        accel::DegradedReadPolicy::ScreenerFallback;
+
+    const accel::RunResult run =
+        EcssdSystem(spec, worn).runInference(8);
+    EXPECT_GT(run.uncorrectablePages, 0u);
+    EXPECT_GT(run.degradedRows, 0u);
+    EXPECT_EQ(run.failedBatches, 0u);
+    EXPECT_EQ(run.hostRefetches, 0u);
+    ASSERT_EQ(run.batches.size(), 8u);
+    for (const accel::BatchTiming &batch : run.batches)
+        EXPECT_FALSE(batch.failed);
+    // Degradation is bounded: only a tiny fraction of the fetched
+    // rows lost their FP32 page.
+    std::uint64_t fetched = 0;
+    for (const accel::BatchTiming &batch : run.batches)
+        fetched += batch.candidateRows;
+    EXPECT_LT(run.degradedRows * 20, fetched);
+}
+
+TEST(Faults, HostRefetchPreservesPrecisionAtLatencyCost)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 16384);
+    EcssdOptions fallback = EcssdOptions::full();
+    // High enough that some refetched page lands on a tile's fetch
+    // critical path (the draw sequence is deterministic, so this is
+    // stable); at low rates stage overlap can hide the penalty
+    // entirely, which is the pipeline working as intended.
+    fallback.ssd.uncorrectableReadRate = 0.05;
+    fallback.degradedPolicy =
+        accel::DegradedReadPolicy::ScreenerFallback;
+    EcssdOptions refetch = fallback;
+    refetch.degradedPolicy =
+        accel::DegradedReadPolicy::HostRefetch;
+
+    const accel::RunResult cheap =
+        EcssdSystem(spec, fallback).runInference(4);
+    const accel::RunResult precise =
+        EcssdSystem(spec, refetch).runInference(4);
+    ASSERT_GT(cheap.uncorrectablePages, 0u);
+    EXPECT_EQ(precise.uncorrectablePages, cheap.uncorrectablePages);
+    // Refetch restores full precision for every lost page...
+    EXPECT_EQ(precise.degradedRows, 0u);
+    EXPECT_EQ(precise.hostRefetches, precise.uncorrectablePages);
+    // ...but pays host-link latency on the fetch critical path the
+    // fallback does not.
+    sim::Tick cheap_fetch = 0, precise_fetch = 0;
+    for (const accel::BatchTiming &batch : cheap.batches)
+        cheap_fetch += batch.fp32FetchTime;
+    for (const accel::BatchTiming &batch : precise.batches)
+        precise_fetch += batch.fp32FetchTime;
+    EXPECT_GT(precise_fetch, cheap_fetch);
+    EXPECT_GT(precise.totalTime, cheap.totalTime);
+}
+
+TEST(Faults, FailBatchPolicyMarksBatchesFailed)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 16384);
+    EcssdOptions options = EcssdOptions::full();
+    options.ssd.uncorrectableReadRate = 0.01;
+    options.degradedPolicy =
+        accel::DegradedReadPolicy::FailBatch;
+
+    const accel::RunResult run =
+        EcssdSystem(spec, options).runInference(4);
+    EXPECT_GT(run.failedBatches, 0u);
+    // FailBatch never silently degrades.
+    EXPECT_EQ(run.degradedRows, 0u);
+}
+
+TEST(Faults, ServerReportsDegradedResponses)
+{
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 1024);
+    spec.hiddenDim = 128;
+    spec.batchSize = 4;
+    const xclass::SyntheticModel model(spec, 1);
+
+    EcssdOptions worn = EcssdOptions::full();
+    worn.ssd.uncorrectableReadRate = 0.05;
+    worn.degradedPolicy =
+        accel::DegradedReadPolicy::ScreenerFallback;
+    InferenceServer server(model.weights(), spec, worn,
+                           &model.basis());
+
+    sim::Rng rng(11);
+    for (int request = 0; request < 16; ++request)
+        server.enqueue(model.sampleQuery(rng));
+    const auto responses = server.processAll(5);
+    ASSERT_EQ(responses.size(), 16u);
+
+    unsigned degraded = 0;
+    for (const auto &response : responses) {
+        EXPECT_EQ(response.prediction.topCategories.size(), 5u);
+        degraded += response.status
+                == InferenceServer::Response::Status::Degraded
+            ? 1
+            : 0;
+    }
+    EXPECT_GT(degraded, 0u);
+    EXPECT_EQ(server.serverStats().degradedResponses, degraded);
+    EXPECT_GT(server.serverStats().degradedRows, 0u);
+    EXPECT_EQ(server.serverStats().shedRequests, 0u);
+    EXPECT_EQ(server.serverStats().timedOutRequests, 0u);
 }
 
 TEST(Faults, RetriesDegradeInferenceGracefully)

@@ -93,6 +93,76 @@ TEST(ScaleOut, RejectsShardsThatDoNotFitDram)
     EXPECT_THROW(ScaleOutEcssd(huge, 2), sim::PanicError);
 }
 
+TEST(ScaleOut, DevicesNeededRejectsZeroDram)
+{
+    const xclass::BenchmarkSpec s = spec(32768);
+    EXPECT_THROW(ScaleOutEcssd::devicesNeeded(s, 0),
+                 sim::FatalError);
+    // One byte of DRAM rounds to zero usable capacity at 80% fill.
+    EXPECT_THROW(ScaleOutEcssd::devicesNeeded(s, 1),
+                 sim::FatalError);
+    EXPECT_GE(ScaleOutEcssd::devicesNeeded(s, 16ULL << 30), 1u);
+}
+
+TEST(ScaleOut, MidRunFailoverMergesOverSurvivors)
+{
+    // Kill 1 of 4 shards after its first batch of three: the merge
+    // proceeds over the survivors and the result quantifies the
+    // recall loss of the dead shard's category range.
+    ScaleOutEcssd fleet(spec(65536), 4);
+    fleet.failShardAfterBatches(2, 1);
+    const ScaleOutResult result = fleet.runInference(3);
+
+    EXPECT_EQ(result.survivingDevices, 3u);
+    EXPECT_EQ(result.failedDevices, 1u);
+    EXPECT_FALSE(fleet.shardAlive(2));
+    EXPECT_EQ(fleet.health(2).batchesServed, 1u);
+    ASSERT_EQ(result.shards.size(), 4u);
+    EXPECT_EQ(result.shards[2].batches.size(), 1u);
+    for (unsigned d : {0u, 1u, 3u}) {
+        EXPECT_TRUE(fleet.shardAlive(d));
+        EXPECT_EQ(result.shards[d].batches.size(), 3u);
+        EXPECT_GT(result.shards[d].totalTime, 0u);
+    }
+    // 2 of 3 batches each lost one shard's quarter of the rows.
+    EXPECT_NEAR(result.recallLossEstimate, 0.25 * 2.0 / 3.0, 1e-9);
+    EXPECT_GT(result.totalTime, 0u);
+}
+
+TEST(ScaleOut, ImmediateFailureExcludesShardFromMerge)
+{
+    ScaleOutEcssd fleet(spec(32768), 2);
+    fleet.failShard(0);
+    EXPECT_FALSE(fleet.shardAlive(0));
+    EXPECT_EQ(fleet.aliveDevices(), 1u);
+    const ScaleOutResult result = fleet.runInference(2);
+    EXPECT_EQ(result.survivingDevices, 1u);
+    EXPECT_EQ(result.failedDevices, 1u);
+    EXPECT_TRUE(result.shards[0].batches.empty());
+    EXPECT_EQ(result.shards[1].batches.size(), 2u);
+    EXPECT_NEAR(result.recallLossEstimate, 0.5, 1e-9);
+}
+
+TEST(ScaleOut, WholeFleetLossIsFatal)
+{
+    ScaleOutEcssd fleet(spec(32768), 2);
+    fleet.failShard(0);
+    fleet.failShard(1);
+    EXPECT_EQ(fleet.aliveDevices(), 0u);
+    EXPECT_THROW(fleet.runInference(1), sim::FatalError);
+}
+
+TEST(ScaleOut, HealthyFleetReportsNoLoss)
+{
+    ScaleOutEcssd fleet(spec(32768), 2);
+    const ScaleOutResult result = fleet.runInference(2);
+    EXPECT_EQ(result.survivingDevices, 2u);
+    EXPECT_EQ(result.failedDevices, 0u);
+    EXPECT_EQ(result.recallLossEstimate, 0.0);
+    EXPECT_EQ(fleet.health(0).batchesServed, 2u);
+    EXPECT_EQ(fleet.health(1).batchesServed, 2u);
+}
+
 TEST(ScaleOut, ShardResultsAreComplete)
 {
     ScaleOutEcssd fleet(spec(32768), 2);

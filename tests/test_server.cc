@@ -169,6 +169,120 @@ TEST(InferenceServer, LightLoadServesSingles)
               f.server.latencyPercentiles().p50() * 0.5 + 0.1);
 }
 
+TEST(InferenceServer, ResponsesAreOkWithoutFaultsOrDeadlines)
+{
+    ServerFixture f;
+    sim::Rng rng(21);
+    for (int i = 0; i < 6; ++i)
+        f.server.enqueue(f.model.sampleQuery(rng));
+    for (const auto &response : f.server.processAll(3))
+        EXPECT_EQ(response.status,
+                  InferenceServer::Response::Status::Ok);
+    EXPECT_EQ(f.server.serverStats().okResponses, 6u);
+    EXPECT_EQ(f.server.serverStats().acceptedRequests, 6u);
+}
+
+TEST(InferenceServer, DeadlineTimesOutLateRequests)
+{
+    // A deadline far below the device batch latency: the first batch
+    // completes late (TimedOut with a prediction), and by the time
+    // the second batch forms its requests are already expired, so
+    // they are dropped without device work.
+    ServerFixture f;
+    ServerConfig config;
+    config.requestDeadline = sim::microseconds(1.0);
+    InferenceServer server(f.model.weights(), f.spec,
+                           EcssdOptions::full(), &f.model.basis(),
+                           config);
+    sim::Rng rng(22);
+    for (int i = 0; i < 8; ++i) // two batches of 4
+        server.enqueue(f.model.sampleQuery(rng));
+    const auto responses = server.processAll(3);
+    ASSERT_EQ(responses.size(), 8u);
+    for (const auto &response : responses)
+        EXPECT_EQ(response.status,
+                  InferenceServer::Response::Status::TimedOut);
+    EXPECT_EQ(server.serverStats().timedOutRequests, 8u);
+    EXPECT_GT(server.serverStats().droppedBeforeService, 0u);
+    // Dropped requests burned no device time: only one batch ran.
+    EXPECT_EQ(server.latencyMs().count(),
+              8u - server.serverStats().droppedBeforeService);
+}
+
+TEST(InferenceServer, GenerousDeadlineChangesNothing)
+{
+    ServerFixture strict;
+    ServerConfig config;
+    config.requestDeadline = sim::seconds(10.0);
+    InferenceServer relaxed(strict.model.weights(), strict.spec,
+                            EcssdOptions::full(),
+                            &strict.model.basis(), config);
+    sim::Rng rng_a(23), rng_b(23);
+    for (int i = 0; i < 6; ++i) {
+        strict.server.enqueue(strict.model.sampleQuery(rng_a));
+        relaxed.enqueue(strict.model.sampleQuery(rng_b));
+    }
+    const auto base = strict.server.processAll(3);
+    const auto timed = relaxed.processAll(3);
+    ASSERT_EQ(base.size(), timed.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(timed[i].status,
+                  InferenceServer::Response::Status::Ok);
+        EXPECT_EQ(base[i].completedAt, timed[i].completedAt);
+    }
+}
+
+TEST(InferenceServer, BoundedQueueShedsOverload)
+{
+    ServerFixture f;
+    ServerConfig config;
+    config.queueCapacity = 4;
+    InferenceServer server(f.model.weights(), f.spec,
+                           EcssdOptions::full(), &f.model.basis(),
+                           config);
+    sim::Rng rng(24);
+    for (int i = 0; i < 10; ++i)
+        server.enqueue(f.model.sampleQuery(rng));
+    EXPECT_EQ(server.pending(), 4u);
+    EXPECT_EQ(server.serverStats().shedRequests, 6u);
+
+    const auto responses = server.processAll(3);
+    ASSERT_EQ(responses.size(), 10u);
+    unsigned shed = 0;
+    for (const auto &response : responses) {
+        if (response.status
+            == InferenceServer::Response::Status::Shed) {
+            ++shed;
+            EXPECT_TRUE(response.prediction.topCategories.empty());
+        }
+    }
+    EXPECT_EQ(shed, 6u);
+    EXPECT_EQ(server.pending(), 0u);
+    // Shed requests never enter the latency statistics.
+    EXPECT_EQ(server.latencyMs().count(), 4u);
+}
+
+TEST(InferenceServer, FailBatchRetriesWithBackoffAndKeepsServing)
+{
+    ServerFixture f;
+    EcssdOptions flaky = EcssdOptions::full();
+    flaky.ssd.uncorrectableReadRate = 0.05;
+    flaky.degradedPolicy = accel::DegradedReadPolicy::FailBatch;
+    ServerConfig config;
+    config.maxBatchRetries = 3;
+    InferenceServer server(f.model.weights(), f.spec, flaky,
+                           &f.model.basis(), config);
+    sim::Rng rng(25);
+    for (int i = 0; i < 16; ++i)
+        server.enqueue(f.model.sampleQuery(rng));
+    const auto responses = server.processAll(3);
+    ASSERT_EQ(responses.size(), 16u);
+    // Every request got an answer despite aborted device batches.
+    for (const auto &response : responses)
+        EXPECT_EQ(response.prediction.topCategories.size(), 3u);
+    EXPECT_GT(server.serverStats().batchRetries, 0u);
+}
+
 TEST(InferenceServer, OpenLoopRejectsBadArguments)
 {
     ServerFixture f;
