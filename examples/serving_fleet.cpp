@@ -104,5 +104,26 @@ main()
                 failover.survivingDevices, lossy.devices(),
                 failover.meanBatchMs,
                 failover.recallLossEstimate * 100.0);
+
+    // --- Proactive drain on SMART telemetry ------------------------
+    // Same death schedule, but this fleet ages visibly (retention
+    // errors accrue with service time), watches each shard's SMART
+    // report, and holds a spare.  The degrading shard is
+    // re-replicated before the failure can land, so nothing is lost.
+    EcssdOptions aging = EcssdOptions::full();
+    aging.ssd.retentionErrorCoefficient = 1e-3; // per second
+    ScaleOutEcssd watched(scaled, 4, aging);
+    watched.runInference(1); // accrue service time / wear
+    watched.failShardAfterBatches(0, 1);
+    DrainPolicy policy;
+    policy.errorRateThreshold = 1e-9;
+    watched.setDrainPolicy(policy);
+    watched.provisionSpares(1);
+    const ScaleOutResult drained = watched.runInference(3);
+    std::printf("with SMART drain + 1 spare: %u shard(s) drained, "
+                "%u/%u survive, est. recall loss %.1f%%\n",
+                drained.drainedShards, drained.survivingDevices,
+                watched.devices(),
+                drained.recallLossEstimate * 100.0);
     return 0;
 }

@@ -10,7 +10,7 @@ namespace ecssd
 ScaleOutEcssd::ScaleOutEcssd(const xclass::BenchmarkSpec &spec,
                              unsigned devices,
                              const EcssdOptions &options)
-    : fullSpec_(spec)
+    : fullSpec_(spec), options_(options)
 {
     ECSSD_ASSERT(devices > 0, "scale-out needs at least one device");
     shardSpec_ = spec;
@@ -91,10 +91,62 @@ ScaleOutEcssd::aliveDevices() const
     return alive;
 }
 
+ssdsim::HealthReport
+ScaleOutEcssd::shardHealthReport(unsigned shard) const
+{
+    ECSSD_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->health(health_[shard].serviceTime);
+}
+
+sim::Tick
+ScaleOutEcssd::drainShard(unsigned shard)
+{
+    // Rebuild the shard on a spare device: same partition, same
+    // per-shard options (including the trace seed, so the workload
+    // stays identical), zero accumulated wear.  The scheduled
+    // failure modeled the *wearing* device dying, so the replacement
+    // cancels it.
+    EcssdOptions shard_options = options_;
+    shard_options.seed = options_.seed + shard;
+    shards_[shard] = std::make_unique<EcssdSystem>(shardSpec_,
+                                                   shard_options);
+    ShardHealth &health = health_[shard];
+    health.alive = true;
+    health.failAfterBatches = std::numeric_limits<unsigned>::max();
+    health.serviceTime = 0;
+    ++health.replacements;
+    --spares_;
+    return shards_[shard]->deployTimeEstimate();
+}
+
 ScaleOutResult
 ScaleOutEcssd::runInference(unsigned batches)
 {
     ScaleOutResult result;
+
+    // Proactive drain: consult every live shard's SMART report
+    // before committing the run to it.  A shard the policy flags is
+    // re-replicated onto a spare *now*, while its data is still
+    // readable — the whole point of acting on health telemetry
+    // instead of waiting for the reactive failover below.
+    if (drainPolicy_.enabled()) {
+        for (unsigned d = 0; d < devices(); ++d) {
+            if (!health_[d].alive)
+                continue;
+            if (spares_ == 0)
+                break;
+            const ssdsim::HealthReport report = shardHealthReport(d);
+            if (!drainPolicy_.shouldDrain(report))
+                continue;
+            sim::warn("shard ", d, " degrading (life ",
+                      report.lifeRemaining, ", predicted error rate ",
+                      report.predictedErrorRate,
+                      "); draining onto a spare");
+            result.reReplicationTime += drainShard(d);
+            ++result.drainedShards;
+        }
+    }
+
     sim::Tick slowest = 0;
     std::uint64_t served_shard_batches = 0;
     std::uint64_t lost_shard_batches = 0;
@@ -120,6 +172,7 @@ ScaleOutEcssd::runInference(unsigned batches)
             != std::numeric_limits<unsigned>::max())
             health.failAfterBatches -= quota;
         health.batchesServed += quota;
+        health.serviceTime += run.totalTime;
         served_shard_batches += quota;
         lost_shard_batches += batches - quota;
         result.shards.push_back(std::move(run));
@@ -130,6 +183,7 @@ ScaleOutEcssd::runInference(unsigned batches)
 
     result.survivingDevices = aliveDevices();
     result.failedDevices = devices() - result.survivingDevices;
+    result.sparesRemaining = spares_;
 
     // A dead shard's categories never reach the merge; under a
     // uniform true-label distribution each lost shard-batch forfeits

@@ -37,6 +37,46 @@ struct ShardHealth
      *  max() means no failure is scheduled. */
     unsigned failAfterBatches =
         std::numeric_limits<unsigned>::max();
+    /** Cumulative device time this shard has served (the lifetime
+     *  clock its retention ages are measured against). */
+    sim::Tick serviceTime = 0;
+    /** Times this shard was proactively drained onto a spare. */
+    std::uint64_t replacements = 0;
+};
+
+/**
+ * When to proactively drain a shard onto a spare device.
+ *
+ * Disabled by default (both thresholds off), so a fleet without a
+ * policy behaves exactly as the reactive-failover fleet did.
+ */
+struct DrainPolicy
+{
+    /** Drain when the shard's SMART lifeRemaining falls to or below
+     *  this fraction; 0 disables the life trigger. */
+    double lifeThreshold = 0.0;
+    /** Drain when the shard's predicted media-error rate reaches
+     *  this probability; 0 disables the error-rate trigger. */
+    double errorRateThreshold = 0.0;
+
+    bool
+    enabled() const
+    {
+        return lifeThreshold > 0.0 || errorRateThreshold > 0.0;
+    }
+
+    /** True when @p report trips either trigger. */
+    bool
+    shouldDrain(const ssdsim::HealthReport &report) const
+    {
+        if (lifeThreshold > 0.0
+            && report.lifeRemaining <= lifeThreshold)
+            return true;
+        if (errorRateThreshold > 0.0
+            && report.predictedErrorRate >= errorRateThreshold)
+            return true;
+        return false;
+    }
 };
 
 /** Outcome of one scale-out inference run. */
@@ -55,6 +95,15 @@ struct ScaleOutResult
     unsigned survivingDevices = 0;
     /** Shards dead by the end of the run. */
     unsigned failedDevices = 0;
+    /** Shards proactively drained onto spares before this run's
+     *  batches were served. */
+    unsigned drainedShards = 0;
+    /** Provisioned spare devices left after the run. */
+    unsigned sparesRemaining = 0;
+    /** Time spent re-replicating drained shards onto spares.  The
+     *  copy streams in the background while the old device keeps
+     *  serving, so it is reported but not added to totalTime. */
+    sim::Tick reReplicationTime = 0;
     /**
      * Expected fraction of true top-k answers lost to dead shards,
      * averaged over the run's batches: a dead shard's category range
@@ -121,6 +170,23 @@ class ScaleOutEcssd
     /** Currently-alive device count. */
     unsigned aliveDevices() const;
 
+    // --- Proactive drain ------------------------------------------
+    /** Provision @p count spare devices the drain can re-replicate
+     *  degrading shards onto. */
+    void provisionSpares(unsigned count) { spares_ += count; }
+
+    /** Spare devices not yet consumed. */
+    unsigned sparesAvailable() const { return spares_; }
+
+    /** Install the proactive-drain policy (see DrainPolicy). */
+    void setDrainPolicy(const DrainPolicy &policy)
+    {
+        drainPolicy_ = policy;
+    }
+
+    /** SMART report of @p shard at its cumulative service time. */
+    ssdsim::HealthReport shardHealthReport(unsigned shard) const;
+
     /**
      * Run @p batches batches on every live shard in parallel and
      * merge over the survivors.  A shard whose scheduled failure
@@ -131,10 +197,17 @@ class ScaleOutEcssd
     ScaleOutResult runInference(unsigned batches);
 
   private:
+    /** Replace @p shard's device with a freshly-deployed spare.
+     *  @return The re-replication (deployment) time. */
+    sim::Tick drainShard(unsigned shard);
+
     xclass::BenchmarkSpec fullSpec_;
     xclass::BenchmarkSpec shardSpec_;
+    EcssdOptions options_;
     std::vector<std::unique_ptr<EcssdSystem>> shards_;
     std::vector<ShardHealth> health_;
+    DrainPolicy drainPolicy_;
+    unsigned spares_ = 0;
 };
 
 } // namespace ecssd

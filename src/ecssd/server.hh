@@ -174,6 +174,12 @@ class InferenceServer
     /** The serving-policy knobs this server runs with. */
     const ServerConfig &serverConfig() const { return config_; }
 
+    /** Device health at the server's cumulative device time. */
+    ssdsim::HealthReport health() const
+    {
+        return system_->health(deviceClock_);
+    }
+
   private:
     struct PendingRequest
     {

@@ -115,6 +115,17 @@ class EcssdSystem
      */
     sim::Tick deployTimeEstimate() const;
 
+    /**
+     * SMART-style health snapshot of the underlying device at tick
+     * @p now.  @p now is wall-clock device lifetime, not a per-batch
+     * tick: retention ages are measured against it, so serving layers
+     * pass their cumulative service time.
+     */
+    ssdsim::HealthReport health(sim::Tick now) const
+    {
+        return ssd_->health(now);
+    }
+
   private:
     xclass::BenchmarkSpec spec_;
     EcssdOptions options_;

@@ -6,6 +6,7 @@
 #ifndef ECSSD_SSDSIM_CONFIG_HH
 #define ECSSD_SSDSIM_CONFIG_HH
 
+#include <cmath>
 #include <cstdint>
 
 #include "sim/types.hh"
@@ -73,8 +74,68 @@ struct SsdConfig
      * the controller decodes the codeword) plus one extra tR for the
      * exhausted retry ladder; callers receive the failure through
      * readPage's out-parameter.  0 disables injection.
+     *
+     * With the wear-lifecycle model enabled (below), this is the
+     * *beginning-of-life* rate that the erase-count and retention
+     * terms add to.
      */
     double uncorrectableReadRate = 0.0;
+
+    // --- Wear lifecycle ---------------------------------------------
+    /**
+     * Uncorrectable-rate contribution of block wear: a block with
+     * erase count E adds
+     *   wearErrorCoefficient * (E / wearRatedCycles)^wearExponent
+     * to the per-read uncorrectable probability.  0 disables the
+     * term (and keeps the simulation bit-identical to a build
+     * without the wear model).
+     */
+    double wearErrorCoefficient = 0.0;
+    /** Shape of the wear curve (raw BER grows superlinearly in P/E
+     *  cycles on real NAND). */
+    double wearExponent = 2.0;
+    /** P/E cycles at which the wear term equals the coefficient
+     *  (the media's rated endurance). */
+    double wearRatedCycles = 3000.0;
+    /**
+     * Uncorrectable-rate contribution of retention age: a page that
+     * has sat programmed for S simulated seconds adds
+     * retentionErrorCoefficient * S.  Retention is tracked at block
+     * granularity (the oldest page in the block dominates the
+     * block's raw BER).  0 disables the term.
+     */
+    double retentionErrorCoefficient = 0.0;
+
+    // --- Patrol scrub / wear leveling / end-of-life -----------------
+    /**
+     * Predicted-uncorrectable-rate threshold above which the patrol
+     * scrub relocates (refreshes) a valid page.  0 disables the
+     * scrub.  Must exceed uncorrectableReadRate when set: a refresh
+     * resets retention and (eventually) wear contributions but can
+     * never push the rate below the base rate, so a threshold at or
+     * below it would relocate every page on every pass.
+     */
+    double scrubErrorThreshold = 0.0;
+    /** Valid pages a single patrol pass examines (its idle-time
+     *  budget). */
+    unsigned scrubBudgetPages = 64;
+    /**
+     * Static wear leveling: when eraseCountSpread() exceeds this
+     * bound, the FTL migrates the coldest valid block so its space
+     * rejoins the allocation rotation.  0 disables leveling.
+     */
+    std::uint64_t wearLevelSpreadBound = 0;
+    /**
+     * End-of-life guard: when garbage collection can make no more
+     * progress and an allocation pool's spare-block count is at or
+     * below this, the FTL turns read-only instead of dying.  The
+     * device always turns read-only (or, for legacy callers, fatal)
+     * when a pool is fully exhausted, whatever this is set to.
+     */
+    unsigned eolSpareBlocks = 0;
+    /** Predicted uncorrectable rate treated as media end-of-life by
+     *  the health report's remaining-life estimate. */
+    double eolMediaErrorRate = 1e-2;
 
     // --- DRAM ------------------------------------------------------------
     std::uint64_t dramBytes = 16ULL * 1024 * 1024 * 1024;
@@ -151,6 +212,48 @@ struct SsdConfig
     {
         return sim::milliseconds(eraseLatencyMs);
     }
+
+    // --- Wear-lifecycle model --------------------------------------
+    /** True when any age-dependent error term is active. */
+    bool
+    wearModelEnabled() const
+    {
+        return wearErrorCoefficient > 0.0
+            || retentionErrorCoefficient > 0.0;
+    }
+
+    /**
+     * The per-read uncorrectable probability of a page in a block
+     * with @p erase_count erases whose data has aged
+     * @p retention_age ticks since program.
+     *
+     * With both coefficients at zero this returns exactly
+     * uncorrectableReadRate, so zero-coefficient configurations
+     * replay the flat PR-1 fault sequence bit for bit.
+     */
+    double
+    predictedUncorrectableRate(std::uint64_t erase_count,
+                               sim::Tick retention_age) const
+    {
+        double rate = uncorrectableReadRate;
+        if (wearErrorCoefficient > 0.0)
+            rate += wearErrorCoefficient
+                * std::pow(static_cast<double>(erase_count)
+                               / wearRatedCycles,
+                           wearExponent);
+        if (retentionErrorCoefficient > 0.0)
+            rate += retentionErrorCoefficient
+                * sim::tickToSeconds(retention_age);
+        return rate < 1.0 ? rate : 1.0;
+    }
+
+    /**
+     * Reject out-of-range or contradictory configurations with a
+     * descriptive sim::fatal.  Called from FlashArray/Ftl/SsdDevice
+     * construction, so a bad knob fails fast instead of silently
+     * misbehaving deep in a run.
+     */
+    void validate() const;
 };
 
 /**

@@ -12,10 +12,52 @@ FlashArray::FlashArray(const SsdConfig &config)
       dies_(static_cast<std::size_t>(config.channels)
             * config.diesPerChannel)
 {
+    config_.validate();
     const std::size_t planes =
         config.multiPlaneRead ? config.planesPerDie : 1;
     for (Die &die : dies_)
         die.planeFreeAt.assign(planes, 0);
+}
+
+std::uint64_t
+FlashArray::blockKey(const PhysicalPage &ppa) const
+{
+    return ((static_cast<std::uint64_t>(ppa.channel)
+                 * config_.diesPerChannel
+             + ppa.die)
+                * config_.planesPerDie
+            + ppa.plane)
+        * config_.blocksPerPlane
+        + ppa.block;
+}
+
+std::uint64_t
+FlashArray::blockEraseCount(const PhysicalPage &ppa) const
+{
+    const auto it = wear_.find(blockKey(ppa));
+    return it == wear_.end() ? 0 : it->second.eraseCount;
+}
+
+sim::Tick
+FlashArray::retentionAge(const PhysicalPage &ppa,
+                         sim::Tick now) const
+{
+    const auto it = wear_.find(blockKey(ppa));
+    const sim::Tick programmed_at =
+        (it != wear_.end() && it->second.hasProgram)
+        ? it->second.programmedAt
+        : 0;
+    return now > programmed_at ? now - programmed_at : 0;
+}
+
+double
+FlashArray::predictedUncorrectableRate(const PhysicalPage &ppa,
+                                       sim::Tick now) const
+{
+    if (!config_.wearModelEnabled())
+        return config_.uncorrectableReadRate;
+    return config_.predictedUncorrectableRate(
+        blockEraseCount(ppa), retentionAge(ppa, now));
 }
 
 FlashArray::Die &
@@ -85,8 +127,19 @@ FlashArray::readPage(const PhysicalPage &ppa, sim::Tick issue_at,
         sense_done += config_.readLatency();
         ++channel.stats.readRetries;
     }
-    if (config_.uncorrectableReadRate > 0.0
-        && faultDraw(ppa, 0xecc) < config_.uncorrectableReadRate) {
+    // The uncorrectable probability is the flat base rate plus, when
+    // the wear model is active, the block's erase-count and
+    // retention-age terms evaluated at the read's issue tick.  With
+    // the coefficients at zero this is exactly the base rate — same
+    // gate, same draw sequence — so zero-coefficient configurations
+    // stay bit-identical to the flat model.
+    const double uncorrectable_rate =
+        config_.wearModelEnabled()
+        ? config_.predictedUncorrectableRate(
+              blockEraseCount(ppa), retentionAge(ppa, issue_at))
+        : config_.uncorrectableReadRate;
+    if (uncorrectable_rate > 0.0
+        && faultDraw(ppa, 0xecc) < uncorrectable_rate) {
         // The controller walks the whole retry ladder before giving
         // up: one more tR on top of whatever retries already ran.
         sense_done += config_.readLatency();
@@ -126,6 +179,17 @@ FlashArray::programPage(const PhysicalPage &ppa, sim::Tick issue_at)
         std::max(transfer_done, sense_timeline);
     const sim::Tick done = program_start + config_.programLatency();
 
+    if (config_.wearModelEnabled()) {
+        // Retention is tracked per block at oldest-page granularity:
+        // the first program after an erase stamps the block, and the
+        // stamp survives until the next erase.
+        BlockWear &wear = wear_[blockKey(ppa)];
+        if (!wear.hasProgram) {
+            wear.programmedAt = program_start;
+            wear.hasProgram = true;
+        }
+    }
+
     sense_timeline = done;
     channel.busFreeAt = transfer_done;
     channel.stats.pagesProgrammed += 1;
@@ -145,6 +209,11 @@ FlashArray::eraseBlock(const PhysicalPage &block_addr,
     const sim::Tick start = std::max(issue_at, sense_timeline);
     const sim::Tick done = start + config_.eraseLatency();
     sense_timeline = done;
+    if (config_.wearModelEnabled()) {
+        BlockWear &wear = wear_[blockKey(block_addr)];
+        ++wear.eraseCount;
+        wear.hasProgram = false; // Erase resets retention age.
+    }
     if (failed) {
         *failed = config_.eraseFailureRate > 0.0
             && faultDraw(block_addr, 0xdead)

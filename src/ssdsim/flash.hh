@@ -20,6 +20,7 @@
 #define ECSSD_SSDSIM_FLASH_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -116,8 +117,39 @@ class FlashArray
     /** Completion tick of the latest operation across all channels. */
     sim::Tick lastDoneAt() const;
 
-    /** Reset all timelines and statistics to tick zero. */
+    /**
+     * Reset all timelines and statistics to tick zero.
+     *
+     * Media *wear* state (erase counts, program ticks) survives: it
+     * is physical device history, not a timeline, and the serving
+     * layer resets timelines between batches on a device whose
+     * lifetime keeps advancing.
+     */
     void reset();
+
+    // --- Wear lifecycle --------------------------------------------
+    /** Erase count of the block holding @p ppa. */
+    std::uint64_t blockEraseCount(const PhysicalPage &ppa) const;
+
+    /**
+     * Retention age of @p ppa's block at tick @p now: ticks since
+     * the block's oldest live page was programmed.  A block never
+     * programmed through this model (e.g. accelerator-mode weight
+     * pages deployed before the simulation) ages from tick 0 — the
+     * deployment time — which is exactly the paper's cold-FP32-row
+     * worst case.
+     */
+    sim::Tick retentionAge(const PhysicalPage &ppa,
+                           sim::Tick now) const;
+
+    /**
+     * Model-predicted uncorrectable probability of reading @p ppa at
+     * tick @p now (the same value the fault draw is compared
+     * against).  Equals the flat uncorrectableReadRate when the wear
+     * model is disabled.
+     */
+    double predictedUncorrectableRate(const PhysicalPage &ppa,
+                                      sim::Tick now) const;
 
   private:
     struct Die
@@ -133,6 +165,16 @@ class FlashArray
         ChannelStats stats;
     };
 
+    /** Media wear state of one block (sparse: only blocks the run
+     *  actually erases or programs get an entry). */
+    struct BlockWear
+    {
+        std::uint64_t eraseCount = 0;
+        /** Program tick of the oldest page since the last erase. */
+        sim::Tick programmedAt = 0;
+        bool hasProgram = false;
+    };
+
     Die &dieOf(const PhysicalPage &ppa);
     Channel &channelOf(const PhysicalPage &ppa);
     sim::Tick &senseTimelineOf(const PhysicalPage &ppa);
@@ -140,11 +182,15 @@ class FlashArray
     /** Deterministic per-event fault draw in [0, 1). */
     double faultDraw(const PhysicalPage &ppa, std::uint64_t salt);
 
+    /** Dense index of @p ppa's block across the whole array. */
+    std::uint64_t blockKey(const PhysicalPage &ppa) const;
+
     std::uint64_t faultCounter_ = 0;
 
     SsdConfig config_;
     std::vector<Channel> channels_;
     std::vector<Die> dies_; // channel-major
+    std::unordered_map<std::uint64_t, BlockWear> wear_;
 };
 
 } // namespace ssdsim

@@ -14,6 +14,7 @@ namespace ssdsim
 Ftl::Ftl(const SsdConfig &config, FlashArray &flash)
     : config_(config), flash_(flash), codec_(config)
 {
+    config_.validate();
     const double usable = 1.0 - config_.overProvisioning;
     logicalPages_ = static_cast<std::uint64_t>(
         static_cast<double>(config_.totalPages()) * usable);
@@ -38,6 +39,7 @@ Ftl::Ftl(const SsdConfig &config, FlashArray &flash)
             }
         }
     }
+    eraseHist_[0] = blocks_.size();
 }
 
 std::size_t
@@ -132,17 +134,14 @@ Ftl::pickPool(unsigned channel)
     return *best;
 }
 
-sim::Tick
-Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
+bool
+Ftl::findGcVictim(const Pool &pool, unsigned &victim,
+                  unsigned &victim_valid) const
 {
-    progress = false;
-
     // Greedy victim: fully-written block with the fewest valid pages;
     // erase count breaks ties so wear stays level.  A victim with no
     // stale pages reclaims nothing and is never worth the erase.
-    unsigned victim = 0;
     bool found = false;
-    unsigned best_valid = std::numeric_limits<unsigned>::max();
     std::uint64_t best_erase = 0;
     for (unsigned b = 0; b < config_.blocksPerPlane; ++b) {
         if (pool.hasActive && b == pool.activeBlock)
@@ -158,16 +157,26 @@ Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
         if (info.writtenPages < config_.pagesPerBlock
             || info.validPages >= config_.pagesPerBlock)
             continue;
-        if (!found || info.validPages < best_valid
-            || (info.validPages == best_valid
+        if (!found || info.validPages < victim_valid
+            || (info.validPages == victim_valid
                 && info.eraseCount < best_erase)) {
             victim = b;
-            best_valid = info.validPages;
+            victim_valid = info.validPages;
             best_erase = info.eraseCount;
             found = true;
         }
     }
-    if (!found)
+    return found;
+}
+
+sim::Tick
+Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
+{
+    progress = false;
+
+    unsigned victim = 0;
+    unsigned best_valid = std::numeric_limits<unsigned>::max();
+    if (!findGcVictim(pool, victim, best_valid))
         return issue_at; // Nothing reclaimable yet.
 
     // Relocations consume free space before the erase returns it;
@@ -187,13 +196,12 @@ Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
     for (unsigned pg = 0; pg < config_.pagesPerBlock; ++pg) {
         PhysicalPage src{pool.channel, pool.die, pool.plane, victim,
                          pg};
-        const std::uint64_t src_id = codec_.encode(src);
-        const auto it = p2l_.find(src_id);
+        const auto it = p2l_.find(codec_.encode(src));
         if (it == p2l_.end())
             continue;
         const LogicalPage lpa = it->second;
         bool unreadable = false;
-        t = flash_.readPage(src, t, 0, 0, &unreadable);
+        t = relocatePage(src, pool, t, unreadable);
         if (unreadable) {
             // The stale codeword still relocates (the block must be
             // reclaimed) but the copy is latent data loss: a future
@@ -203,44 +211,132 @@ Ftl::collectGarbage(Pool &pool, sim::Tick issue_at, bool &progress)
             ++stats_.gcUncorrectableReads;
             sim::warn("GC relocating uncorrectable page lpa ", lpa);
         }
-        const PhysicalPage dst = allocateInPool(pool);
-        t = flash_.programPage(dst, t);
-        const std::uint64_t dst_id = codec_.encode(dst);
-        l2p_[lpa] = dst_id;
-        p2l_.erase(it);
-        p2l_[dst_id] = lpa;
-        BlockInfo &dst_info = blocks_[blockIndex(dst)];
-        ++dst_info.validPages;
-        ++dst_info.writtenPages;
         ++stats_.gcRelocations;
     }
 
-    PhysicalPage victim_addr{pool.channel, pool.die, pool.plane,
-                             victim, 0};
-    BlockInfo &victim_info = blocks_[blockIndex(victim_addr)];
-    victim_info.validPages = 0;
-    victim_info.writtenPages = 0;
-    ++victim_info.eraseCount;
     ++stats_.gcErases;
+    return eraseAndRecycle(pool, victim, t);
+}
+
+sim::Tick
+Ftl::rescueCollect(Pool &pool, sim::Tick issue_at, bool &progress)
+{
+    progress = false;
+    unsigned victim = 0;
+    unsigned victim_valid = std::numeric_limits<unsigned>::max();
+    if (!findGcVictim(pool, victim, victim_valid))
+        return issue_at; // Every block fully valid: truly worn out.
+    Pool &dst = pickPool(pool.channel);
+    if (&dst == &pool || freePagesInPool(dst) < victim_valid)
+        return issue_at; // No sibling with headroom either.
+
+    ++stats_.gcRuns;
+    ++stats_.rescueGcRuns;
+    ECSSD_TRACE_LOG(sim::TraceCategory::Ftl, issue_at,
+                    "rescue GC: pool ch", pool.channel, " die",
+                    pool.die, " plane", pool.plane,
+                    " evacuating block ", victim, " (", victim_valid,
+                    " valid) into die", dst.die, " plane", dst.plane);
+
+    sim::Tick t = issue_at;
+    for (unsigned pg = 0; pg < config_.pagesPerBlock; ++pg) {
+        PhysicalPage src{pool.channel, pool.die, pool.plane, victim,
+                         pg};
+        const auto it = p2l_.find(codec_.encode(src));
+        if (it == p2l_.end())
+            continue;
+        const LogicalPage lpa = it->second;
+        bool unreadable = false;
+        t = relocatePage(src, dst, t, unreadable);
+        if (unreadable) {
+            ++stats_.gcUncorrectableReads;
+            sim::warn("rescue GC relocating uncorrectable page lpa ",
+                      lpa);
+        }
+        ++stats_.gcRelocations;
+    }
+    ++stats_.gcErases;
+    progress = true;
+    return eraseAndRecycle(pool, victim, t);
+}
+
+sim::Tick
+Ftl::relocatePage(const PhysicalPage &src, Pool &dst_pool,
+                  sim::Tick issue_at, bool &unreadable)
+{
+    const std::uint64_t src_id = codec_.encode(src);
+    const auto it = p2l_.find(src_id);
+    ECSSD_ASSERT(it != p2l_.end(), "relocating an unmapped page");
+    const LogicalPage lpa = it->second;
+
+    unreadable = false;
+    sim::Tick t = flash_.readPage(src, issue_at, 0, 0, &unreadable);
+    const PhysicalPage dst = allocateInPool(dst_pool);
+    t = flash_.programPage(dst, t);
+
+    const std::uint64_t dst_id = codec_.encode(dst);
+    l2p_[lpa] = dst_id;
+    p2l_.erase(it);
+    p2l_[dst_id] = lpa;
+    BlockInfo &src_info = blocks_[blockIndex(src)];
+    ECSSD_ASSERT(src_info.validPages > 0,
+                 "relocating page out of an empty block");
+    --src_info.validPages;
+    BlockInfo &dst_info = blocks_[blockIndex(dst)];
+    ++dst_info.validPages;
+    ++dst_info.writtenPages;
+    return t;
+}
+
+void
+Ftl::bumpEraseCount(BlockInfo &info)
+{
+    const auto it = eraseHist_.find(info.eraseCount);
+    ECSSD_ASSERT(it != eraseHist_.end() && it->second > 0,
+                 "erase histogram out of sync");
+    if (--it->second == 0)
+        eraseHist_.erase(it);
+    ++info.eraseCount;
+    ++eraseHist_[info.eraseCount];
+}
+
+sim::Tick
+Ftl::eraseAndRecycle(Pool &pool, unsigned block, sim::Tick issue_at)
+{
+    PhysicalPage addr{pool.channel, pool.die, pool.plane, block, 0};
+    BlockInfo &info = blocks_[blockIndex(addr)];
+    info.validPages = 0;
+    info.writtenPages = 0;
+    bumpEraseCount(info);
     bool erase_failed = false;
-    t = flash_.eraseBlock(victim_addr, t, &erase_failed);
+    const sim::Tick done =
+        flash_.eraseBlock(addr, issue_at, &erase_failed);
     if (erase_failed) {
         // Retire the block: it never returns to the free pool.
         ++stats_.badBlocks;
         sim::warn("retiring bad block ch", pool.channel, " die",
-                  pool.die, " plane", pool.plane, " block ",
-                  victim);
+                  pool.die, " plane", pool.plane, " block ", block);
     } else {
-        pool.freeBlocks.push_back(victim);
+        pool.freeBlocks.push_back(block);
     }
-    return t;
+    return done;
 }
 
 sim::Tick
-Ftl::write(LogicalPage lpa, sim::Tick issue_at)
+Ftl::write(LogicalPage lpa, sim::Tick issue_at, bool *rejected)
 {
     ECSSD_ASSERT(lpa < logicalPages_, "logical page out of range");
-    ++stats_.hostWrites;
+    if (rejected)
+        *rejected = false;
+    if (readOnly_) {
+        if (!rejected)
+            sim::fatal("write to a read-only (end-of-life) device: "
+                       "lpa ", lpa, " (", stats_.badBlocks,
+                       " blocks retired)");
+        ++stats_.rejectedWrites;
+        *rejected = true;
+        return issue_at;
+    }
 
     const unsigned channel = channelOfLpa(lpa);
     Pool &pool = pickPool(channel);
@@ -254,13 +350,98 @@ Ftl::write(LogicalPage lpa, sim::Tick issue_at)
     // Collect until the pool is healthy again or no victim can make
     // progress; a single pass may reclaim less than one block's
     // worth when victims are mostly valid.
+    bool gc_stuck = false;
     while (static_cast<double>(freePagesInPool(pool))
            < threshold * static_cast<double>(pool_pages)) {
         bool progress = false;
         t = collectGarbage(pool, t, progress);
-        if (!progress)
+        if (!progress) {
+            gc_stuck = true;
             break;
+        }
     }
+
+    // A pool can wedge with its GC deadlocked: collection needs one
+    // free page of headroom per valid page in the victim, so a pool
+    // below one block's worth of free pages whose victims all hold
+    // more valid data than that can never reclaim its own stale
+    // space — and pickPool (rightly) stops routing writes its way,
+    // so the write-path GC above never touches it again while its
+    // pinned pages slowly strangle the channel.  Unwedge it here:
+    // same-pool GC first (low-valid victims fit the remaining
+    // headroom), then a cross-pool evacuation into a sibling with
+    // room.  One block of headroom makes the pool self-sustaining
+    // again: any victim's valid pages fit below it.
+    for (unsigned die = 0; die < config_.diesPerChannel; ++die) {
+        for (unsigned pl = 0; pl < config_.planesPerDie; ++pl) {
+            Pool &sibling = pools_[poolIndex(channel, die, pl)];
+            if (freePagesInPool(sibling) >= config_.pagesPerBlock)
+                continue;
+            bool unwedged = true;
+            while (unwedged
+                   && freePagesInPool(sibling)
+                       < config_.pagesPerBlock)
+                t = collectGarbage(sibling, t, unwedged);
+            while (freePagesInPool(sibling) < config_.pagesPerBlock) {
+                bool rescued = false;
+                t = rescueCollect(sibling, t, rescued);
+                if (!rescued)
+                    break;
+            }
+        }
+    }
+
+    // Static wear leveling piggybacks on the write path: writes are
+    // what skews wear, so the spread check (O(1) via the histogram)
+    // runs here and migrates at most one cold block per write.
+    if (config_.wearLevelSpreadBound > 0) {
+        bool moved = false;
+        t = levelWear(t, moved);
+    }
+
+    // End of life: the pool can no longer provide a page, or GC is
+    // stuck with the pool down to its configured last spares.  Turn
+    // read-only instead of corrupting state; a real drive does the
+    // same so the host can still evacuate its data.
+    const bool needs_block = !pool.hasActive
+        || pool.nextPage >= config_.pagesPerBlock;
+    bool exhausted = needs_block && pool.freeBlocks.empty();
+
+    // A starved pool is not necessarily a worn-out pool: host writes
+    // can consume the last free pages faster than same-pool GC can
+    // reclaim them (every victim's valid pages exceed the remaining
+    // headroom), deadlocking a pool that still holds plenty of stale
+    // data.  Evacuate a victim into a sibling pool of the channel to
+    // break the deadlock; only a pool that stays starved after the
+    // rescue is genuinely at end of life.
+    while (exhausted) {
+        bool rescued = false;
+        t = rescueCollect(pool, t, rescued);
+        if (!rescued)
+            break;
+        exhausted = pool.freeBlocks.empty();
+    }
+    const bool on_last_spares = gc_stuck
+        && config_.eolSpareBlocks > 0
+        && pool.freeBlocks.size() <= config_.eolSpareBlocks;
+    if (exhausted || on_last_spares) {
+        readOnly_ = true;
+        sim::warn("device end of life: pool ch", pool.channel,
+                  " die", pool.die, " plane", pool.plane, " has ",
+                  pool.freeBlocks.size(), " spare blocks (",
+                  stats_.badBlocks,
+                  " retired); entering read-only mode");
+        if (!rejected)
+            sim::fatal("pool ch", pool.channel, " die", pool.die,
+                       " plane", pool.plane,
+                       " has no usable spare blocks (",
+                       stats_.badBlocks,
+                       " retired); device worn out");
+        ++stats_.rejectedWrites;
+        *rejected = true;
+        return t;
+    }
+    ++stats_.hostWrites;
 
     // Invalidate the previous copy, if any.
     const auto old = l2p_.find(lpa);
@@ -339,13 +520,225 @@ Ftl::freeFraction(unsigned channel) const
 std::uint64_t
 Ftl::eraseCountSpread() const
 {
-    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
-    std::uint64_t hi = 0;
-    for (const BlockInfo &info : blocks_) {
-        lo = std::min(lo, info.eraseCount);
-        hi = std::max(hi, info.eraseCount);
+    if (eraseHist_.empty())
+        return 0;
+    return eraseHist_.rbegin()->first - eraseHist_.begin()->first;
+}
+
+sim::Tick
+Ftl::patrolScrub(sim::Tick issue_at, unsigned page_budget)
+{
+    if (config_.scrubErrorThreshold <= 0.0)
+        return issue_at;
+    unsigned budget =
+        page_budget ? page_budget : config_.scrubBudgetPages;
+
+    sim::Tick t = issue_at;
+    const std::size_t total_blocks = blocks_.size();
+    std::size_t visited = 0;
+    while (budget > 0 && visited < total_blocks) {
+        const std::size_t bi = scrubCursor_;
+        scrubCursor_ = (scrubCursor_ + 1) % total_blocks;
+        ++visited;
+
+        Pool &pool = pools_[bi / config_.blocksPerPlane];
+        const unsigned block =
+            static_cast<unsigned>(bi % config_.blocksPerPlane);
+        if (blocks_[bi].validPages == 0)
+            continue;
+        // An *open* active block is still being filled — its data is
+        // young, and refreshing into the block being scrubbed would
+        // be circular.  Once full it is sealed media like any other.
+        if (pool.hasActive && block == pool.activeBlock
+            && pool.nextPage < config_.pagesPerBlock)
+            continue;
+
+        for (unsigned pg = 0;
+             pg < config_.pagesPerBlock && budget > 0; ++pg) {
+            const PhysicalPage src{pool.channel, pool.die,
+                                   pool.plane, block, pg};
+            const auto it = p2l_.find(codec_.encode(src));
+            if (it == p2l_.end())
+                continue;
+            --budget;
+            ++stats_.scrubbedPages;
+
+            // Patrol read, then refresh if the model says the page
+            // is rotting — or if the read already failed (latent
+            // loss the scrub caught; the stale codeword relocates
+            // with a warning, like GC).
+            bool unreadable = false;
+            const sim::Tick read_done =
+                flash_.readPage(src, t, 0, 0, &unreadable);
+            const bool rotting =
+                flash_.predictedUncorrectableRate(src, t)
+                >= config_.scrubErrorThreshold;
+            t = read_done;
+            if (!unreadable && !rotting)
+                continue;
+
+            Pool &dst = pickPool(pool.channel);
+            if (freePagesInPool(dst) == 0) {
+                bool progress = false;
+                t = collectGarbage(dst, t, progress);
+                if (freePagesInPool(dst) == 0)
+                    continue; // No room to refresh into right now.
+            }
+            // The GC fallback may itself have relocated (or erased)
+            // the page under patrol; re-resolve before refreshing.
+            const auto still = p2l_.find(codec_.encode(src));
+            if (still == p2l_.end())
+                continue;
+            if (unreadable) {
+                ++stats_.scrubUncorrectable;
+                sim::warn("patrol scrub found uncorrectable page "
+                          "lpa ", still->second,
+                          "; refreshing the stale copy");
+                // relocatePage re-reads the page; the duplicate read
+                // is the retry a real controller performs before
+                // declaring the refresh source lost.
+            }
+            bool relocation_unreadable = false;
+            t = relocatePage(src, dst, t, relocation_unreadable);
+            ++stats_.scrubRelocations;
+        }
     }
-    return blocks_.empty() ? 0 : hi - lo;
+    return t;
+}
+
+sim::Tick
+Ftl::levelWear(sim::Tick issue_at, bool &progress)
+{
+    progress = false;
+    if (config_.wearLevelSpreadBound == 0
+        || eraseCountSpread() <= config_.wearLevelSpreadBound)
+        return issue_at;
+
+    // The wear floor is pinned by *cold* blocks: valid data that
+    // never gets overwritten never frees its block for the
+    // allocation rotation.  Migrate the coldest such block; its
+    // erase recycles it into the free pool, and free blocks rotate
+    // FIFO through allocation, so the floor rises.
+    std::size_t coldest = blocks_.size();
+    std::uint64_t coldest_erases =
+        std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+        const Pool &pool = pools_[bi / config_.blocksPerPlane];
+        const unsigned block =
+            static_cast<unsigned>(bi % config_.blocksPerPlane);
+        if (pool.hasActive && block == pool.activeBlock
+            && pool.nextPage < config_.pagesPerBlock)
+            continue;
+        const BlockInfo &info = blocks_[bi];
+        if (info.validPages == 0)
+            continue;
+        if (info.eraseCount < coldest_erases) {
+            coldest_erases = info.eraseCount;
+            coldest = bi;
+        }
+    }
+    if (coldest == blocks_.size())
+        return issue_at;
+    // Migration only helps when cold *data* pins the wear floor; a
+    // floor pinned by free blocks (they rotate through allocation on
+    // their own) would make every migration a wasted erase.
+    if (coldest_erases != eraseHist_.begin()->first)
+        return issue_at;
+
+    Pool &pool = pools_[coldest / config_.blocksPerPlane];
+    const unsigned block =
+        static_cast<unsigned>(coldest % config_.blocksPerPlane);
+    const BlockInfo &info = blocks_[coldest];
+    Pool &dst = pickPool(pool.channel);
+    if (freePagesInPool(dst) < info.validPages)
+        return issue_at; // No headroom to migrate safely.
+
+    sim::Tick t = issue_at;
+    for (unsigned pg = 0; pg < config_.pagesPerBlock; ++pg) {
+        const PhysicalPage src{pool.channel, pool.die, pool.plane,
+                               block, pg};
+        const auto it = p2l_.find(codec_.encode(src));
+        if (it == p2l_.end())
+            continue;
+        bool unreadable = false;
+        t = relocatePage(src, dst, t, unreadable);
+        if (unreadable) {
+            ++stats_.gcUncorrectableReads;
+            sim::warn("wear leveling relocating uncorrectable page");
+        }
+        ++stats_.wearLevelMoves;
+    }
+    ++stats_.wearLevelRuns;
+    progress = true;
+    return eraseAndRecycle(pool, block, t);
+}
+
+HealthReport
+Ftl::healthReport(sim::Tick now) const
+{
+    HealthReport report;
+    report.capturedAt = now;
+
+    // Wear, from the always-consistent histogram.
+    std::uint64_t total_blocks = 0;
+    double erase_sum = 0.0;
+    for (const auto &[count, blocks] : eraseHist_) {
+        report.eraseHistogram.emplace_back(count, blocks);
+        total_blocks += blocks;
+        erase_sum += static_cast<double>(count)
+            * static_cast<double>(blocks);
+    }
+    if (!eraseHist_.empty()) {
+        report.minEraseCount = eraseHist_.begin()->first;
+        report.maxEraseCount = eraseHist_.rbegin()->first;
+        report.meanEraseCount =
+            erase_sum / static_cast<double>(total_blocks);
+    }
+
+    for (const Pool &pool : pools_)
+        report.spareBlocks += pool.freeBlocks.size();
+    report.badBlocks = stats_.badBlocks;
+    report.readOnly = readOnly_;
+
+    report.scrubbedPages = stats_.scrubbedPages;
+    report.scrubRelocations = stats_.scrubRelocations;
+    report.scrubUncorrectable = stats_.scrubUncorrectable;
+    report.wearLevelMoves = stats_.wearLevelMoves;
+
+    for (unsigned ch = 0; ch < config_.channels; ++ch) {
+        const ChannelStats &stats = flash_.channelStats(ch);
+        report.mediaReads += stats.pagesRead;
+        report.mediaUncorrectable += stats.uncorrectableReads;
+    }
+    if (report.mediaReads > 0)
+        report.observedErrorRate =
+            static_cast<double>(report.mediaUncorrectable)
+            / static_cast<double>(report.mediaReads);
+
+    // Model prediction for a mean-wear page whose data has aged
+    // since deployment (tick 0) — the paper's cold FP32 row.
+    report.predictedErrorRate = config_.predictedUncorrectableRate(
+        static_cast<std::uint64_t>(report.meanEraseCount), now);
+
+    // Remaining life: minimum of three monotone non-increasing
+    // terms (see health.hh).
+    const double erase_life = 1.0
+        - report.meanEraseCount / config_.wearRatedCycles;
+    const double op_blocks = std::max(
+        1.0,
+        static_cast<double>(total_blocks) * config_.overProvisioning);
+    const double spare_life = 1.0
+        - static_cast<double>(report.badBlocks) / op_blocks;
+    const double media_life = 1.0
+        - report.predictedErrorRate / config_.eolMediaErrorRate;
+    double life =
+        std::min({erase_life, spare_life, media_life, 1.0});
+    if (life < 0.0)
+        life = 0.0;
+    if (readOnly_)
+        life = 0.0;
+    report.lifeRemaining = life;
+    return report;
 }
 
 } // namespace ssdsim

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "ssdsim/address.hh"
 #include "ssdsim/config.hh"
 #include "ssdsim/flash.hh"
+#include "ssdsim/health.hh"
 
 namespace ecssd
 {
@@ -54,6 +56,23 @@ struct FtlStats
     /** GC relocation reads that hit an uncorrectable page; the stale
      *  copy is relocated anyway (latent data loss, warned). */
     std::uint64_t gcUncorrectableReads = 0;
+    /** Valid pages the patrol scrub examined (patrol reads). */
+    std::uint64_t scrubbedPages = 0;
+    /** Pages the scrub refreshed because their predicted error rate
+     *  crossed the refresh threshold (or the patrol read failed). */
+    std::uint64_t scrubRelocations = 0;
+    /** Patrol reads that found an already-uncorrectable page (latent
+     *  data loss caught by the scrub, warned). */
+    std::uint64_t scrubUncorrectable = 0;
+    /** Last-resort cross-pool evacuations that saved a write after
+     *  same-pool GC deadlocked with no relocation headroom. */
+    std::uint64_t rescueGcRuns = 0;
+    /** Static wear-leveling migrations (cold blocks recycled). */
+    std::uint64_t wearLevelRuns = 0;
+    /** Valid pages moved by static wear leveling. */
+    std::uint64_t wearLevelMoves = 0;
+    /** Writes rejected because the device turned read-only. */
+    std::uint64_t rejectedWrites = 0;
 
     /** Write amplification factor. */
     double
@@ -89,13 +108,19 @@ class Ftl
      * Write (or overwrite) one logical page.
      *
      * Allocates a physical page in the lpa's channel, programs it,
-     * invalidates the old copy, and runs GC if the channel's free
-     * pool dropped below the threshold.
+     * invalidates the old copy, and runs GC (and, when configured,
+     * static wear leveling) if the channel's free pool dropped below
+     * the threshold.
      *
+     * @param[out] rejected Set true when the device is (or just
+     *        turned) read-only and the write was refused without
+     *        mutating any state; nullptr restores the legacy
+     *        behaviour of dying fatally at end of life.
      * @return Completion tick of the program (including any GC work
-     *         that had to run first).
+     *         that had to run first); @p issue_at when rejected.
      */
-    sim::Tick write(LogicalPage lpa, sim::Tick issue_at);
+    sim::Tick write(LogicalPage lpa, sim::Tick issue_at,
+                    bool *rejected = nullptr);
 
     /**
      * Read one logical page.
@@ -121,6 +146,40 @@ class Ftl
 
     /** Max erase-count spread across blocks (wear balance metric). */
     std::uint64_t eraseCountSpread() const;
+
+    // --- Wear-lifecycle maintenance --------------------------------
+    /**
+     * One background patrol-scrub pass: walk up to @p page_budget
+     * valid pages (0 = the configured scrubBudgetPages) from a
+     * persistent cursor, re-read each, and refresh (relocate within
+     * its channel) any page whose predicted uncorrectable rate is at
+     * or above scrubErrorThreshold — or whose patrol read already
+     * failed.  A refresh resets the page's retention age.  No-op
+     * unless the scrub is enabled in the config.
+     *
+     * @return Completion tick of the pass.
+     */
+    sim::Tick patrolScrub(sim::Tick issue_at,
+                          unsigned page_budget = 0);
+
+    /**
+     * One static wear-leveling step: when eraseCountSpread() exceeds
+     * the configured bound, migrate the coldest valid block (lowest
+     * erase count) so its space rejoins the allocation rotation.
+     * Runs automatically on the write path when enabled; exposed for
+     * idle-time maintenance.
+     *
+     * @param[out] progress True when a block was migrated.
+     * @return Completion tick.
+     */
+    sim::Tick levelWear(sim::Tick issue_at, bool &progress);
+
+    /** True once spare blocks ran out and the device refuses
+     *  writes (end of life). */
+    bool readOnly() const { return readOnly_; }
+
+    /** SMART-style health snapshot at tick @p now. */
+    HealthReport healthReport(sim::Tick now) const;
 
   private:
     struct BlockInfo
@@ -153,6 +212,19 @@ class Ftl
     Pool &pickPool(unsigned channel);
 
     /**
+     * Greedy victim choice: the fully-written block with the fewest
+     * valid pages (erase count breaks ties).  Skips the active block
+     * and free blocks; a fully-valid block reclaims nothing and is
+     * never chosen.
+     *
+     * @param[out] victim The chosen block within @p pool.
+     * @param[out] victim_valid Its valid-page count.
+     * @return False when no block is reclaimable.
+     */
+    bool findGcVictim(const Pool &pool, unsigned &victim,
+                      unsigned &victim_valid) const;
+
+    /**
      * Run one greedy GC pass on @p pool.
      *
      * @param[out] progress True when a victim was relocated+erased.
@@ -160,6 +232,43 @@ class Ftl
      */
     sim::Tick collectGarbage(Pool &pool, sim::Tick issue_at,
                              bool &progress);
+
+    /**
+     * Last-resort evacuation when @p pool has run dry and same-pool
+     * GC cannot run (every victim's valid pages exceed the pool's
+     * remaining headroom): relocate the best victim's valid pages
+     * into a *sibling* pool of the same channel and erase it.  Only
+     * reachable from the write path when a pool has wedged at zero
+     * free pages (or would otherwise be declared worn out), so
+     * configurations that never starve a pool are unaffected.
+     *
+     * @param[out] progress True when a block was evacuated.
+     * @return Completion tick.
+     */
+    sim::Tick rescueCollect(Pool &pool, sim::Tick issue_at,
+                            bool &progress);
+
+    /**
+     * Move the valid page at @p src into @p dst_pool (read, program,
+     * remap, fix per-block counters).  Shared by GC relocation, the
+     * patrol scrub, and static wear leveling.
+     *
+     * @param[out] unreadable True when the relocation read was
+     *        uncorrectable (the stale codeword moves anyway; the
+     *        caller counts/warns the latent loss).
+     * @return Completion tick.
+     */
+    sim::Tick relocatePage(const PhysicalPage &src, Pool &dst_pool,
+                           sim::Tick issue_at, bool &unreadable);
+
+    /** Advance a block's erase count, keeping the histogram
+     *  consistent. */
+    void bumpEraseCount(BlockInfo &info);
+
+    /** Erase @p block of @p pool (after relocation emptied it):
+     *  wear accounting, the flash erase, and retire-or-recycle. */
+    sim::Tick eraseAndRecycle(Pool &pool, unsigned block,
+                              sim::Tick issue_at);
 
     std::uint64_t freePagesInPool(const Pool &pool) const;
 
@@ -174,6 +283,14 @@ class Ftl
     std::vector<BlockInfo> blocks_;
     std::vector<Pool> pools_;
     FtlStats stats_;
+    /** Erase count -> number of blocks at that count.  Maintained
+     *  incrementally so eraseCountSpread() is O(1) and the health
+     *  report's histogram is free. */
+    std::map<std::uint64_t, std::uint64_t> eraseHist_;
+    /** Patrol-scrub resume position (dense block index). */
+    std::size_t scrubCursor_ = 0;
+    /** End-of-life latch: set when spares run out, never cleared. */
+    bool readOnly_ = false;
 };
 
 } // namespace ssdsim

@@ -114,6 +114,15 @@ class NvmeController
 
     const NvmeQueueStats &queueStats(unsigned qp) const;
 
+    /**
+     * The SMART / Health Information log page analog: the device's
+     * current HealthReport, captured at tick @p now.
+     */
+    HealthReport healthLogPage(sim::Tick now) const
+    {
+        return device_.health(now);
+    }
+
   private:
     struct QueuePair
     {

@@ -14,6 +14,15 @@ SsdDevice::SsdDevice(const SsdConfig &config, sim::EventQueue &queue)
       ftl_(config, flash_), dram_(config),
       buffer_(config.dataBufferBytes)
 {
+    config_.validate();
+}
+
+sim::Tick
+SsdDevice::idleMaintenance(sim::Tick issue_at)
+{
+    sim::Tick t = ftl_.patrolScrub(issue_at);
+    bool moved = false;
+    return ftl_.levelWear(t, moved);
 }
 
 sim::Tick

@@ -90,6 +90,21 @@ class SsdDevice
 
     const SsdStats &stats() const { return stats_; }
 
+    /** SMART-style health snapshot (see ssdsim/health.hh). */
+    HealthReport health(sim::Tick now) const
+    {
+        return ftl_.healthReport(now);
+    }
+
+    /**
+     * One idle-time maintenance slice: a patrol-scrub pass within
+     * the configured page budget, then a static wear-leveling step.
+     * Both are no-ops unless enabled in the config.
+     *
+     * @return Completion tick of the slice.
+     */
+    sim::Tick idleMaintenance(sim::Tick issue_at);
+
     /** Reset all internal timelines/statistics (not the FTL map). */
     void resetTimelines();
 

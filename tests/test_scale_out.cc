@@ -163,6 +163,115 @@ TEST(ScaleOut, HealthyFleetReportsNoLoss)
     EXPECT_EQ(fleet.health(1).batchesServed, 2u);
 }
 
+namespace
+{
+
+/**
+ * Shard options whose media ages visibly: the retention coefficient
+ * makes the predicted error rate climb with accumulated service
+ * time, which is what the drain policy watches.
+ */
+EcssdOptions
+agingOptions()
+{
+    EcssdOptions options = EcssdOptions::full();
+    options.ssd.retentionErrorCoefficient = 1e-3; // per second
+    return options;
+}
+
+} // namespace
+
+TEST(ScaleOut, ShardHealthReportTracksServiceTime)
+{
+    ScaleOutEcssd fleet(spec(32768), 2, agingOptions());
+
+    // A fresh shard has served nothing: no retention age, so the
+    // predicted rate sits at the (zero) base rate.
+    ssdsim::HealthReport fresh = fleet.shardHealthReport(0);
+    EXPECT_EQ(fleet.health(0).serviceTime, 0u);
+    EXPECT_EQ(fresh.predictedErrorRate, 0.0);
+    EXPECT_EQ(fresh.lifeRemaining, 1.0);
+
+    fleet.runInference(2);
+
+    for (unsigned d = 0; d < 2; ++d) {
+        EXPECT_GT(fleet.health(d).serviceTime, 0u);
+        const ssdsim::HealthReport aged = fleet.shardHealthReport(d);
+        EXPECT_GT(aged.predictedErrorRate, 0.0);
+        EXPECT_LE(aged.lifeRemaining, 1.0);
+        EXPECT_FALSE(aged.readOnly);
+    }
+}
+
+TEST(ScaleOut, ProactiveDrainAvoidsReactiveFailoverLoss)
+{
+    // Two fleets, identical workloads, identical wear, and the same
+    // scheduled mid-run death of shard 0.  The reactive fleet waits
+    // for the failure and eats the recall loss; the proactive fleet
+    // reads the SMART trend after the first run and re-replicates
+    // the degrading shard onto a spare before the failure can land.
+    const xclass::BenchmarkSpec s = spec(32768);
+    ScaleOutEcssd reactive(s, 2, agingOptions());
+    ScaleOutEcssd proactive(s, 2, agingOptions());
+
+    // First run: both fleets accrue the same service time (wear).
+    reactive.runInference(2);
+    proactive.runInference(2);
+
+    // The wearing device will die after one more batch.
+    reactive.failShardAfterBatches(0, 1);
+    proactive.failShardAfterBatches(0, 1);
+
+    // Only the proactive fleet watches health and holds a spare.
+    DrainPolicy policy;
+    policy.errorRateThreshold = 1e-9;
+    proactive.setDrainPolicy(policy);
+    proactive.provisionSpares(1);
+    ASSERT_EQ(proactive.sparesAvailable(), 1u);
+
+    const ScaleOutResult lost = reactive.runInference(2);
+    EXPECT_EQ(lost.drainedShards, 0u);
+    EXPECT_EQ(lost.failedDevices, 1u);
+    EXPECT_FALSE(reactive.shardAlive(0));
+    // Shard 0 served 1 of 2 batches: half the categories missing
+    // from half the batches.
+    EXPECT_NEAR(lost.recallLossEstimate, 0.25, 1e-9);
+
+    const ScaleOutResult saved = proactive.runInference(2);
+    EXPECT_EQ(saved.drainedShards, 1u);
+    EXPECT_GT(saved.reReplicationTime, 0u);
+    EXPECT_EQ(saved.sparesRemaining, 0u);
+    EXPECT_EQ(proactive.sparesAvailable(), 0u);
+    // The replacement device cancelled the scheduled failure: every
+    // shard served every batch and nothing was lost.
+    EXPECT_EQ(saved.failedDevices, 0u);
+    EXPECT_TRUE(proactive.shardAlive(0));
+    EXPECT_EQ(saved.recallLossEstimate, 0.0);
+    EXPECT_EQ(proactive.health(0).replacements, 1u);
+    // The fresh device starts its retention clock over.
+    EXPECT_LT(proactive.health(0).serviceTime,
+              proactive.health(1).serviceTime);
+}
+
+TEST(ScaleOut, DrainWithoutSparesFallsBackToReactiveFailover)
+{
+    // A policy with no spares to drain onto cannot act: the fleet
+    // behaves exactly like the reactive one.
+    ScaleOutEcssd fleet(spec(32768), 2, agingOptions());
+    fleet.runInference(1);
+
+    DrainPolicy policy;
+    policy.errorRateThreshold = 1e-9;
+    fleet.setDrainPolicy(policy);
+    fleet.failShardAfterBatches(0, 1);
+
+    const ScaleOutResult result = fleet.runInference(2);
+    EXPECT_EQ(result.drainedShards, 0u);
+    EXPECT_EQ(result.failedDevices, 1u);
+    EXPECT_EQ(fleet.health(0).replacements, 0u);
+    EXPECT_NEAR(result.recallLossEstimate, 0.25, 1e-9);
+}
+
 TEST(ScaleOut, ShardResultsAreComplete)
 {
     ScaleOutEcssd fleet(spec(32768), 2);

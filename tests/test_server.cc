@@ -283,6 +283,64 @@ TEST(InferenceServer, FailBatchRetriesWithBackoffAndKeepsServing)
     EXPECT_GT(server.serverStats().batchRetries, 0u);
 }
 
+TEST(InferenceServer, RetryBackoffIsChargedToTheSimulatedClock)
+{
+    // Two servers differ only in the backoff constant; the fault
+    // draws (and therefore the retry schedule) are identical, so
+    // every tick of completion-time difference is backoff actually
+    // charged to the clock — a retried batch lands *after* the
+    // failure tick, not at it.
+    ServerFixture f;
+    EcssdOptions flaky = EcssdOptions::full();
+    flaky.ssd.uncorrectableReadRate = 0.05;
+    flaky.degradedPolicy = accel::DegradedReadPolicy::FailBatch;
+
+    ServerConfig quick;
+    quick.maxBatchRetries = 1; // one retry => one backoff per abort
+    quick.retryBackoffUs = 100.0;
+    ServerConfig slow = quick;
+    slow.retryBackoffUs = 100000.0;
+
+    InferenceServer quick_server(f.model.weights(), f.spec, flaky,
+                                 &f.model.basis(), quick);
+    InferenceServer slow_server(f.model.weights(), f.spec, flaky,
+                                &f.model.basis(), slow);
+    sim::Rng rng_a(26), rng_b(26);
+    for (int i = 0; i < 16; ++i) {
+        quick_server.enqueue(f.model.sampleQuery(rng_a));
+        slow_server.enqueue(f.model.sampleQuery(rng_b));
+    }
+    const auto quick_responses = quick_server.processAll(3);
+    const auto slow_responses = slow_server.processAll(3);
+
+    const std::uint64_t retries =
+        quick_server.serverStats().batchRetries;
+    ASSERT_GT(retries, 0u) << "no batch ever aborted";
+    ASSERT_EQ(retries, slow_server.serverStats().batchRetries)
+        << "retry schedules diverged; the comparison is invalid";
+
+    // The total device time differs by exactly the backoff delta
+    // times the number of retries.
+    const sim::Tick delta = sim::microseconds(100000.0 - 100.0);
+    EXPECT_EQ(slow_server.deviceTime(),
+              quick_server.deviceTime() + delta * retries);
+
+    // Per request: nobody finishes earlier under the larger
+    // backoff, and the retried batches finish strictly later.
+    ASSERT_EQ(quick_responses.size(), slow_responses.size());
+    unsigned later = 0;
+    for (std::size_t i = 0; i < quick_responses.size(); ++i) {
+        EXPECT_EQ(quick_responses[i].id, slow_responses[i].id);
+        EXPECT_GE(slow_responses[i].completedAt,
+                  quick_responses[i].completedAt);
+        later += slow_responses[i].completedAt
+                > quick_responses[i].completedAt
+            ? 1
+            : 0;
+    }
+    EXPECT_GT(later, 0u);
+}
+
 TEST(InferenceServer, OpenLoopRejectsBadArguments)
 {
     ServerFixture f;

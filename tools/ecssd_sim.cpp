@@ -23,6 +23,18 @@
  *   --trace CATS          enable trace categories (ftl,pipeline,...)
  *   --seed N              trace/workload seed
  *   --list                list benchmarks and architectures
+ *
+ * Reliability model (see docs/MODELING.md, "Wear lifecycle & scrub"):
+ *   --uncorrectable-read-rate P   base per-read UECC probability
+ *   --read-retry-rate P           per-read retry probability
+ *   --erase-failure-rate P        per-erase block-retirement prob.
+ *   --wear-coefficient C          erase-count error term weight
+ *   --wear-exponent E             erase-count error term exponent
+ *   --retention-coefficient C     per-second retention error term
+ *   --scrub-threshold P           refresh pages predicted above P
+ *   --scrub-budget N              patrol-scrub pages per pass
+ *   --wear-level-bound N          erase-spread bound for leveling
+ *   --health                      print the device SMART report
  */
 
 #include <cstdio>
@@ -47,6 +59,7 @@ struct CliOptions
     std::string arch;
     bool sweepLayouts = false;
     bool energy = false;
+    bool health = false;
     EcssdOptions device = EcssdOptions::full();
 };
 
@@ -61,7 +74,13 @@ usage(const char *argv0, int code)
                 "  [--int4 dram|flash] [--no-screening] "
                 "[--no-overlap]\n"
                 "  [--arch NAME] [--sweep-layouts] [--energy]\n"
-                "  [--trace CATS] [--seed N] [--list]\n",
+                "  [--trace CATS] [--seed N] [--list]\n"
+                "  [--uncorrectable-read-rate P] "
+                "[--read-retry-rate P]\n"
+                "  [--erase-failure-rate P] [--wear-coefficient C]\n"
+                "  [--wear-exponent E] [--retention-coefficient C]\n"
+                "  [--scrub-threshold P] [--scrub-budget N]\n"
+                "  [--wear-level-bound N] [--health]\n",
                 argv0);
     std::exit(code);
 }
@@ -106,8 +125,34 @@ parseMac(const std::string &value)
 }
 
 void
+printHealth(const EcssdSystem &system, sim::Tick now)
+{
+    const ssdsim::HealthReport h = system.health(now);
+    std::printf(
+        "  health: life %.1f%%  erase min/mean/max %llu/%.1f/%llu  "
+        "spare blocks %llu  bad %llu%s\n"
+        "          scrub: %llu pages, %llu refreshed, "
+        "%llu uncorrectable  wear-level moves %llu\n"
+        "          media: %llu reads, %llu uncorrectable "
+        "(observed %.2e, predicted %.2e)\n",
+        h.lifeRemaining * 100.0,
+        (unsigned long long)h.minEraseCount, h.meanEraseCount,
+        (unsigned long long)h.maxEraseCount,
+        (unsigned long long)h.spareBlocks,
+        (unsigned long long)h.badBlocks,
+        h.readOnly ? "  READ-ONLY" : "",
+        (unsigned long long)h.scrubbedPages,
+        (unsigned long long)h.scrubRelocations,
+        (unsigned long long)h.scrubUncorrectable,
+        (unsigned long long)h.wearLevelMoves,
+        (unsigned long long)h.mediaReads,
+        (unsigned long long)h.mediaUncorrectable,
+        h.observedErrorRate, h.predictedErrorRate);
+}
+
+void
 report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
-       unsigned batches, bool energy)
+       unsigned batches, bool energy, bool health)
 {
     EcssdSystem system(spec, options);
     const accel::RunResult result = system.runInference(batches);
@@ -129,6 +174,8 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
             e.acceleratorUj / e.totalUj() * 100.0,
             e.backgroundUj / e.totalUj() * 100.0);
     }
+    if (health)
+        printHealth(system, result.totalTime);
 }
 
 } // namespace
@@ -189,6 +236,36 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             cli.device.seed = std::strtoull(
                 next("--seed").c_str(), nullptr, 10);
+        } else if (arg == "--uncorrectable-read-rate") {
+            cli.device.ssd.uncorrectableReadRate = std::strtod(
+                next("--uncorrectable-read-rate").c_str(), nullptr);
+        } else if (arg == "--read-retry-rate") {
+            cli.device.ssd.readRetryRate = std::strtod(
+                next("--read-retry-rate").c_str(), nullptr);
+        } else if (arg == "--erase-failure-rate") {
+            cli.device.ssd.eraseFailureRate = std::strtod(
+                next("--erase-failure-rate").c_str(), nullptr);
+        } else if (arg == "--wear-coefficient") {
+            cli.device.ssd.wearErrorCoefficient = std::strtod(
+                next("--wear-coefficient").c_str(), nullptr);
+        } else if (arg == "--wear-exponent") {
+            cli.device.ssd.wearExponent = std::strtod(
+                next("--wear-exponent").c_str(), nullptr);
+        } else if (arg == "--retention-coefficient") {
+            cli.device.ssd.retentionErrorCoefficient = std::strtod(
+                next("--retention-coefficient").c_str(), nullptr);
+        } else if (arg == "--scrub-threshold") {
+            cli.device.ssd.scrubErrorThreshold = std::strtod(
+                next("--scrub-threshold").c_str(), nullptr);
+        } else if (arg == "--scrub-budget") {
+            cli.device.ssd.scrubBudgetPages = static_cast<unsigned>(
+                std::strtoul(next("--scrub-budget").c_str(), nullptr,
+                             10));
+        } else if (arg == "--wear-level-bound") {
+            cli.device.ssd.wearLevelSpreadBound = std::strtoull(
+                next("--wear-level-bound").c_str(), nullptr, 10);
+        } else if (arg == "--health") {
+            cli.health = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -196,6 +273,9 @@ main(int argc, char **argv)
         }
     }
     sim::initTraceFromEnvironment();
+    // Fail fast on contradictory reliability knobs, before any
+    // benchmark state is built.
+    cli.device.ssd.validate();
 
     xclass::BenchmarkSpec spec =
         xclass::benchmarkByName(cli.benchmark);
@@ -230,11 +310,12 @@ main(int argc, char **argv)
               layout::LayoutKind::LearningAdaptive}) {
             EcssdOptions options = cli.device;
             options.layoutKind = kind;
-            report(spec, options, cli.batches, cli.energy);
+            report(spec, options, cli.batches, cli.energy,
+                   cli.health);
         }
         return 0;
     }
 
-    report(spec, cli.device, cli.batches, cli.energy);
+    report(spec, cli.device, cli.batches, cli.energy, cli.health);
     return 0;
 }
