@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Smoke-benchmark harness: fast, deterministic runs whose results are
+ * the checked-in perf-regression baselines.
+ *
+ *   bench_smoke [--out DIR]
+ *
+ * Writes two flat JSON documents into DIR (default "."):
+ *
+ *  - BENCH_e2e.json: per-benchmark end-to-end latency/utilization at
+ *    a reduced scale (Fig 13's sweep shrunk to smoke size) plus an
+ *    InferenceServer serving pass;
+ *  - BENCH_breakdown.json: the Fig 8 stepwise technique breakdown on
+ *    one benchmark.
+ *
+ * Every value is *simulated* time or a deterministic event count, so
+ * the output is bit-stable across hosts and CI runs; tools/
+ * bench_compare.cpp diffs a fresh run against the checked-in copy
+ * (10% latency / 1% counter tolerance, see src/sim/baseline.hh).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "ecssd/server.hh"
+#include "ecssd/system.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+/** Category cap of the end-to-end smoke runs. */
+constexpr std::uint64_t kE2eScale = 16384;
+/** Category cap of the serving smoke run (in-memory weights). */
+constexpr std::uint64_t kServingScale = 2048;
+
+/** One flat baseline document: "latency" vs "counters" sections. */
+struct BaselineDoc
+{
+    std::map<std::string, double> latency;
+    std::map<std::string, double> counters;
+
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os)
+            sim::fatal("cannot open '", path, "' for writing");
+        sim::JsonWriter json(os);
+        json.beginObject();
+        json.key("latency");
+        json.beginObject();
+        for (const auto &[key, value] : latency) {
+            json.key(key);
+            json.value(value);
+        }
+        json.endObject();
+        json.key("counters");
+        json.beginObject();
+        for (const auto &[key, value] : counters) {
+            json.key(key);
+            json.value(value);
+        }
+        json.endObject();
+        json.endObject();
+        os << "\n";
+        std::printf("wrote %s\n", path.c_str());
+    }
+};
+
+void
+benchEndToEnd(BaselineDoc &doc)
+{
+    for (const xclass::BenchmarkSpec &full :
+         xclass::table3Benchmarks()) {
+        const xclass::BenchmarkSpec spec =
+            xclass::scaledDown(full, kE2eScale);
+        EcssdSystem system(spec, EcssdOptions::full());
+        const accel::RunResult result = system.runInference(2);
+
+        const std::string name = full.name;
+        doc.latency[name + ".mean_batch_ms"] = result.meanBatchMs();
+        doc.latency[name + ".channel_utilization"] =
+            result.channelUtilization;
+        std::uint64_t candidate_rows = 0;
+        std::uint64_t fp32_pages = 0;
+        for (const accel::BatchTiming &batch : result.batches) {
+            candidate_rows += batch.candidateRows;
+            fp32_pages += batch.fp32PagesRead;
+        }
+        doc.counters[name + ".candidate_rows"] =
+            static_cast<double>(candidate_rows);
+        doc.counters[name + ".fp32_pages_read"] =
+            static_cast<double>(fp32_pages);
+    }
+}
+
+void
+benchServing(BaselineDoc &doc)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), kServingScale);
+    const EcssdOptions options = EcssdOptions::full();
+    xclass::SyntheticModel model(spec, options.seed);
+    InferenceServer server(model.weights(), spec, options);
+    sim::Rng rng(options.seed);
+    for (unsigned r = 0; r < 24; ++r)
+        server.enqueue(model.sampleQuery(rng));
+    server.processAll(5);
+
+    doc.latency["serving.mean_ms"] = server.latencyMs().mean();
+    doc.latency["serving.p50_ms"] =
+        server.latencyPercentiles().p50();
+    doc.latency["serving.p99_ms"] =
+        server.latencyPercentiles().p99();
+    doc.latency["serving.device_time_ms"] =
+        sim::tickToMs(server.deviceTime());
+    doc.counters["serving.ok_responses"] = static_cast<double>(
+        server.serverStats().okResponses);
+    doc.counters["serving.accepted_requests"] = static_cast<double>(
+        server.serverStats().acceptedRequests);
+}
+
+void
+benchBreakdown(BaselineDoc &doc)
+{
+    // The Fig 8 ladder on one benchmark at smoke scale.
+    EcssdOptions step0 = EcssdOptions::startingBaseline();
+    EcssdOptions step1 = step0;
+    step1.layoutKind = layout::LayoutKind::Uniform;
+    EcssdOptions step2 = step1;
+    step2.fpKind = circuit::FpMacKind::AlignmentFree;
+    EcssdOptions step3 = step2;
+    step3.int4Placement = accel::Int4Placement::Dram;
+    EcssdOptions step4 = step3;
+    step4.layoutKind = layout::LayoutKind::LearningAdaptive;
+    const EcssdOptions steps[] = {step0, step1, step2, step3, step4};
+
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), kE2eScale);
+    for (std::size_t s = 0; s < 5; ++s) {
+        EcssdSystem system(spec, steps[s]);
+        const accel::RunResult result = system.runInference(2);
+        char prefix[16];
+        std::snprintf(prefix, sizeof(prefix), "step%zu", s);
+        doc.latency[std::string(prefix) + ".mean_batch_ms"] =
+            result.meanBatchMs();
+        doc.latency[std::string(prefix) + ".channel_utilization"] =
+            result.channelUtilization;
+        std::uint64_t fp32_pages = 0;
+        std::uint64_t int4_pages = 0;
+        for (const accel::BatchTiming &batch : result.batches) {
+            fp32_pages += batch.fp32PagesRead;
+            int4_pages += batch.int4PagesRead;
+        }
+        doc.counters[std::string(prefix) + ".fp32_pages_read"] =
+            static_cast<double>(fp32_pages);
+        doc.counters[std::string(prefix) + ".int4_pages_read"] =
+            static_cast<double>(int4_pages);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_dir = ".";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    BaselineDoc e2e;
+    benchEndToEnd(e2e);
+    benchServing(e2e);
+    e2e.write(out_dir + "/BENCH_e2e.json");
+
+    BaselineDoc breakdown;
+    benchBreakdown(breakdown);
+    breakdown.write(out_dir + "/BENCH_breakdown.json");
+    return 0;
+}

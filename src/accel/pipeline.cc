@@ -218,6 +218,9 @@ InferencePipeline::runBatch(
     const double fp32_gflops = config_.fp32Gflops();
     const std::uint64_t batch = spec_.batchSize;
 
+    const sim::SpanId batch_span =
+        spans_ ? spans_->begin("pipeline.batch", issue_at) : 0;
+
     // Host uploads: projected INT4 features plus pre-aligned CFP32
     // features for the whole batch.
     const std::uint64_t int4_feature_bytes =
@@ -226,6 +229,11 @@ InferencePipeline::runBatch(
         batch * (spec_.rowBytes() + 1);
     const sim::Tick inputs_ready = ssd_.hostTransfer(
         int4_feature_bytes + cfp32_feature_bytes, issue_at);
+    if (spans_) {
+        spans_->end(
+            spans_->begin("pipeline.host_upload", issue_at),
+            inputs_ready);
+    }
 
     const std::uint64_t tiles = tileCount();
     sim::Tick int4_done_prev = inputs_ready; // INT4 stage cursor
@@ -266,6 +274,9 @@ InferencePipeline::runBatch(
         if (screening_) {
             const sim::Tick stage_start =
                 std::max(int4_done_prev, buffer_free);
+            const sim::SpanId int4_span = spans_
+                ? spans_->begin("pipeline.int4", stage_start)
+                : 0;
             const sim::Tick fetch_done =
                 fetchInt4Tile(tile, stage_start, timing);
             const double ops = static_cast<double>(batch) * rows
@@ -278,6 +289,8 @@ InferencePipeline::runBatch(
             int4_done =
                 std::max(fetch_done, stage_start + compute);
             timing.int4StageTime += int4_done - stage_start;
+            if (spans_)
+                spans_->end(int4_span, int4_done);
         } else {
             int4_done = int4_done_prev;
         }
@@ -301,6 +314,9 @@ InferencePipeline::runBatch(
                 std::max(buffer_free, fetch_done_prev);
             const sim::Tick fetch_start =
                 std::max(int4_done, transfer_gate);
+            const sim::SpanId fp32_span = spans_
+                ? spans_->begin("pipeline.fp32", fetch_start)
+                : 0;
             const sim::Tick fetch_done = fetchFp32Rows(
                 tile_candidates, int4_done, transfer_gate, timing);
             fetch_done_prev = fetch_done;
@@ -310,17 +326,24 @@ InferencePipeline::runBatch(
             timing.fp32FetchTime += fetch_done - fetch_start;
             timing.fp32ComputeTime += compute;
             int4_done_prev = int4_done; // next INT4 may proceed
+            if (spans_)
+                spans_->end(fp32_span, fp32_done);
         } else {
             // Strictly serial: the next tile's INT4 stage waits for
             // this tile's FP32 stage to finish entirely.
+            const sim::Tick fetch_start =
+                std::max(int4_done, fp32_done_prev);
+            const sim::SpanId fp32_span = spans_
+                ? spans_->begin("pipeline.fp32", fetch_start)
+                : 0;
             const sim::Tick fetch_done = fetchFp32Rows(
-                tile_candidates, std::max(int4_done, fp32_done_prev),
-                0, timing);
+                tile_candidates, fetch_start, 0, timing);
             fp32_done = fetch_done + compute;
-            timing.fp32FetchTime +=
-                fetch_done - std::max(int4_done, fp32_done_prev);
+            timing.fp32FetchTime += fetch_done - fetch_start;
             timing.fp32ComputeTime += compute;
             int4_done_prev = fp32_done;
+            if (spans_)
+                spans_->end(fp32_span, fp32_done);
         }
         done_ring[tile % depth] = fp32_done;
         fp32_done_prev = fp32_done;
@@ -330,12 +353,46 @@ InferencePipeline::runBatch(
     const std::uint64_t result_bytes = batch * 128 * 8;
     timing.finishedAt =
         ssd_.hostTransfer(result_bytes, fp32_done_prev);
+    if (spans_) {
+        spans_->end(
+            spans_->begin("pipeline.host_download", fp32_done_prev),
+            timing.finishedAt);
+        spans_->end(batch_span, timing.finishedAt);
+    }
+    if (metrics_)
+        recordBatchMetrics(timing);
     ECSSD_TRACE_LOG(sim::TraceCategory::Pipeline, timing.finishedAt,
                     "batch done: candidates ", timing.candidateRows,
                     " fp32 pages ", timing.fp32PagesRead,
                     " latency ", sim::tickToMs(timing.latency()),
                     " ms");
     return timing;
+}
+
+void
+InferencePipeline::recordBatchMetrics(const BatchTiming &timing)
+{
+    sim::MetricsRegistry &m = *metrics_;
+    m.counterAdd("pipeline.batches", 1);
+    m.counterAdd("pipeline.candidate_rows", timing.candidateRows);
+    m.counterAdd("pipeline.fp32_pages_read", timing.fp32PagesRead);
+    m.counterAdd("pipeline.fp32_bytes_read", timing.fp32BytesRead);
+    m.counterAdd("pipeline.int4_pages_read", timing.int4PagesRead);
+    m.counterAdd("pipeline.fp32_flops", timing.fp32Flops);
+    m.counterAdd("pipeline.int4_ops", timing.int4Ops);
+    m.counterAdd("pipeline.uncorrectable_pages",
+                 timing.uncorrectablePages);
+    m.counterAdd("pipeline.degraded_rows", timing.degradedRows);
+    m.counterAdd("pipeline.host_refetches", timing.hostRefetches);
+    if (timing.failed)
+        m.counterAdd("pipeline.failed_batches", 1);
+    // Per-phase time breakdown (Fig. 8's stage decomposition).
+    m.counterAdd("pipeline.int4_stage_ps", timing.int4StageTime);
+    m.counterAdd("pipeline.fp32_fetch_ps", timing.fp32FetchTime);
+    m.counterAdd("pipeline.fp32_compute_ps",
+                 timing.fp32ComputeTime);
+    m.histogramSample("pipeline.batch_latency_ms", 0.0, 1000.0,
+                      2000, sim::tickToMs(timing.latency()));
 }
 
 RunResult

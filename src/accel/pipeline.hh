@@ -22,6 +22,8 @@
 #include "accel/accel_config.hh"
 #include "accel/candidate_source.hh"
 #include "layout/strategy.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 #include "ssdsim/ssd.hh"
 #include "xclass/workload.hh"
 
@@ -192,6 +194,24 @@ class InferencePipeline
         config_.degradedPolicy = policy;
     }
 
+    /**
+     * Attach (or detach, with nullptr) observability sinks.  When a
+     * tracer is attached every batch emits the phase spans
+     * pipeline.batch > {pipeline.host_upload, pipeline.int4,
+     * pipeline.fp32, pipeline.host_download}; when a registry is
+     * attached every batch records the "pipeline.*" counters and the
+     * pipeline.batch_latency_ms histogram.  Recording is read-only
+     * with respect to the timing model: an instrumented run returns
+     * bit-identical BatchTiming to a bare one.
+     */
+    void
+    attachObservability(sim::MetricsRegistry *metrics,
+                        sim::SpanTracer *spans)
+    {
+        metrics_ = metrics;
+        spans_ = spans;
+    }
+
   private:
     /** Fetch one tile's INT4 weights; returns the completion tick. */
     sim::Tick fetchInt4Tile(std::uint64_t tile, sim::Tick issue_at,
@@ -211,6 +231,9 @@ class InferencePipeline
         std::span<const std::uint64_t> rows, sim::Tick issue_at,
         sim::Tick transfer_gate, BatchTiming &timing);
 
+    /** Record one finished batch into the attached registry. */
+    void recordBatchMetrics(const BatchTiming &timing);
+
     xclass::BenchmarkSpec spec_;
     AccelConfig config_;
     ssdsim::SsdDevice &ssd_;
@@ -221,6 +244,9 @@ class InferencePipeline
     unsigned pagesPerRow_;
     /** Weight rows sharing one flash page (>= 1). */
     std::uint64_t rowsPerPage_ = 1;
+    /** Optional observability sinks (null = uninstrumented). */
+    sim::MetricsRegistry *metrics_ = nullptr;
+    sim::SpanTracer *spans_ = nullptr;
 };
 
 } // namespace accel

@@ -196,6 +196,16 @@ class ScaleOutEcssd
      */
     ScaleOutResult runInference(unsigned batches);
 
+    /**
+     * Snapshot fleet state and the per-shard outcome of @p result
+     * into @p registry as gauges: "fleet.shard00.*" per-shard
+     * time/batches/liveness plus fleet-wide aggregates, including
+     * the load-skew gauge fleet.time_skew ((max-min)/max over the
+     * shard run times — 0 is a perfectly balanced fleet).
+     */
+    void publishMetrics(sim::MetricsRegistry &registry,
+                        const ScaleOutResult &result) const;
+
   private:
     /** Replace @p shard's device with a freshly-deployed spare.
      *  @return The re-replication (deployment) time. */

@@ -24,6 +24,60 @@ InferenceServer::InferenceServer(
                  "weights do not match the benchmark spec");
 }
 
+void
+InferenceServer::attachObservability(sim::MetricsRegistry *metrics,
+                                     sim::SpanTracer *spans)
+{
+    metrics_ = metrics;
+    system_->attachObservability(metrics, spans);
+}
+
+void
+InferenceServer::publishMetrics(sim::MetricsRegistry &registry) const
+{
+    const auto gauge = [&](const char *name, std::uint64_t value) {
+        registry.gaugeSet(std::string("server.") + name,
+                          static_cast<double>(value));
+    };
+    gauge("accepted_requests", stats_.acceptedRequests);
+    gauge("shed_requests", stats_.shedRequests);
+    gauge("timed_out_requests", stats_.timedOutRequests);
+    gauge("dropped_before_service", stats_.droppedBeforeService);
+    gauge("degraded_responses", stats_.degradedResponses);
+    gauge("ok_responses", stats_.okResponses);
+    gauge("batch_retries", stats_.batchRetries);
+    gauge("exhausted_batches", stats_.exhaustedBatches);
+    gauge("degraded_rows", stats_.degradedRows);
+    registry.gaugeSet("server.device_time_ms",
+                      sim::tickToMs(deviceClock_));
+}
+
+void
+InferenceServer::recordResponse(Response::Status status,
+                                double latency_ms)
+{
+    if (!metrics_)
+        return;
+    switch (status) {
+    case Response::Status::Ok:
+        metrics_->counterAdd("server.responses_ok");
+        break;
+    case Response::Status::Degraded:
+        metrics_->counterAdd("server.responses_degraded");
+        break;
+    case Response::Status::TimedOut:
+        metrics_->counterAdd("server.responses_timed_out");
+        break;
+    case Response::Status::Shed:
+        metrics_->counterAdd("server.responses_shed");
+        break;
+    }
+    if (latency_ms >= 0.0) {
+        metrics_->histogramSample("server.latency_ms", 0.0, 500.0,
+                                  1000, latency_ms);
+    }
+}
+
 InferenceServer::RequestId
 InferenceServer::enqueue(std::vector<float> feature)
 {
@@ -43,6 +97,7 @@ InferenceServer::enqueueAt(std::vector<float> feature,
         // (and therefore worst-case queueing delay) bounded under
         // overload.
         ++stats_.shedRequests;
+        recordResponse(Response::Status::Shed, -1.0);
         unservedResponses_.push_back(
             Response{id, {}, arrival, Response::Status::Shed});
         return id;
@@ -50,6 +105,12 @@ InferenceServer::enqueueAt(std::vector<float> feature,
     ++stats_.acceptedRequests;
     pending_.push_back(
         PendingRequest{id, std::move(feature), arrival});
+    if (metrics_) {
+        metrics_->counterAdd("server.accepted_requests");
+        metrics_->gaugeSet(
+            "server.queue_depth",
+            static_cast<double>(pending_.size()));
+    }
     return id;
 }
 
@@ -78,6 +139,8 @@ InferenceServer::timeBatchWithRetries(
          timing.failed && attempt < config_.maxBatchRetries;
          ++attempt) {
         ++stats_.batchRetries;
+        if (metrics_)
+            metrics_->counterAdd("server.batch_retries");
         backoff += sim::microseconds(backoff_us);
         backoff_us *= 2.0;
         system_->ssd().resetTimelines();
@@ -88,6 +151,8 @@ InferenceServer::timeBatchWithRetries(
         // Retry budget exhausted: serve the batch degraded (screener
         // scores for the lost rows) rather than dropping it.
         ++stats_.exhaustedBatches;
+        if (metrics_)
+            metrics_->counterAdd("server.exhausted_batches");
         accel::InferencePipeline &pipeline = system_->pipeline();
         const accel::DegradedReadPolicy saved =
             pipeline.degradedPolicy();
@@ -115,6 +180,10 @@ InferenceServer::serveOneBatch(std::size_t k)
         if (expiredBy(request, deviceClock_)) {
             ++stats_.timedOutRequests;
             ++stats_.droppedBeforeService;
+            if (metrics_)
+                metrics_->counterAdd(
+                    "server.dropped_before_service");
+            recordResponse(Response::Status::TimedOut, -1.0);
             responses.push_back(Response{request.id,
                                          {},
                                          deviceClock_,
@@ -172,11 +241,17 @@ InferenceServer::serveOneBatch(std::size_t k)
             status = Response::Status::Ok;
             ++stats_.okResponses;
         }
+        recordResponse(status, ms);
         responses.push_back(Response{batch[i].id,
                                      std::move(predictions[i]),
                                      finished, status});
     }
     deviceClock_ = finished;
+    if (metrics_) {
+        metrics_->gaugeSet(
+            "server.queue_depth",
+            static_cast<double>(pending_.size()));
+    }
     return responses;
 }
 

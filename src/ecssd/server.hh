@@ -180,6 +180,21 @@ class InferenceServer
         return system_->health(deviceClock_);
     }
 
+    /**
+     * Attach (or detach, with nullptr) observability sinks.  The
+     * registry receives live "server.*" counters (admission, shed,
+     * deadline, retry outcomes), the server.queue_depth gauge, and
+     * the server.latency_ms end-to-end histogram; both sinks are also
+     * forwarded to the underlying system (pipeline spans/counters,
+     * flash busy intervals).  Recording never alters serving
+     * behaviour or timing.
+     */
+    void attachObservability(sim::MetricsRegistry *metrics,
+                             sim::SpanTracer *spans);
+
+    /** Snapshot the ServerStats counters as "server.*" gauges. */
+    void publishMetrics(sim::MetricsRegistry &registry) const;
+
   private:
     struct PendingRequest
     {
@@ -217,11 +232,16 @@ class InferenceServer
     /** Serve the oldest <= batchSize pending requests once. */
     std::vector<Response> serveOneBatch(std::size_t k);
 
+    /** Record one served-request latency/outcome when attached. */
+    void recordResponse(Response::Status status, double latency_ms);
+
     RequestId nextId_ = 1;
     sim::Tick deviceClock_ = 0;
     sim::Distribution latencyMs_;
     sim::Percentiles latencyPercentiles_;
     ServerStats stats_;
+    /** Optional live-metrics sink (null = uninstrumented). */
+    sim::MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace ecssd

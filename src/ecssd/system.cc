@@ -92,6 +92,33 @@ EcssdSystem::runInferenceWith(accel::CandidateSource &source,
     return pipeline_->run(source, batches);
 }
 
+void
+EcssdSystem::attachObservability(sim::MetricsRegistry *metrics,
+                                 sim::SpanTracer *spans)
+{
+    pipeline_->attachObservability(metrics, spans);
+    ssd_->setSpanTracer(spans);
+}
+
+void
+EcssdSystem::publishMetrics(sim::MetricsRegistry &registry,
+                            const accel::RunResult &result) const
+{
+    ssd_->publishMetrics(registry);
+    registry.gaugeSet("run.total_time_ms",
+                      sim::tickToMs(result.totalTime));
+    registry.gaugeSet("run.mean_batch_ms", result.meanBatchMs());
+    registry.gaugeSet("run.channel_utilization",
+                      result.channelUtilization);
+    registry.gaugeSet("run.effective_gflops",
+                      result.effectiveGflops);
+    registry.gaugeSet("run.batches",
+                      static_cast<double>(result.batches.size()));
+    registry.gaugeSet(
+        "run.failed_batches",
+        static_cast<double>(result.failedBatches));
+}
+
 circuit::EnergyBreakdown
 EcssdSystem::estimateRunEnergy(const accel::RunResult &result) const
 {

@@ -126,6 +126,24 @@ class EcssdSystem
         return ssd_->health(now);
     }
 
+    /**
+     * Attach (or detach, with nullptr) observability sinks to the
+     * pipeline and device.  The tracer sees pipeline phase spans with
+     * nested flash busy intervals; the registry sees live
+     * "pipeline.*" counters/histograms.  Device-side snapshots are
+     * published explicitly via publishMetrics().
+     */
+    void attachObservability(sim::MetricsRegistry *metrics,
+                             sim::SpanTracer *spans);
+
+    /**
+     * Snapshot device-side state ("flash.*", "ftl.*", "ssd.*") and
+     * the run-level aggregates of @p result ("run.*") into
+     * @p registry.
+     */
+    void publishMetrics(sim::MetricsRegistry &registry,
+                        const accel::RunResult &result) const;
+
   private:
     xclass::BenchmarkSpec spec_;
     EcssdOptions options_;

@@ -1,0 +1,51 @@
+#include "baseline.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ecssd
+{
+namespace sim
+{
+
+bool
+isLatencyKey(const std::string &key)
+{
+    return key.rfind("latency.", 0) == 0;
+}
+
+std::vector<std::string>
+compareBaselines(const std::map<std::string, double> &baseline,
+                 const std::map<std::string, double> &current,
+                 const BaselineTolerance &tolerance)
+{
+    std::vector<std::string> failures;
+    for (const auto &[key, expected] : baseline) {
+        const auto it = current.find(key);
+        if (it == current.end()) {
+            failures.push_back("missing metric '" + key + "'");
+            continue;
+        }
+        const double actual = it->second;
+        const double tol =
+            isLatencyKey(key) ? tolerance.latency : tolerance.counter;
+        // Relative drift against the baseline magnitude; a tiny
+        // absolute floor keeps zero-valued baselines comparable
+        // without dividing by zero.
+        const double denom = std::max(std::abs(expected), 1e-9);
+        const double drift = std::abs(actual - expected) / denom;
+        if (drift > tol) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "'%s': baseline %.6g, current %.6g "
+                          "(drift %.2f%% > %.2f%%)",
+                          key.c_str(), expected, actual,
+                          drift * 100.0, tol * 100.0);
+            failures.push_back(buf);
+        }
+    }
+    return failures;
+}
+
+} // namespace sim
+} // namespace ecssd

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bench-baseline comparison: the perf-regression gate.
+ *
+ * Baselines are flat JSON documents (see bench/bench_smoke.cc) with
+ * two top-level sections: "latency" (simulated times, utilizations,
+ * throughputs — allowed to drift within a latency tolerance) and
+ * "counters" (deterministic event counts — held to a much tighter
+ * tolerance).  compareBaselines() diffs a current run against the
+ * checked-in baseline and reports every violation; CI fails on any.
+ */
+
+#ifndef ECSSD_SIM_BASELINE_HH
+#define ECSSD_SIM_BASELINE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Drift tolerances of the baseline gate (relative). */
+struct BaselineTolerance
+{
+    /** Allowed relative drift for "latency." metrics. */
+    double latency = 0.10;
+    /** Allowed relative drift for everything else ("counters."). */
+    double counter = 0.01;
+};
+
+/** True when @p key is held to the latency tolerance. */
+bool isLatencyKey(const std::string &key);
+
+/**
+ * Compare @p current against @p baseline.
+ *
+ * Every baseline key must exist in @p current and sit within its
+ * tolerance; keys present only in @p current are new metrics and are
+ * ignored (checking in a fresh baseline picks them up).
+ *
+ * @return Human-readable violation descriptions; empty = pass.
+ */
+std::vector<std::string> compareBaselines(
+    const std::map<std::string, double> &baseline,
+    const std::map<std::string, double> &current,
+    const BaselineTolerance &tolerance = BaselineTolerance{});
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_BASELINE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal JSON emission and flat-document parsing.
+ *
+ * The observability exports (metrics registry, span logs, bench
+ * baselines) need deterministic, dependency-free JSON.  JsonWriter
+ * emits objects/arrays with stable formatting (numbers via %.17g, so
+ * round-trips are exact); parseFlatJson reads a JSON document of
+ * nested objects back into a flat "a.b.c" -> number map, which is all
+ * the baseline comparator and tests need.  Strings, booleans and
+ * nulls are parsed but dropped from the flat view.
+ */
+
+#ifndef ECSSD_SIM_JSON_HH
+#define ECSSD_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** Escape @p raw for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &raw);
+
+/** Format a double the way JsonWriter does (deterministic %.17g). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer with automatic comma/indent handling.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("latency"); w.beginObject();
+ *   w.key("p50_ms"); w.value(1.25);
+ *   w.endObject();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    void key(const std::string &name);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+    void value(const std::string &v);
+    void value(const char *v);
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &os_;
+    /** true = first entry of the innermost container. */
+    std::vector<bool> firstInScope_;
+    bool afterKey_ = false;
+};
+
+/**
+ * Parse a JSON document into a flat dotted-name -> number map.
+ *
+ * Nested object keys are joined with '.'; array elements get their
+ * index as the key segment.  Non-numeric leaves are skipped.  Fatal
+ * on malformed input.
+ */
+std::map<std::string, double> parseFlatJson(const std::string &text);
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_JSON_HH

@@ -1,0 +1,188 @@
+#include "metrics.hh"
+
+#include "json.hh"
+#include "logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Scalar &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, double lo,
+                           double hi, std::size_t buckets)
+{
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        ECSSD_ASSERT(it->second.lo() == lo && it->second.hi() == hi
+                         && it->second.buckets() == buckets,
+                     "histogram '", name,
+                     "' re-registered with a different shape");
+        return it->second;
+    }
+    return histograms_.emplace(name, Histogram(lo, hi, buckets))
+        .first->second;
+}
+
+void
+MetricsRegistry::counterAdd(const std::string &name, std::uint64_t n)
+{
+    if (enabled_)
+        counter(name) += n;
+}
+
+void
+MetricsRegistry::gaugeSet(const std::string &name, double v)
+{
+    if (enabled_)
+        gauge(name).set(v);
+}
+
+void
+MetricsRegistry::histogramSample(const std::string &name, double lo,
+                                 double hi, std::size_t buckets,
+                                 double v)
+{
+    if (enabled_)
+        histogram(name, lo, hi, buckets).sample(v);
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) != 0 || gauges_.count(name) != 0
+        || histograms_.count(name) != 0;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge.reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram.reset();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, counter] : counters_) {
+        w.key(name);
+        w.value(counter.value());
+    }
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, gauge] : gauges_) {
+        w.key(name);
+        w.value(gauge.value());
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, histogram] : histograms_) {
+        w.key(name);
+        w.beginObject();
+        w.key("count");
+        w.value(histogram.totalSamples());
+        w.key("sum");
+        w.value(histogram.sum());
+        w.key("min");
+        w.value(histogram.min());
+        w.key("max");
+        w.value(histogram.max());
+        w.key("p50");
+        w.value(histogram.p50());
+        w.key("p95");
+        w.value(histogram.p95());
+        w.key("p99");
+        w.value(histogram.p99());
+        w.key("p999");
+        w.value(histogram.p999());
+        w.key("underflow");
+        w.value(histogram.underflow());
+        w.key("overflow");
+        w.value(histogram.overflow());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+namespace
+{
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+            || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, counter] : counters_) {
+        const std::string flat = promName(name);
+        os << "# TYPE " << flat << " counter\n";
+        os << flat << " " << counter.value() << "\n";
+    }
+    for (const auto &[name, gauge] : gauges_) {
+        const std::string flat = promName(name);
+        os << "# TYPE " << flat << " gauge\n";
+        os << flat << " " << jsonNumber(gauge.value()) << "\n";
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        const std::string flat = promName(name);
+        os << "# TYPE " << flat << " histogram\n";
+        std::uint64_t cumulative = histogram.underflow();
+        for (std::size_t b = 0; b < histogram.buckets(); ++b) {
+            cumulative += histogram.bucketCount(b);
+            // Empty buckets are elided to keep dumps readable; the
+            // series stays cumulative so queries are unaffected.
+            if (histogram.bucketCount(b) == 0)
+                continue;
+            os << flat << "_bucket{le=\""
+               << jsonNumber(histogram.bucketLow(b + 1)) << "\"} "
+               << cumulative << "\n";
+        }
+        os << flat << "_bucket{le=\"+Inf\"} "
+           << histogram.totalSamples() << "\n";
+        os << flat << "_sum " << jsonNumber(histogram.sum()) << "\n";
+        os << flat << "_count " << histogram.totalSamples() << "\n";
+    }
+}
+
+} // namespace sim
+} // namespace ecssd

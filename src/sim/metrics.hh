@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The cross-layer metrics registry.
+ *
+ * Components record counters (monotone event counts), gauges
+ * (last-value scalars) and fixed-bucket latency histograms under
+ * dotted names ("pipeline.batch_latency_ms").  The registry owns the
+ * instruments and exports them as JSON (the canonical run
+ * fingerprint) or a Prometheus-style text dump.
+ *
+ * Instrumentation is attach-based: components hold a nullable
+ * MetricsRegistry pointer and skip all recording when it is null, so
+ * an un-instrumented run does no observability work at all — and
+ * because every instrument is *read-only* with respect to the timing
+ * models, an instrumented run is bit-identical to an un-instrumented
+ * one (enforced by test).
+ *
+ * Iteration order is name-sorted (std::map), so two registries fed
+ * the same samples dump byte-identical output regardless of
+ * registration order.
+ */
+
+#ifndef ECSSD_SIM_METRICS_HH
+#define ECSSD_SIM_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "stats.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** The registry of named counters, gauges and histograms. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Master switch: while disabled, the instruments still exist but
+     * counterAdd/gaugeSet/histogramSample become no-ops.  Attaching no
+     * registry at all is the truly free path.
+     */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Look up (creating on first use) a counter. */
+    Counter &counter(const std::string &name);
+
+    /** Look up (creating on first use) a gauge. */
+    Scalar &gauge(const std::string &name);
+
+    /**
+     * Look up (creating on first use) a fixed-bucket histogram over
+     * [lo, hi).  The shape is set on first creation; later lookups
+     * ignore the shape arguments (and must agree, panic otherwise).
+     */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t buckets);
+
+    // --- Convenience recording (honors the enabled switch) --------
+    void counterAdd(const std::string &name, std::uint64_t n = 1);
+    void gaugeSet(const std::string &name, double v);
+    void histogramSample(const std::string &name, double lo, double hi,
+                         std::size_t buckets, double v);
+
+    /** True when @p name exists (any instrument kind). */
+    bool has(const std::string &name) const;
+
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /** Zero every instrument (registrations survive). */
+    void reset();
+
+    /**
+     * Dump everything as one JSON object:
+     *   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+     * Histograms expand to count/sum/min/max/p50/p95/p99/p999.
+     * Deterministic: name-sorted, %.17g numbers.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Prometheus-style text exposition: one "# TYPE" line per
+     * instrument, '.' mapped to '_' in names, histograms emitted as
+     * cumulative _bucket{le=...} series plus _sum/_count.
+     */
+    void writePrometheus(std::ostream &os) const;
+
+  private:
+    bool enabled_ = true;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Scalar> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_METRICS_HH

@@ -92,7 +92,15 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 void
 Histogram::sample(double v)
 {
+    if (total_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
     ++total_;
+    sum_ += v;
     if (v < lo_) {
         ++underflow_;
     } else if (v >= hi_) {
@@ -110,6 +118,41 @@ Histogram::reset()
     underflow_ = 0;
     overflow_ = 0;
     total_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    ECSSD_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    if (total_ == 0)
+        return 0.0;
+    // Target rank in [1, total], nearest-rank with interpolation
+    // inside the covering bucket.
+    const double target =
+        q * static_cast<double>(total_ - 1) + 1.0;
+    double cumulative = static_cast<double>(underflow_);
+    if (target <= cumulative)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (in_bucket == 0.0)
+            continue;
+        if (target <= cumulative + in_bucket) {
+            const double within = target - cumulative;
+            return bucketLow(i) + width_ * (within / in_bucket);
+        }
+        cumulative += in_bucket;
+    }
+    return hi_; // rank falls in the overflow tail
 }
 
 double

@@ -22,6 +22,36 @@ namespace ecssd
 namespace sim
 {
 
+/**
+ * A monotonically-increasing event counter.
+ *
+ * Unlike Scalar it is integral and saturates at the 64-bit maximum
+ * instead of wrapping, so a counter that overflows during a very long
+ * run pins at "a lot" rather than silently restarting from zero (which
+ * would corrupt baseline comparisons).
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ = (value_ > ~std::uint64_t(0) - n) ? ~std::uint64_t(0)
+                                                  : value_ + n;
+        return *this;
+    }
+
+    Counter &operator++() { return *this += 1; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
 /** A named monotonically-updated scalar statistic. */
 class Scalar
 {
@@ -83,6 +113,27 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalSamples() const { return total_; }
     double bucketLow(std::size_t i) const;
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const { return total_ ? min_ : 0.0; }
+    double max() const { return total_ ? max_ : 0.0; }
+
+    /**
+     * The q-quantile estimated from the bucket counts by linear
+     * interpolation within the covering bucket.  Samples that landed
+     * in under/overflow are attributed to the range edges, so the
+     * estimate stays monotone even for out-of-range tails.  Returns 0
+     * for an empty histogram.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
 
   private:
     double lo_;
@@ -92,6 +143,9 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 /**

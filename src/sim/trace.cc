@@ -101,5 +101,66 @@ traceLine(TraceCategory category, Tick when,
                  traceCategoryName(category), message.c_str());
 }
 
+SpanTracer::SpanId
+SpanTracer::begin(const std::string &name, Tick at)
+{
+    const SpanId id = nextId_++;
+    const SpanId parent = stack_.empty() ? 0 : stack_.back().id;
+    stack_.push_back(OpenSpan{id, parent, name, at});
+    return id;
+}
+
+void
+SpanTracer::end(SpanId id, Tick at)
+{
+    ECSSD_ASSERT(!stack_.empty(),
+                 "span end with no span open (id ", id, ")");
+    const OpenSpan &top = stack_.back();
+    ECSSD_ASSERT(top.id == id, "mismatched span end: innermost is '",
+                 top.name, "' (id ", top.id, "), got id ", id);
+    ECSSD_ASSERT(at >= top.start, "span '", top.name,
+                 "' ends before it starts");
+    if (records_.size() < maxSpans_) {
+        SpanRecord record;
+        record.id = top.id;
+        record.parent = top.parent;
+        record.name = top.name;
+        record.depth = static_cast<unsigned>(stack_.size() - 1);
+        record.start = top.start;
+        record.end = at;
+        records_.push_back(std::move(record));
+    } else {
+        ++dropped_;
+    }
+    stack_.pop_back();
+}
+
+void
+SpanTracer::reset()
+{
+    nextId_ = 1;
+    stack_.clear();
+    records_.clear();
+    dropped_ = 0;
+}
+
+void
+SpanTracer::writeJson(std::ostream &os) const
+{
+    os << "[";
+    bool first = true;
+    for (const SpanRecord &record : records_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"id\": " << record.id
+           << ", \"parent\": " << record.parent << ", \"name\": \""
+           << record.name << "\", \"depth\": " << record.depth
+           << ", \"start_ps\": " << record.start
+           << ", \"end_ps\": " << record.end << "}";
+    }
+    os << "\n]\n";
+}
+
 } // namespace sim
 } // namespace ecssd

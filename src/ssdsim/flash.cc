@@ -1,11 +1,39 @@
 #include "flash.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace ecssd
 {
 namespace ssdsim
 {
+
+namespace
+{
+
+/** "flash.channel03." style gauge-name prefix. */
+std::string
+channelPrefix(unsigned channel)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "flash.channel%02u.", channel);
+    return buf;
+}
+
+/** Emit one leaf span covering [start, end] when tracing is on. */
+void
+leafSpan(sim::SpanTracer *spans, const char *op, unsigned channel,
+         sim::Tick start, sim::Tick end)
+{
+    if (!spans)
+        return;
+    const auto id =
+        spans->begin(std::string(op) + ".ch" + std::to_string(channel),
+                     start);
+    spans->end(id, end);
+}
+
+} // namespace
 
 FlashArray::FlashArray(const SsdConfig &config)
     : config_(config), channels_(config.channels),
@@ -160,6 +188,7 @@ FlashArray::readPage(const PhysicalPage &ppa, sim::Tick issue_at,
     channel.stats.busBusyTime += transfer;
     channel.stats.lastDoneAt =
         std::max(channel.stats.lastDoneAt, done);
+    leafSpan(spans_, "flash.read", ppa.channel, sense_start, done);
     return done;
 }
 
@@ -196,6 +225,7 @@ FlashArray::programPage(const PhysicalPage &ppa, sim::Tick issue_at)
     channel.stats.busBusyTime += config_.pageTransferTime();
     channel.stats.lastDoneAt =
         std::max(channel.stats.lastDoneAt, done);
+    leafSpan(spans_, "flash.program", ppa.channel, bus_start, done);
     return done;
 }
 
@@ -222,6 +252,7 @@ FlashArray::eraseBlock(const PhysicalPage &block_addr,
     channel.stats.blocksErased += 1;
     channel.stats.lastDoneAt =
         std::max(channel.stats.lastDoneAt, done);
+    leafSpan(spans_, "flash.erase", block_addr.channel, start, done);
     return done;
 }
 
@@ -254,6 +285,38 @@ FlashArray::lastDoneAt() const
     for (const Channel &channel : channels_)
         last = std::max(last, channel.stats.lastDoneAt);
     return last;
+}
+
+void
+FlashArray::publishMetrics(sim::MetricsRegistry &registry) const
+{
+    const sim::Tick window = lastDoneAt();
+    for (unsigned c = 0; c < channels_.size(); ++c) {
+        const ChannelStats &stats = channels_[c].stats;
+        const std::string prefix = channelPrefix(c);
+        registry.gaugeSet(prefix + "pages_read",
+                          static_cast<double>(stats.pagesRead));
+        registry.gaugeSet(prefix + "pages_programmed",
+                          static_cast<double>(stats.pagesProgrammed));
+        registry.gaugeSet(prefix + "blocks_erased",
+                          static_cast<double>(stats.blocksErased));
+        registry.gaugeSet(prefix + "read_retries",
+                          static_cast<double>(stats.readRetries));
+        registry.gaugeSet(
+            prefix + "uncorrectable_reads",
+            static_cast<double>(stats.uncorrectableReads));
+        registry.gaugeSet(prefix + "bytes_read",
+                          static_cast<double>(stats.bytesRead));
+        registry.gaugeSet(prefix + "bus_busy_us",
+                          sim::tickToUs(stats.busBusyTime));
+        registry.gaugeSet(
+            prefix + "util",
+            window == 0
+                ? 0.0
+                : static_cast<double>(stats.busBusyTime)
+                    / static_cast<double>(window));
+    }
+    registry.gaugeSet("flash.util", busUtilization(0, window));
 }
 
 void

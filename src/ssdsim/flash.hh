@@ -23,7 +23,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 #include "ssdsim/address.hh"
 #include "ssdsim/config.hh"
@@ -118,6 +120,20 @@ class FlashArray
     sim::Tick lastDoneAt() const;
 
     /**
+     * Attach (or detach, with nullptr) a span tracer.  When attached,
+     * every read/program/erase emits a leaf span covering its die/bus
+     * occupancy; recording never alters the returned timing.
+     */
+    void setSpanTracer(sim::SpanTracer *tracer) { spans_ = tracer; }
+
+    /**
+     * Snapshot the per-channel statistics into @p registry as gauges
+     * ("flash.channel00.pages_read", ..., "flash.util").  Values
+     * reflect activity since the last reset().
+     */
+    void publishMetrics(sim::MetricsRegistry &registry) const;
+
+    /**
      * Reset all timelines and statistics to tick zero.
      *
      * Media *wear* state (erase counts, program ticks) survives: it
@@ -186,6 +202,9 @@ class FlashArray
     std::uint64_t blockKey(const PhysicalPage &ppa) const;
 
     std::uint64_t faultCounter_ = 0;
+
+    /** Optional busy-interval span sink (null = no tracing). */
+    sim::SpanTracer *spans_ = nullptr;
 
     SsdConfig config_;
     std::vector<Channel> channels_;

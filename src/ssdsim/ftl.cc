@@ -741,5 +741,36 @@ Ftl::healthReport(sim::Tick now) const
     return report;
 }
 
+void
+Ftl::publishMetrics(sim::MetricsRegistry &registry) const
+{
+    const auto gauge = [&](const char *name, double value) {
+        registry.gaugeSet(std::string("ftl.") + name, value);
+    };
+    gauge("host_writes", static_cast<double>(stats_.hostWrites));
+    gauge("host_reads", static_cast<double>(stats_.hostReads));
+    gauge("gc_runs", static_cast<double>(stats_.gcRuns));
+    gauge("gc_relocations",
+          static_cast<double>(stats_.gcRelocations));
+    gauge("gc_erases", static_cast<double>(stats_.gcErases));
+    gauge("bad_blocks", static_cast<double>(stats_.badBlocks));
+    gauge("uncorrectable_reads",
+          static_cast<double>(stats_.uncorrectableReads));
+    gauge("scrubbed_pages",
+          static_cast<double>(stats_.scrubbedPages));
+    gauge("scrub_relocations",
+          static_cast<double>(stats_.scrubRelocations));
+    gauge("wear_level_runs",
+          static_cast<double>(stats_.wearLevelRuns));
+    gauge("wear_level_moves",
+          static_cast<double>(stats_.wearLevelMoves));
+    gauge("rejected_writes",
+          static_cast<double>(stats_.rejectedWrites));
+    gauge("write_amplification", stats_.writeAmplification());
+    gauge("erase_count_spread",
+          static_cast<double>(eraseCountSpread()));
+    gauge("read_only", readOnly_ ? 1.0 : 0.0);
+}
+
 } // namespace ssdsim
 } // namespace ecssd

@@ -181,6 +181,12 @@ class Ftl
     /** SMART-style health snapshot at tick @p now. */
     HealthReport healthReport(sim::Tick now) const;
 
+    /**
+     * Snapshot the activity counters into @p registry as gauges
+     * ("ftl.host_writes", ..., "ftl.write_amplification").
+     */
+    void publishMetrics(sim::MetricsRegistry &registry) const;
+
   private:
     struct BlockInfo
     {

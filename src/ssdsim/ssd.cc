@@ -92,6 +92,26 @@ SsdDevice::hostRead(LogicalPage lpa, Completion on_done)
 }
 
 void
+SsdDevice::publishMetrics(sim::MetricsRegistry &registry) const
+{
+    flash_.publishMetrics(registry);
+    ftl_.publishMetrics(registry);
+    registry.gaugeSet("ssd.host_read_commands",
+                      static_cast<double>(stats_.hostReadCommands));
+    registry.gaugeSet("ssd.host_write_commands",
+                      static_cast<double>(stats_.hostWriteCommands));
+    registry.gaugeSet("ssd.host_bytes_in",
+                      static_cast<double>(stats_.hostBytesIn));
+    registry.gaugeSet("ssd.host_bytes_out",
+                      static_cast<double>(stats_.hostBytesOut));
+    registry.gaugeSet("ssd.host_bytes_raw",
+                      static_cast<double>(stats_.hostBytesRaw));
+    registry.gaugeSet(
+        "ssd.host_uncorrectable_reads",
+        static_cast<double>(stats_.hostUncorrectableReads));
+}
+
+void
 SsdDevice::resetTimelines()
 {
     flash_.reset();

@@ -105,6 +105,23 @@ class SsdDevice
      */
     sim::Tick idleMaintenance(sim::Tick issue_at);
 
+    /**
+     * Attach (or detach, with nullptr) a span tracer to the internal
+     * components that emit busy-interval spans (currently the flash
+     * array).  Recording never alters the simulated timing.
+     */
+    void setSpanTracer(sim::SpanTracer *tracer)
+    {
+        flash_.setSpanTracer(tracer);
+    }
+
+    /**
+     * Snapshot device statistics into @p registry as gauges: the
+     * flash channels ("flash.*"), the FTL ("ftl.*"), and the host
+     * front-end ("ssd.*").
+     */
+    void publishMetrics(sim::MetricsRegistry &registry) const;
+
     /** Reset all internal timelines/statistics (not the FTL map). */
     void resetTimelines();
 

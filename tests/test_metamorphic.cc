@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Metamorphic tests of the screening algorithm: properties that must
+ * hold across *related* inputs, independent of any golden values.
+ *
+ *  - Threshold ladder: lowering the screener threshold admits a
+ *    superset of candidates, and top-k recall against the exact
+ *    classifier is monotonically non-decreasing.
+ *  - Permutation invariance: permuting the category rows permutes the
+ *    candidate set and leaves the (mapped) top-k prediction intact.
+ *
+ * Both use FilterMode::Threshold — TopRatio cuts at a fixed count,
+ * where INT4 score ties make the boundary permutation-sensitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "xclass/metrics.hh"
+#include "xclass/screening.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+using namespace ecssd::xclass;
+
+namespace
+{
+
+BenchmarkSpec
+smallSpec()
+{
+    BenchmarkSpec spec =
+        scaledDown(benchmarkByName("GNMT-E32K"), 1024);
+    spec.hiddenDim = 256;
+    spec.candidateRatio = 0.10;
+    return spec;
+}
+
+/** Thresholds drawn from the score distribution, descending. */
+std::vector<double>
+thresholdLadder(const Screener &screener,
+                const std::vector<float> &query)
+{
+    std::vector<double> scores =
+        screener.scores(screener.prepareFeature(query));
+    std::sort(scores.begin(), scores.end());
+    const std::size_t n = scores.size();
+    return {scores[n - n / 20],  // ~top 5%
+            scores[n - n / 5],   // ~top 20%
+            scores[n / 2],       // median
+            scores.front() - 1.0}; // everything
+}
+
+/** Row-reversal permutation of the weight matrix (self-inverse). */
+numeric::FloatMatrix
+reverseRows(const numeric::FloatMatrix &weights)
+{
+    numeric::FloatMatrix out(weights.rows(), weights.cols());
+    for (std::size_t r = 0; r < weights.rows(); ++r) {
+        const auto src = weights.row(weights.rows() - 1 - r);
+        std::copy(src.begin(), src.end(), out.row(r).begin());
+    }
+    return out;
+}
+
+/** Map indices through the row-reversal and restore sorted order. */
+std::vector<std::uint64_t>
+mapReversed(std::vector<std::uint64_t> indices, std::size_t rows)
+{
+    for (std::uint64_t &index : indices)
+        index = rows - 1 - index;
+    std::sort(indices.begin(), indices.end());
+    return indices;
+}
+
+} // namespace
+
+TEST(Metamorphic, LowerThresholdYieldsCandidateSuperset)
+{
+    const BenchmarkSpec spec = smallSpec();
+    const SyntheticModel model(spec, 31);
+    Screener screener(model.weights(), spec, 32);
+    sim::Rng rng(33);
+
+    for (int q = 0; q < 4; ++q) {
+        const std::vector<float> query = model.sampleQuery(rng);
+        std::vector<std::uint64_t> previous;
+        for (const double threshold :
+             thresholdLadder(screener, query)) {
+            screener.setThreshold(threshold);
+            const std::vector<std::uint64_t> candidates =
+                screener.screen(query, FilterMode::Threshold);
+            ASSERT_TRUE(std::is_sorted(candidates.begin(),
+                                       candidates.end()));
+            EXPECT_GE(candidates.size(), previous.size());
+            EXPECT_TRUE(std::includes(candidates.begin(),
+                                      candidates.end(),
+                                      previous.begin(),
+                                      previous.end()));
+            previous = candidates;
+        }
+        // The bottom rung admits every category.
+        EXPECT_EQ(previous.size(), spec.categories);
+    }
+}
+
+TEST(Metamorphic, RecallIsMonotoneInThreshold)
+{
+    const BenchmarkSpec spec = smallSpec();
+    const SyntheticModel model(spec, 34);
+    ApproximateClassifier classifier(model.weights(), spec, 35);
+    sim::Rng rng(36);
+
+    // Truth is the all-candidates prediction on the *same* datapath,
+    // so monotonicity is exact (per-row scores are identical across
+    // rungs); exact() differs only by accumulator rounding and serves
+    // as a soft cross-check.
+    for (int q = 0; q < 3; ++q) {
+        const std::vector<float> query = model.sampleQuery(rng);
+        const std::vector<double> ladder =
+            thresholdLadder(classifier.screener(), query);
+
+        classifier.screener().setThreshold(ladder.back());
+        const auto truth = classifier.predict(
+            query, 5, FilterMode::Threshold,
+            CandidateClassifier::Datapath::Fp32);
+        ASSERT_EQ(truth.candidateCount, spec.categories);
+        EXPECT_GE(recall(classifier.exact(query, 5).topCategories,
+                         truth.topCategories),
+                  0.8);
+
+        double previous_recall = 0.0;
+        for (const double threshold : ladder) {
+            classifier.screener().setThreshold(threshold);
+            const auto approx = classifier.predict(
+                query, 5, FilterMode::Threshold,
+                CandidateClassifier::Datapath::Fp32);
+            const double r =
+                recall(truth.topCategories, approx.topCategories);
+            EXPECT_GE(r, previous_recall);
+            previous_recall = r;
+        }
+        // With every category admitted the prediction *is* the truth.
+        EXPECT_DOUBLE_EQ(previous_recall, 1.0);
+    }
+}
+
+TEST(Metamorphic, PermutingRowsPermutesCandidates)
+{
+    const BenchmarkSpec spec = smallSpec();
+    const SyntheticModel model(spec, 37);
+    const numeric::FloatMatrix reversed = reverseRows(model.weights());
+
+    // The Gaussian projection depends only on the seed, so both
+    // screeners share a projector; row r of the reversed screener is
+    // row L-1-r of the original.
+    Screener original(model.weights(), spec, 38);
+    Screener permuted(reversed, spec, 38);
+
+    sim::Rng calibration_rng(39);
+    std::vector<std::vector<float>> queries;
+    for (int q = 0; q < 8; ++q)
+        queries.push_back(model.sampleQuery(calibration_rng));
+    original.calibrate(queries);
+    permuted.setThreshold(original.threshold());
+
+    sim::Rng rng(40);
+    for (int q = 0; q < 4; ++q) {
+        const std::vector<float> query = model.sampleQuery(rng);
+        const std::vector<std::uint64_t> base =
+            original.screen(query, FilterMode::Threshold);
+        const std::vector<std::uint64_t> mapped = mapReversed(
+            permuted.screen(query, FilterMode::Threshold),
+            spec.categories);
+        EXPECT_FALSE(base.empty());
+        EXPECT_EQ(base, mapped);
+    }
+}
+
+TEST(Metamorphic, PermutingRowsLeavesTopKInvariant)
+{
+    const BenchmarkSpec spec = smallSpec();
+    const SyntheticModel model(spec, 41);
+    const numeric::FloatMatrix reversed = reverseRows(model.weights());
+
+    ApproximateClassifier original(model.weights(), spec, 42);
+    ApproximateClassifier permuted(reversed, spec, 42);
+    original.screener().setThreshold(0.0);
+    permuted.screener().setThreshold(0.0);
+
+    sim::Rng rng(43);
+    for (int q = 0; q < 4; ++q) {
+        const std::vector<float> query = model.sampleQuery(rng);
+        const auto base = original.predict(
+            query, 5, FilterMode::Threshold,
+            CandidateClassifier::Datapath::Fp32);
+        const auto mapped = permuted.predict(
+            query, 5, FilterMode::Threshold,
+            CandidateClassifier::Datapath::Fp32);
+        // Same categories in the same rank order (scores are exact
+        // FP32 dot products of identical row contents).
+        ASSERT_EQ(base.topCategories.size(),
+                  mapped.topCategories.size());
+        for (std::size_t i = 0; i < base.topCategories.size(); ++i)
+            EXPECT_EQ(base.topCategories[i],
+                      spec.categories - 1 - mapped.topCategories[i]);
+    }
+}

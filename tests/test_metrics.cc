@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests of the metrics registry, the JSON writer/parser underneath it,
+ * and the bench-baseline comparator that gates CI on perf drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/baseline.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+
+using namespace ecssd::sim;
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterLookupCreatesOnce)
+{
+    MetricsRegistry registry;
+    registry.counterAdd("flash.pages_read", 3);
+    registry.counterAdd("flash.pages_read");
+    EXPECT_EQ(registry.counter("flash.pages_read").value(), 4u);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_TRUE(registry.has("flash.pages_read"));
+    EXPECT_FALSE(registry.has("flash.pages_written"));
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue)
+{
+    MetricsRegistry registry;
+    registry.gaugeSet("server.queue_depth", 4.0);
+    registry.gaugeSet("server.queue_depth", 2.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("server.queue_depth").value(),
+                     2.0);
+}
+
+TEST(MetricsRegistry, HistogramShapeFixedOnFirstUse)
+{
+    MetricsRegistry registry;
+    registry.histogramSample("lat_ms", 0.0, 10.0, 10, 5.0);
+    // Same shape: fine.
+    Histogram &h = registry.histogram("lat_ms", 0.0, 10.0, 10);
+    EXPECT_EQ(h.totalSamples(), 1u);
+    // Different shape: simulator bug.
+    EXPECT_THROW(registry.histogram("lat_ms", 0.0, 20.0, 10),
+                 PanicError);
+}
+
+TEST(MetricsRegistry, DisabledRecordingIsNoOp)
+{
+    MetricsRegistry registry;
+    registry.counterAdd("c", 1);
+    registry.setEnabled(false);
+    registry.counterAdd("c", 10);
+    registry.gaugeSet("g", 5.0);
+    registry.histogramSample("h", 0.0, 1.0, 4, 0.5);
+    EXPECT_EQ(registry.counter("c").value(), 1u);
+    // Disabled recording does not even register new instruments.
+    EXPECT_FALSE(registry.has("g"));
+    EXPECT_FALSE(registry.has("h"));
+    registry.setEnabled(true);
+    registry.counterAdd("c", 10);
+    EXPECT_EQ(registry.counter("c").value(), 11u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    registry.counterAdd("c", 7);
+    registry.gaugeSet("g", 3.0);
+    registry.histogramSample("h", 0.0, 1.0, 4, 0.5);
+    registry.reset();
+    EXPECT_EQ(registry.size(), 3u);
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+    EXPECT_EQ(registry.histogram("h", 0.0, 1.0, 4).totalSamples(),
+              0u);
+}
+
+TEST(MetricsRegistry, WriteJsonIsSortedAndOrderIndependent)
+{
+    auto fill = [](MetricsRegistry &r, bool reversed) {
+        if (reversed) {
+            r.gaugeSet("z.util", 0.5);
+            r.counterAdd("a.count", 2);
+        } else {
+            r.counterAdd("a.count", 2);
+            r.gaugeSet("z.util", 0.5);
+        }
+        r.histogramSample("m.lat", 0.0, 10.0, 10, 2.5);
+    };
+    MetricsRegistry forward, backward;
+    fill(forward, false);
+    fill(backward, true);
+    std::ostringstream a, b;
+    forward.writeJson(a);
+    backward.writeJson(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // The dump is parseable and the values round-trip.
+    const auto flat = parseFlatJson(a.str());
+    EXPECT_DOUBLE_EQ(flat.at("counters.a.count"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("gauges.z.util"), 0.5);
+    EXPECT_DOUBLE_EQ(flat.at("histograms.m.lat.count"), 1.0);
+    EXPECT_DOUBLE_EQ(flat.at("histograms.m.lat.sum"), 2.5);
+}
+
+TEST(MetricsRegistry, WritePrometheusFormat)
+{
+    MetricsRegistry registry;
+    registry.counterAdd("flash.pages_read", 9);
+    registry.gaugeSet("server.queue_depth", 3.0);
+    registry.histogramSample("server.latency_ms", 0.0, 10.0, 2, 7.0);
+    std::ostringstream os;
+    registry.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE flash_pages_read counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("flash_pages_read 9"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE server_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE server_latency_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("server_latency_ms_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("server_latency_ms_count 1"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer/parser
+// ---------------------------------------------------------------------
+
+TEST(Json, EscapeSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Json, NumberFormattingRoundTrips)
+{
+    // %.17g preserves doubles exactly.
+    const double v = 1.151447281;
+    const auto flat =
+        parseFlatJson("{\"x\": " + jsonNumber(v) + "}");
+    EXPECT_DOUBLE_EQ(flat.at("x"), v);
+}
+
+TEST(Json, WriterNesting)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("outer");
+    json.beginObject();
+    json.key("a");
+    json.value(std::uint64_t(1));
+    json.key("b");
+    json.value(2.5);
+    json.endObject();
+    json.key("list");
+    json.beginArray();
+    json.value(std::uint64_t(3));
+    json.value(std::uint64_t(4));
+    json.endArray();
+    json.endObject();
+
+    const auto flat = parseFlatJson(os.str());
+    EXPECT_DOUBLE_EQ(flat.at("outer.a"), 1.0);
+    EXPECT_DOUBLE_EQ(flat.at("outer.b"), 2.5);
+    EXPECT_DOUBLE_EQ(flat.at("list.0"), 3.0);
+    EXPECT_DOUBLE_EQ(flat.at("list.1"), 4.0);
+}
+
+TEST(Json, ParseSkipsNonNumericLeaves)
+{
+    const auto flat = parseFlatJson(
+        "{\"name\": \"gnmt\", \"ok\": true, \"none\": null, "
+        "\"count\": 5}");
+    EXPECT_EQ(flat.size(), 1u);
+    EXPECT_DOUBLE_EQ(flat.at("count"), 5.0);
+}
+
+TEST(Json, ParseMalformedIsFatal)
+{
+    EXPECT_THROW(parseFlatJson("{\"a\": }"), FatalError);
+    EXPECT_THROW(parseFlatJson("{\"a\": 1"), FatalError);
+    EXPECT_THROW(parseFlatJson("nonsense"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Baseline comparator
+// ---------------------------------------------------------------------
+
+TEST(Baseline, LatencyKeyClassification)
+{
+    EXPECT_TRUE(isLatencyKey("latency.serving.p50_ms"));
+    EXPECT_FALSE(isLatencyKey("counters.candidate_rows"));
+}
+
+TEST(Baseline, IdenticalDocumentsPass)
+{
+    const std::map<std::string, double> doc = {
+        {"latency.mean_ms", 1.5}, {"counters.rows", 100.0}};
+    EXPECT_TRUE(compareBaselines(doc, doc).empty());
+}
+
+TEST(Baseline, LatencyDriftWithinToleranceIsAllowed)
+{
+    const std::map<std::string, double> baseline = {
+        {"latency.mean_ms", 1.0}};
+    const std::map<std::string, double> current = {
+        {"latency.mean_ms", 1.05}}; // 5% < 10%
+    EXPECT_TRUE(compareBaselines(baseline, current).empty());
+}
+
+TEST(Baseline, LatencyDriftBeyondToleranceFails)
+{
+    const std::map<std::string, double> baseline = {
+        {"latency.mean_ms", 1.0}};
+    const std::map<std::string, double> current = {
+        {"latency.mean_ms", 1.2}}; // 20% > 10%
+    const auto failures = compareBaselines(baseline, current);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].find("latency.mean_ms"),
+              std::string::npos);
+}
+
+TEST(Baseline, CounterToleranceIsTighter)
+{
+    const std::map<std::string, double> baseline = {
+        {"counters.rows", 100.0}};
+    // 5% drift: fine for latency, not for a counter.
+    const std::map<std::string, double> current = {
+        {"counters.rows", 105.0}};
+    EXPECT_EQ(compareBaselines(baseline, current).size(), 1u);
+    const std::map<std::string, double> close = {
+        {"counters.rows", 100.5}}; // 0.5% < 1%
+    EXPECT_TRUE(compareBaselines(baseline, close).empty());
+}
+
+TEST(Baseline, MissingCurrentKeyFails)
+{
+    const std::map<std::string, double> baseline = {
+        {"counters.rows", 100.0}};
+    const std::map<std::string, double> current = {};
+    const auto failures = compareBaselines(baseline, current);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].find("missing"), std::string::npos);
+}
+
+TEST(Baseline, ExtraCurrentKeysAreIgnored)
+{
+    const std::map<std::string, double> baseline = {
+        {"counters.rows", 100.0}};
+    const std::map<std::string, double> current = {
+        {"counters.rows", 100.0}, {"counters.new_metric", 7.0}};
+    EXPECT_TRUE(compareBaselines(baseline, current).empty());
+}
+
+TEST(Baseline, CustomToleranceApplies)
+{
+    const std::map<std::string, double> baseline = {
+        {"latency.mean_ms", 1.0}};
+    const std::map<std::string, double> current = {
+        {"latency.mean_ms", 1.2}};
+    BaselineTolerance loose;
+    loose.latency = 0.5;
+    EXPECT_TRUE(compareBaselines(baseline, current, loose).empty());
+}
+
+TEST(Baseline, ZeroBaselineRequiresExactMatch)
+{
+    const std::map<std::string, double> baseline = {
+        {"counters.failures", 0.0}};
+    EXPECT_TRUE(
+        compareBaselines(baseline, {{"counters.failures", 0.0}})
+            .empty());
+    EXPECT_EQ(
+        compareBaselines(baseline, {{"counters.failures", 1.0}})
+            .size(),
+        1u);
+}

@@ -102,6 +102,102 @@ TEST(Histogram, BadShapePanics)
     EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
 }
 
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c += 5;
+    ++c;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, SaturatesInsteadOfWrapping)
+{
+    const std::uint64_t max = ~std::uint64_t(0);
+    Counter c;
+    c += max - 1;
+    c += 5; // would wrap to 3
+    EXPECT_EQ(c.value(), max);
+    ++c; // stays pinned
+    EXPECT_EQ(c.value(), max);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.p999(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(3.2);
+    // Every quantile of a single sample lands inside its bucket.
+    EXPECT_GE(h.p50(), 3.0);
+    EXPECT_LE(h.p50(), 4.0);
+    EXPECT_GE(h.p999(), 3.0);
+    EXPECT_LE(h.p999(), 4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.2);
+    EXPECT_DOUBLE_EQ(h.min(), 3.2);
+    EXPECT_DOUBLE_EQ(h.max(), 3.2);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.p50(), 50.0, 1.0);
+    EXPECT_NEAR(h.p95(), 95.0, 1.0);
+    EXPECT_NEAR(h.p99(), 99.0, 1.0);
+    // Quantiles are monotone in q.
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(Histogram, QuantileAttributesOutOfRangeToEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-5.0); // underflow
+    h.sample(5.0);
+    h.sample(50.0); // overflow
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // underflow -> lo
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0); // overflow -> hi
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(Histogram, BucketBoundarySamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.0); // first bucket, inclusive lo
+    h.sample(9.999999);
+    h.sample(10.0); // hi is exclusive -> overflow
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, ResetClearsMoments)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(5.0);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
 TEST(StatGroup, LooksUpRegisteredScalars)
 {
     Scalar s;

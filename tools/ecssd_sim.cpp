@@ -35,15 +35,31 @@
  *   --scrub-budget N              patrol-scrub pages per pass
  *   --wear-level-bound N          erase-spread bound for leveling
  *   --health                      print the device SMART report
+ *
+ * Observability (see docs/MODELING.md Section 9):
+ *   --metrics-json FILE   dump the metrics registry as JSON after the
+ *                         run ("-" = stdout, suppressing the normal
+ *                         report)
+ *   --metrics-prom FILE   Prometheus-style text dump of the registry
+ *   --span-log FILE       dump the hierarchical span trace as JSON
+ *   --serve-requests N    additionally run a serving pass of N
+ *                         requests through the InferenceServer
+ *                         (functional tier; needs --scale small
+ *                         enough for in-memory weights)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "baselines/baselines.hh"
+#include "ecssd/server.hh"
 #include "ecssd/system.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
 #include "sim/trace.hh"
 
 using namespace ecssd;
@@ -60,7 +76,18 @@ struct CliOptions
     bool sweepLayouts = false;
     bool energy = false;
     bool health = false;
+    std::string metricsJson;
+    std::string metricsProm;
+    std::string spanLog;
+    unsigned serveRequests = 0;
     EcssdOptions device = EcssdOptions::full();
+
+    bool
+    observability() const
+    {
+        return !metricsJson.empty() || !metricsProm.empty()
+            || !spanLog.empty();
+    }
 };
 
 [[noreturn]] void
@@ -80,7 +107,9 @@ usage(const char *argv0, int code)
                 "  [--erase-failure-rate P] [--wear-coefficient C]\n"
                 "  [--wear-exponent E] [--retention-coefficient C]\n"
                 "  [--scrub-threshold P] [--scrub-budget N]\n"
-                "  [--wear-level-bound N] [--health]\n",
+                "  [--wear-level-bound N] [--health]\n"
+                "  [--metrics-json FILE] [--metrics-prom FILE]\n"
+                "  [--span-log FILE] [--serve-requests N]\n",
                 argv0);
     std::exit(code);
 }
@@ -152,10 +181,17 @@ printHealth(const EcssdSystem &system, sim::Tick now)
 
 void
 report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
-       unsigned batches, bool energy, bool health)
+       unsigned batches, bool energy, bool health,
+       sim::MetricsRegistry *metrics = nullptr,
+       sim::SpanTracer *spans = nullptr, bool quiet = false)
 {
     EcssdSystem system(spec, options);
+    system.attachObservability(metrics, spans);
     const accel::RunResult result = system.runInference(batches);
+    if (metrics)
+        system.publishMetrics(*metrics, result);
+    if (quiet)
+        return;
     std::printf("%-20s %-55s %10.3f ms/batch  util %5.1f%%  "
                 "%6.1f GFLOPS\n",
                 spec.name.c_str(), describe(options).c_str(),
@@ -176,6 +212,52 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
     }
     if (health)
         printHealth(system, result.totalTime);
+}
+
+/**
+ * Functional-tier serving pass: synthesize in-memory weights, push
+ * @p requests queries through an InferenceServer, and record the
+ * "server.*" metrics.  Skipped (with a warning) when the weights
+ * would not fit a reasonable host footprint — use --scale.
+ */
+void
+runServingPass(const xclass::BenchmarkSpec &spec,
+               const EcssdOptions &options, unsigned requests,
+               sim::MetricsRegistry *metrics,
+               sim::SpanTracer *spans)
+{
+    constexpr std::uint64_t kMaxWeightBytes = 256ULL << 20;
+    if (spec.fp32WeightBytes() > kMaxWeightBytes) {
+        sim::warn("--serve-requests skipped: ", spec.name,
+                  " weights (", spec.fp32WeightBytes(),
+                  " bytes) exceed the in-memory serving limit; "
+                  "use --scale");
+        return;
+    }
+    xclass::SyntheticModel model(spec, options.seed);
+    InferenceServer server(model.weights(), spec, options);
+    server.attachObservability(metrics, spans);
+    sim::Rng rng(options.seed);
+    for (unsigned r = 0; r < requests; ++r)
+        server.enqueue(model.sampleQuery(rng));
+    server.processAll(5);
+    if (metrics)
+        server.publishMetrics(*metrics);
+}
+
+/** Write @p write's output to @p path ("-" = stdout). */
+template <typename WriteFn>
+void
+writeDump(const std::string &path, WriteFn &&write)
+{
+    if (path == "-") {
+        write(std::cout);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open '", path, "' for writing");
+    write(os);
 }
 
 } // namespace
@@ -266,6 +348,15 @@ main(int argc, char **argv)
                 next("--wear-level-bound").c_str(), nullptr, 10);
         } else if (arg == "--health") {
             cli.health = true;
+        } else if (arg == "--metrics-json") {
+            cli.metricsJson = next("--metrics-json");
+        } else if (arg == "--metrics-prom") {
+            cli.metricsProm = next("--metrics-prom");
+        } else if (arg == "--span-log") {
+            cli.spanLog = next("--span-log");
+        } else if (arg == "--serve-requests") {
+            cli.serveRequests = static_cast<unsigned>(std::strtoul(
+                next("--serve-requests").c_str(), nullptr, 10));
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -304,6 +395,9 @@ main(int argc, char **argv)
     }
 
     if (cli.sweepLayouts) {
+        if (cli.observability())
+            sim::fatal("--metrics-json/--metrics-prom/--span-log "
+                       "need a single run, not --sweep-layouts");
         for (const layout::LayoutKind kind :
              {layout::LayoutKind::Sequential,
               layout::LayoutKind::Uniform,
@@ -313,6 +407,30 @@ main(int argc, char **argv)
             report(spec, options, cli.batches, cli.energy,
                    cli.health);
         }
+        return 0;
+    }
+
+    if (cli.observability() || cli.serveRequests > 0) {
+        sim::MetricsRegistry registry;
+        sim::SpanTracer tracer;
+        const bool quiet = cli.metricsJson == "-";
+        report(spec, cli.device, cli.batches, cli.energy,
+               cli.health, &registry, &tracer, quiet);
+        if (cli.serveRequests > 0)
+            runServingPass(spec, cli.device, cli.serveRequests,
+                           &registry, &tracer);
+        if (!cli.metricsJson.empty())
+            writeDump(cli.metricsJson, [&](std::ostream &os) {
+                registry.writeJson(os);
+            });
+        if (!cli.metricsProm.empty())
+            writeDump(cli.metricsProm, [&](std::ostream &os) {
+                registry.writePrometheus(os);
+            });
+        if (!cli.spanLog.empty())
+            writeDump(cli.spanLog, [&](std::ostream &os) {
+                tracer.writeJson(os);
+            });
         return 0;
     }
 
