@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Host-compute kernel benchmarks: scalar nibble-at-a-time screener
+ * scoring vs the byte-wise LUT kernel vs the thread-pooled LUT path
+ * at the paper's screening scale (268K categories x K=64).
+ *
+ *   bench_kernels [google-benchmark flags] [--out DIR]
+ *
+ * Besides the usual google-benchmark report, the harness measures the
+ * same kernels with a best-of-N wall-clock loop and writes
+ * BENCH_kernels.json into DIR: absolute per-pass times, rows/s, and
+ * the LUT-vs-scalar speedups the PR's acceptance gate reads.  Unlike
+ * BENCH_e2e/BENCH_breakdown these numbers are *wall clock* — they are
+ * uploaded for trend inspection, never diffed as a CI gate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "numeric/int4.hh"
+#include "numeric/matrix.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/thread_pool.hh"
+
+using namespace ecssd;
+using namespace ecssd::numeric;
+
+namespace
+{
+
+/** The screening regime: L x K after projection (Section 2.1). */
+constexpr std::size_t kRows = 268000;
+constexpr std::size_t kCols = 64;
+constexpr unsigned kPoolThreads = 8;
+constexpr std::size_t kGrain = 2048;
+constexpr std::size_t kBatchQueries = 8;
+
+/** Shared benchmark inputs, built once. */
+struct Inputs
+{
+    Int4Matrix matrix;
+    Int4Vector feature;
+    std::vector<std::int16_t> widened;
+
+    Inputs()
+    {
+        FloatMatrix source(kRows, kCols);
+        sim::Rng rng(1);
+        for (std::size_t r = 0; r < kRows; ++r)
+            for (std::size_t c = 0; c < kCols; ++c)
+                source.at(r, c) =
+                    static_cast<float>(rng.gaussian(0.0, 1.0));
+        matrix = Int4Matrix(source);
+        std::vector<float> query(kCols);
+        for (float &v : query)
+            v = static_cast<float>(rng.gaussian(0.0, 1.0));
+        feature = quantizeVector(query);
+        matrix.widenFeature(feature, widened);
+    }
+};
+
+Inputs &
+inputs()
+{
+    static Inputs shared;
+    return shared;
+}
+
+/** One full scalar scoring pass (the pre-PR reference path). */
+void
+scalarPass(const Inputs &in, std::vector<double> &out)
+{
+    for (std::size_t r = 0; r < kRows; ++r)
+        out[r] = in.matrix.dotRow(r, in.feature);
+}
+
+/** One full single-thread LUT pass. */
+void
+lutPass(const Inputs &in, std::vector<double> &out)
+{
+    in.matrix.dotRowsLut(0, kRows, in.widened, in.feature.scale,
+                         out.data());
+}
+
+/** One full thread-pooled LUT pass. */
+void
+pooledPass(const Inputs &in, sim::ThreadPool &pool,
+           std::vector<double> &out)
+{
+    pool.parallelFor(0, kRows, kGrain,
+                     [&](std::size_t b, std::size_t e) {
+                         in.matrix.dotRowsLut(b, e, in.widened,
+                                              in.feature.scale,
+                                              out.data() + b);
+                     });
+}
+
+void
+BM_ScreenerScalar(benchmark::State &state)
+{
+    const Inputs &in = inputs();
+    std::vector<double> out(kRows);
+    for (auto _ : state) {
+        scalarPass(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_ScreenerScalar);
+
+void
+BM_ScreenerLut(benchmark::State &state)
+{
+    const Inputs &in = inputs();
+    std::vector<double> out(kRows);
+    for (auto _ : state) {
+        lutPass(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_ScreenerLut);
+
+void
+BM_ScreenerLutPooled(benchmark::State &state)
+{
+    const Inputs &in = inputs();
+    sim::ThreadPool pool(kPoolThreads);
+    std::vector<double> out(kRows);
+    for (auto _ : state) {
+        pooledPass(in, pool, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_ScreenerLutPooled);
+
+void
+BM_ScreenerBatchLut(benchmark::State &state)
+{
+    const Inputs &in = inputs();
+    const std::size_t stride = 2 * in.matrix.bytesPerRow();
+    std::vector<std::int16_t> features(kBatchQueries * stride);
+    std::vector<float> scales(kBatchQueries, in.feature.scale);
+    for (std::size_t q = 0; q < kBatchQueries; ++q)
+        std::copy(in.widened.begin(), in.widened.end(),
+                  features.begin()
+                      + static_cast<std::ptrdiff_t>(q * stride));
+    std::vector<double> out(kBatchQueries * kRows);
+    for (auto _ : state) {
+        in.matrix.dotRowsBatchLut(0, kRows, features.data(),
+                                  kBatchQueries, stride,
+                                  scales.data(), out.data(), kRows);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kRows * kBatchQueries));
+}
+BENCHMARK(BM_ScreenerBatchLut);
+
+/** Best-of-N wall-clock milliseconds of @p pass. */
+template <typename Pass>
+double
+bestMs(unsigned repeats, const Pass &pass)
+{
+    double best = 0.0;
+    for (unsigned i = 0; i < repeats; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        pass();
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        best = (i == 0) ? ms : std::min(best, ms);
+    }
+    return best;
+}
+
+void
+writeBaseline(const std::string &out_dir)
+{
+    const Inputs &in = inputs();
+    sim::ThreadPool pool(kPoolThreads);
+    std::vector<double> scalar_out(kRows);
+    std::vector<double> lut_out(kRows);
+    std::vector<double> pooled_out(kRows);
+
+    constexpr unsigned kRepeats = 5;
+    const double scalar_ms =
+        bestMs(kRepeats, [&] { scalarPass(in, scalar_out); });
+    const double lut_ms =
+        bestMs(kRepeats, [&] { lutPass(in, lut_out); });
+    const double pooled_ms =
+        bestMs(kRepeats, [&] { pooledPass(in, pool, pooled_out); });
+
+    // The speedup claim is only meaningful if the fast path computes
+    // the same bits as the reference.
+    if (lut_out != scalar_out || pooled_out != scalar_out)
+        sim::fatal("kernel outputs diverge from the scalar "
+                   "reference; refusing to record a speedup");
+
+    const double rows = static_cast<double>(kRows);
+    const std::string path = out_dir + "/BENCH_kernels.json";
+    std::ofstream os(path);
+    if (!os)
+        sim::fatal("cannot open '", path, "' for writing");
+    sim::JsonWriter json(os);
+    json.beginObject();
+    json.key("config");
+    json.beginObject();
+    json.key("rows");
+    json.value(static_cast<std::uint64_t>(kRows));
+    json.key("cols");
+    json.value(static_cast<std::uint64_t>(kCols));
+    json.key("pool_threads");
+    json.value(static_cast<std::uint64_t>(kPoolThreads));
+    json.endObject();
+    json.key("wall_ms");
+    json.beginObject();
+    json.key("scalar_1t");
+    json.value(scalar_ms);
+    json.key("lut_1t");
+    json.value(lut_ms);
+    json.key("lut_pooled");
+    json.value(pooled_ms);
+    json.endObject();
+    json.key("rows_per_sec");
+    json.beginObject();
+    json.key("scalar_1t");
+    json.value(rows / (scalar_ms / 1e3));
+    json.key("lut_1t");
+    json.value(rows / (lut_ms / 1e3));
+    json.key("lut_pooled");
+    json.value(rows / (pooled_ms / 1e3));
+    json.endObject();
+    json.key("speedup_vs_scalar");
+    json.beginObject();
+    json.key("lut_1t");
+    json.value(scalar_ms / lut_ms);
+    json.key("lut_pooled");
+    json.value(scalar_ms / pooled_ms);
+    json.endObject();
+    json.endObject();
+    os << "\n";
+    std::printf("wrote %s (scalar %.2f ms, lut %.2f ms, pooled "
+                "%.2f ms, speedup %.2fx)\n",
+                path.c_str(), scalar_ms, lut_ms, pooled_ms,
+                scalar_ms / pooled_ms);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    std::string out_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [benchmark flags] [--out DIR]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!out_dir.empty())
+        writeBaseline(out_dir);
+    return 0;
+}

@@ -84,6 +84,14 @@ struct AccelConfig
         DegradedReadPolicy::ScreenerFallback;
     /** Accelerator clock. */
     double frequencyHz = circuit::acceleratorFrequencyHz;
+    /**
+     * Host-compute worker threads for the functional tier (screener
+     * scoring, candidate re-rank, quantization preprocessing).
+     * Purely a wall-clock knob: the deterministic parallel engine
+     * (sim::ThreadPool) guarantees bit-identical results for any
+     * value, and simulated time never depends on it.
+     */
+    unsigned threads = 1;
 
     /** Table 2 staging buffer sizes (bytes). */
     std::uint64_t int4WeightBufferBytes = 128 * 1024;

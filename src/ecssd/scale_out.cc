@@ -23,11 +23,15 @@ ScaleOutEcssd::ScaleOutEcssd(const xclass::BenchmarkSpec &spec,
                  "shard INT4 matrix does not fit the device DRAM; "
                  "increase the device count");
 
+    pool_ = std::make_unique<sim::ThreadPool>(options.threads);
     for (unsigned d = 0; d < devices; ++d) {
         EcssdOptions shard_options = options;
         // Distinct trace seeds per shard: each partition sees its
         // own categories' candidate structure.
         shard_options.seed = options.seed + d;
+        // Fleet-level fan-out is the parallel dimension here: the
+        // per-shard systems run single-threaded inside it.
+        shard_options.threads = 1;
         shards_.push_back(std::make_unique<EcssdSystem>(
             shardSpec_, shard_options));
     }
@@ -109,6 +113,7 @@ ScaleOutEcssd::drainShard(unsigned shard)
     // cancels it.
     EcssdOptions shard_options = options_;
     shard_options.seed = options_.seed + shard;
+    shard_options.threads = 1;
     shards_[shard] = std::make_unique<EcssdSystem>(shardSpec_,
                                                    shard_options);
     ShardHealth &health = health_[shard];
@@ -148,20 +153,44 @@ ScaleOutEcssd::runInference(unsigned batches)
         }
     }
 
+    // Phase 1 — fan out: every shard with a batch quota simulates
+    // concurrently on the fleet pool.  Each shard touches only its
+    // own EcssdSystem and its own slot of runs/energies, so any
+    // execution interleaving yields the same per-shard results.
+    std::vector<unsigned> quotas(devices(), 0);
+    for (unsigned d = 0; d < devices(); ++d) {
+        quotas[d] = health_[d].alive
+            ? std::min(batches, health_[d].failAfterBatches)
+            : 0;
+    }
+    std::vector<accel::RunResult> runs(devices());
+    std::vector<double> energies(devices(), 0.0);
+    pool_->parallelFor(
+        0, devices(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t d = begin; d < end; ++d) {
+                if (quotas[d] == 0)
+                    continue;
+                runs[d] = shards_[d]->runInference(quotas[d]);
+                energies[d] = shards_[d]
+                                  ->estimateRunEnergy(runs[d])
+                                  .totalUj();
+            }
+        });
+
+    // Phase 2 — merge in fixed shard-index order: health mutation,
+    // energy accumulation, and the slowest-shard reduction happen
+    // serially, so the merged result is bit-identical to the
+    // serial fleet's.
     sim::Tick slowest = 0;
     std::uint64_t served_shard_batches = 0;
     std::uint64_t lost_shard_batches = 0;
     for (unsigned d = 0; d < devices(); ++d) {
         ShardHealth &health = health_[d];
-        const unsigned quota = health.alive
-            ? std::min(batches, health.failAfterBatches)
-            : 0;
-        accel::RunResult run;
+        const unsigned quota = quotas[d];
+        accel::RunResult run = std::move(runs[d]);
         if (quota > 0) {
-            run = shards_[d]->runInference(quota);
             slowest = std::max(slowest, run.totalTime);
-            result.totalEnergyUj +=
-                shards_[d]->estimateRunEnergy(run).totalUj();
+            result.totalEnergyUj += energies[d];
         }
         if (quota < batches && health.alive) {
             health.alive = false;

@@ -214,6 +214,10 @@ class ScaleOutEcssd
     xclass::BenchmarkSpec fullSpec_;
     xclass::BenchmarkSpec shardSpec_;
     EcssdOptions options_;
+    /** Fleet fan-out pool (options.threads workers): live shards
+     *  simulate concurrently, results merge in shard-index order so
+     *  the outcome is bit-identical to the serial fleet. */
+    std::unique_ptr<sim::ThreadPool> pool_;
     std::vector<std::unique_ptr<EcssdSystem>> shards_;
     std::vector<ShardHealth> health_;
     DrainPolicy drainPolicy_;

@@ -16,7 +16,10 @@ InferenceServer::InferenceServer(
     const numeric::FloatMatrix *trained_projection,
     const ServerConfig &server_config)
     : weights_(weights), spec_(spec), config_(server_config),
-      classifier_(weights, spec, options.seed, trained_projection),
+      threadPool_(
+          std::make_unique<sim::ThreadPool>(options.threads)),
+      classifier_(weights, spec, options.seed, trained_projection,
+                  threadPool_.get()),
       system_(std::make_unique<EcssdSystem>(spec, options))
 {
     ECSSD_ASSERT(weights.rows() == spec.categories

@@ -222,6 +222,10 @@ class InferenceServer
     const numeric::FloatMatrix &weights_;
     xclass::BenchmarkSpec spec_;
     ServerConfig config_;
+    /** Host-compute pool shared by the functional classifier
+     *  (options.threads workers); declared before classifier_ so it
+     *  outlives every parallel consumer. */
+    std::unique_ptr<sim::ThreadPool> threadPool_;
     xclass::ApproximateClassifier classifier_;
     std::unique_ptr<EcssdSystem> system_;
     std::deque<PendingRequest> pending_;

@@ -29,6 +29,8 @@ describe(const EcssdOptions &options)
 EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
                          const EcssdOptions &options)
     : spec_(spec), options_(options),
+      threadPool_(
+          std::make_unique<sim::ThreadPool>(options.threads)),
       queue_(std::make_unique<sim::EventQueue>()),
       ssd_(std::make_unique<ssdsim::SsdDevice>(options.ssd, *queue_)),
       trace_(std::make_unique<accel::TraceSource>(
@@ -68,6 +70,7 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
     accel_config.overlapStages = options.overlapStages;
     accel_config.weightPrecision = options.weightPrecision;
     accel_config.degradedPolicy = options.degradedPolicy;
+    accel_config.threads = options.threads;
     pipeline_ = std::make_unique<accel::InferencePipeline>(
         spec_, accel_config, *ssd_, *strategy_,
         options.int4Placement);

@@ -16,6 +16,7 @@
 #include "circuit/energy.hh"
 #include "layout/strategy.hh"
 #include "sim/event_queue.hh"
+#include "sim/thread_pool.hh"
 #include "ssdsim/ssd.hh"
 #include "xclass/workload.hh"
 
@@ -39,6 +40,12 @@ struct EcssdOptions
         accel::DegradedReadPolicy::ScreenerFallback;
     /** Hot-degree predictor noise for trace-tier runs. */
     double predictorNoise = 0.25;
+    /**
+     * Host-compute worker threads (functional tier and scale-out
+     * fan-out).  Wall-clock only: results and simulated time are
+     * bit-identical for any value (see sim::ThreadPool).
+     */
+    unsigned threads = 1;
     std::uint64_t seed = 1;
     ssdsim::SsdConfig ssd = ssdsim::SsdConfig{};
 
@@ -87,6 +94,10 @@ class EcssdSystem
     {
         return *strategy_;
     }
+
+    /** The host-compute pool (options.threads workers; never null —
+     *  a 1-thread pool runs everything inline). */
+    sim::ThreadPool &threadPool() { return *threadPool_; }
 
     /**
      * Run @p batches trace-driven inference batches and aggregate
@@ -147,6 +158,7 @@ class EcssdSystem
   private:
     xclass::BenchmarkSpec spec_;
     EcssdOptions options_;
+    std::unique_ptr<sim::ThreadPool> threadPool_;
     std::unique_ptr<sim::EventQueue> queue_;
     std::unique_ptr<ssdsim::SsdDevice> ssd_;
     std::unique_ptr<accel::TraceSource> trace_;

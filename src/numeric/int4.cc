@@ -1,7 +1,10 @@
 #include "int4.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "sim/thread_pool.hh"
 
 namespace ecssd
 {
@@ -10,6 +13,48 @@ namespace numeric
 
 namespace
 {
+
+/** One packed byte decoded to its two signed nibble values. */
+struct NibblePair
+{
+    std::int16_t lo;
+    std::int16_t hi;
+};
+
+/** Sign-extend a 4-bit value branchlessly. */
+constexpr std::int16_t
+signExtendNibble(unsigned nibble)
+{
+    return static_cast<std::int16_t>(
+        static_cast<int>((nibble & 0xf) ^ 0x8) - 0x8);
+}
+
+/** 256-entry byte -> (low, high) signed-pair decode table. */
+constexpr std::array<NibblePair, 256>
+makeBytePairs()
+{
+    std::array<NibblePair, 256> pairs{};
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        pairs[byte].lo = signExtendNibble(byte & 0xf);
+        pairs[byte].hi = signExtendNibble(byte >> 4);
+    }
+    return pairs;
+}
+
+constexpr std::array<NibblePair, 256> kBytePairs = makeBytePairs();
+
+/**
+ * Column count up to which an int32 accumulator cannot overflow: the
+ * largest per-element product is 7 * 7 = 49.
+ */
+constexpr std::size_t kInt32SafeCols = 0x7fffffff / 49;
+
+/** Rescale a raw integer dot product exactly as dotRow() does. */
+inline double
+rescale(std::int64_t acc, float row_scale, float feature_scale)
+{
+    return static_cast<double>(acc) * row_scale * feature_scale;
+}
 
 /** Quantize one value given a precomputed scale. */
 int
@@ -55,18 +100,48 @@ unpackNibble(const std::vector<std::uint8_t> &packed, std::size_t i)
                           : static_cast<int>(nibble);
 }
 
+/** Quantize one row straight into its packed bytes (no staging). */
+void
+packRow(std::span<const float> row, float scale, std::uint8_t *out,
+        std::size_t bytes_per_row)
+{
+    std::fill(out, out + bytes_per_row, std::uint8_t{0});
+    const std::size_t pairs = row.size() / 2;
+    for (std::size_t b = 0; b < pairs; ++b) {
+        const unsigned lo = static_cast<unsigned>(
+                                quantizeValue(row[2 * b], scale))
+            & 0xf;
+        const unsigned hi = static_cast<unsigned>(
+                                quantizeValue(row[2 * b + 1], scale))
+            & 0xf;
+        out[b] = static_cast<std::uint8_t>(lo | (hi << 4));
+    }
+    if (row.size() % 2 != 0) {
+        out[pairs] = static_cast<std::uint8_t>(
+            static_cast<unsigned>(
+                quantizeValue(row[row.size() - 1], scale))
+            & 0xf);
+    }
+}
+
 } // namespace
 
 Int4Vector
 quantizeVector(std::span<const float> values)
 {
     Int4Vector out;
+    quantizeVectorInto(values, out);
+    return out;
+}
+
+void
+quantizeVectorInto(std::span<const float> values, Int4Vector &out)
+{
     out.size = values.size();
     out.scale = maxAbs(values) / static_cast<float>(int4Max);
     out.packed.assign((values.size() + 1) / 2, 0);
     for (std::size_t i = 0; i < values.size(); ++i)
         packNibble(out.packed, i, quantizeValue(values[i], out.scale));
-    return out;
 }
 
 int
@@ -84,23 +159,27 @@ dequantize(const Int4Vector &vec)
     return out;
 }
 
-Int4Matrix::Int4Matrix(const FloatMatrix &source)
+Int4Matrix::Int4Matrix(const FloatMatrix &source,
+                       sim::ThreadPool *pool)
     : rows_(source.rows()), cols_(source.cols()),
       bytesPerRow_((source.cols() + 1) / 2),
       packed_(rows_ * bytesPerRow_, 0), scales_(rows_, 0.0f)
 {
-    std::vector<std::uint8_t> rowPacked(bytesPerRow_, 0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        const std::span<const float> row = source.row(r);
-        const float scale =
-            maxAbs(row) / static_cast<float>(int4Max);
-        scales_[r] = scale;
-        std::fill(rowPacked.begin(), rowPacked.end(), 0);
-        for (std::size_t c = 0; c < cols_; ++c)
-            packNibble(rowPacked, c, quantizeValue(row[c], scale));
-        std::copy(rowPacked.begin(), rowPacked.end(),
-                  packed_.begin() + r * bytesPerRow_);
-    }
+    const auto quantize_rows = [&](std::size_t row_begin,
+                                   std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            const std::span<const float> row = source.row(r);
+            const float scale =
+                maxAbs(row) / static_cast<float>(int4Max);
+            scales_[r] = scale;
+            packRow(row, scale, packed_.data() + r * bytesPerRow_,
+                    bytesPerRow_);
+        }
+    };
+    if (pool)
+        pool->parallelFor(0, rows_, 256, quantize_rows);
+    else
+        quantize_rows(0, rows_);
 }
 
 int
@@ -137,6 +216,120 @@ Int4Matrix::rawDotRow(std::size_t r,
     for (std::size_t c = 0; c < cols_; ++c)
         acc += static_cast<std::int64_t>(valueAt(r, c)) * feature[c];
     return acc;
+}
+
+void
+Int4Matrix::widenFeature(const Int4Vector &feature,
+                         std::vector<std::int16_t> &out) const
+{
+    ECSSD_ASSERT(feature.size == cols_,
+                 "int4 feature length mismatch");
+    out.assign(2 * bytesPerRow_, 0);
+    for (std::size_t b = 0; b < feature.packed.size(); ++b) {
+        const NibblePair pair = kBytePairs[feature.packed[b]];
+        out[2 * b] = pair.lo;
+        out[2 * b + 1] = pair.hi;
+    }
+    // An odd-length feature leaves its final high nibble packed as 0,
+    // and the matching pad slot here is 0 too, so the padded products
+    // vanish.
+}
+
+namespace
+{
+
+/**
+ * The shared inner loop: accumulate one packed row against a widened
+ * feature.  Acc is int32 on every realistic shape (kInt32SafeCols)
+ * and int64 beyond it; both produce the same exact integer.
+ */
+template <typename Acc>
+inline Acc
+accumulateRow(const std::uint8_t *row, const std::int16_t *feature,
+              std::size_t bytes)
+{
+    Acc acc = 0;
+    for (std::size_t b = 0; b < bytes; ++b) {
+        const NibblePair pair = kBytePairs[row[b]];
+        acc += static_cast<Acc>(pair.lo) * feature[2 * b]
+            + static_cast<Acc>(pair.hi) * feature[2 * b + 1];
+    }
+    return acc;
+}
+
+} // namespace
+
+std::int64_t
+Int4Matrix::rawDotRowLut(std::size_t r,
+                         std::span<const std::int16_t> feature) const
+{
+    ECSSD_ASSERT(r < rows_ && feature.size() == 2 * bytesPerRow_,
+                 "int4 widened feature mismatch");
+    const std::uint8_t *row = packed_.data() + r * bytesPerRow_;
+    if (cols_ <= kInt32SafeCols)
+        return accumulateRow<std::int32_t>(row, feature.data(),
+                                           bytesPerRow_);
+    return accumulateRow<std::int64_t>(row, feature.data(),
+                                       bytesPerRow_);
+}
+
+void
+Int4Matrix::dotRowsLut(std::size_t row_begin, std::size_t row_end,
+                       std::span<const std::int16_t> feature,
+                       float feature_scale, double *out) const
+{
+    ECSSD_ASSERT(row_begin <= row_end && row_end <= rows_
+                     && feature.size() == 2 * bytesPerRow_,
+                 "int4 row-range kernel misuse");
+    const std::int16_t *widened = feature.data();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        const std::uint8_t *row = packed_.data() + r * bytesPerRow_;
+        const std::int64_t acc = cols_ <= kInt32SafeCols
+            ? accumulateRow<std::int32_t>(row, widened, bytesPerRow_)
+            : accumulateRow<std::int64_t>(row, widened, bytesPerRow_);
+        out[r - row_begin] = rescale(acc, scales_[r], feature_scale);
+    }
+}
+
+void
+Int4Matrix::dotRowsBatchLut(std::size_t row_begin,
+                            std::size_t row_end,
+                            const std::int16_t *features,
+                            std::size_t query_count,
+                            std::size_t feature_stride,
+                            const float *feature_scales, double *out,
+                            std::size_t out_stride) const
+{
+    ECSSD_ASSERT(row_begin <= row_end && row_end <= rows_
+                     && feature_stride >= 2 * bytesPerRow_,
+                 "int4 batch kernel misuse");
+    // Tile over queries so each decoded weight row is reused across
+    // the whole query block while it is still hot; int32 accumulator
+    // tiles, one rescale per (row, query) at the end.
+    constexpr std::size_t kQueryTile = 8;
+    std::array<std::int64_t, kQueryTile> acc;
+    for (std::size_t q0 = 0; q0 < query_count; q0 += kQueryTile) {
+        const std::size_t tile =
+            std::min(kQueryTile, query_count - q0);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            const std::uint8_t *row =
+                packed_.data() + r * bytesPerRow_;
+            for (std::size_t q = 0; q < tile; ++q) {
+                const std::int16_t *widened =
+                    features + (q0 + q) * feature_stride;
+                acc[q] = cols_ <= kInt32SafeCols
+                    ? accumulateRow<std::int32_t>(row, widened,
+                                                  bytesPerRow_)
+                    : accumulateRow<std::int64_t>(row, widened,
+                                                  bytesPerRow_);
+            }
+            for (std::size_t q = 0; q < tile; ++q) {
+                out[(q0 + q) * out_stride + (r - row_begin)] =
+                    rescale(acc[q], scales_[r],
+                            feature_scales[q0 + q]);
+            }
+        }
+    }
 }
 
 std::int64_t

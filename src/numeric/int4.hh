@@ -19,6 +19,14 @@
 
 namespace ecssd
 {
+namespace sim
+{
+class ThreadPool;
+} // namespace sim
+} // namespace ecssd
+
+namespace ecssd
+{
 namespace numeric
 {
 
@@ -40,6 +48,14 @@ struct Int4Vector
 /** Quantize one float vector to signed INT4 with a symmetric scale. */
 Int4Vector quantizeVector(std::span<const float> values);
 
+/**
+ * Quantize into an existing vector, reusing its packed storage (the
+ * hot-path variant: no per-query allocation once the buffer warmed
+ * up).
+ */
+void quantizeVectorInto(std::span<const float> values,
+                        Int4Vector &out);
+
 /** Unpack element @p i of @p vec as a signed integer in [-7, 7]. */
 int unpackInt4(const Int4Vector &vec, std::size_t i);
 
@@ -55,8 +71,14 @@ class Int4Matrix
   public:
     Int4Matrix() = default;
 
-    /** Quantize @p source row-by-row. */
-    explicit Int4Matrix(const FloatMatrix &source);
+    /**
+     * Quantize @p source row-by-row, packing each row in place (no
+     * staging copy).  With a pool, rows quantize in parallel; each
+     * row writes only its own packed/scale slots, so the result is
+     * bit-identical for any thread count.
+     */
+    explicit Int4Matrix(const FloatMatrix &source,
+                        sim::ThreadPool *pool = nullptr);
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
@@ -76,6 +98,66 @@ class Int4Matrix
     /** Raw integer dot product of row @p r (no rescale). */
     std::int64_t rawDotRow(std::size_t r,
                            std::span<const std::int8_t> feature) const;
+
+    // --- Fast byte-wise kernels -----------------------------------
+    //
+    // The scalar dotRow() above unpacks one nibble per step with a
+    // bounds assert and a sign-extension branch.  The kernels below
+    // consume two nibbles per byte through a 256-entry signed-pair
+    // LUT against a feature pre-widened to int16, accumulate in
+    // int32, and rescale once per row with the exact expression
+    // dotRow() uses — so their results are bit-identical to the
+    // scalar reference (integer accumulation has no rounding, and
+    // the final rescale is the same double product).
+
+    /** Widen @p feature to the int16 layout the kernels consume: one
+     *  value per nibble slot, zero-padded to 2 * bytes-per-row. */
+    void widenFeature(const Int4Vector &feature,
+                      std::vector<std::int16_t> &out) const;
+
+    /**
+     * LUT dot product of row @p r with a widened feature (no
+     * rescale).  @p feature must come from widenFeature().
+     */
+    std::int64_t rawDotRowLut(
+        std::size_t r, std::span<const std::int16_t> feature) const;
+
+    /**
+     * Score rows [row_begin, row_end) against one widened feature
+     * into out[r - row_begin], rescaled by row scales and
+     * @p feature_scale.  The hot single-query kernel; safe to call
+     * concurrently on disjoint row ranges.
+     */
+    void dotRowsLut(std::size_t row_begin, std::size_t row_end,
+                    std::span<const std::int16_t> feature,
+                    float feature_scale, double *out) const;
+
+    /**
+     * Multi-query blocked kernel: score rows [row_begin, row_end)
+     * against @p query_count widened features (query q at
+     * features + q * feature_stride, scale feature_scales[q]) into
+     * out[q * out_stride + (r - row_begin)].  Each weight row is
+     * decoded once and reused across every query in the block
+     * (GEMM-style reuse); int32 accumulators, one rescale at the
+     * end.  Bit-identical to per-query dotRowsLut.
+     */
+    void dotRowsBatchLut(std::size_t row_begin, std::size_t row_end,
+                         const std::int16_t *features,
+                         std::size_t query_count,
+                         std::size_t feature_stride,
+                         const float *feature_scales, double *out,
+                         std::size_t out_stride) const;
+
+    /** Packed bytes of one row (two nibbles per byte). */
+    std::span<const std::uint8_t>
+    packedRow(std::size_t r) const
+    {
+        return std::span<const std::uint8_t>(
+            packed_.data() + r * bytesPerRow_, bytesPerRow_);
+    }
+
+    /** Bytes holding one packed row. */
+    std::size_t bytesPerRow() const { return bytesPerRow_; }
 
     /** Sum of |q| over row @p r: the hot-degree predictor input. */
     std::int64_t rowAbsSum(std::size_t r) const;

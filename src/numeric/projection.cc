@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace ecssd
 {
@@ -36,9 +37,18 @@ Projector::Projector(FloatMatrix projection)
 std::vector<float>
 Projector::project(std::span<const float> vec) const
 {
+    std::vector<float> out;
+    projectInto(vec, out);
+    return out;
+}
+
+void
+Projector::projectInto(std::span<const float> vec,
+                       std::vector<float> &out) const
+{
     ECSSD_ASSERT(vec.size() == fullDim_,
                  "projection input length mismatch");
-    std::vector<float> out(shrunkDim_, 0.0f);
+    out.resize(shrunkDim_);
     for (std::size_t k = 0; k < shrunkDim_; ++k) {
         const std::span<const float> prow = projection_.row(k);
         double acc = 0.0;
@@ -46,21 +56,29 @@ Projector::project(std::span<const float> vec) const
             acc += static_cast<double>(prow[d]) * vec[d];
         out[k] = static_cast<float>(acc);
     }
-    return out;
 }
 
 FloatMatrix
-Projector::projectRows(const FloatMatrix &weights) const
+Projector::projectRows(const FloatMatrix &weights,
+                       sim::ThreadPool *pool) const
 {
     ECSSD_ASSERT(weights.cols() == fullDim_,
                  "projection weight width mismatch");
     FloatMatrix out(weights.rows(), shrunkDim_);
-    for (std::size_t r = 0; r < weights.rows(); ++r) {
-        const std::vector<float> projected = project(weights.row(r));
-        std::span<float> orow = out.row(r);
-        for (std::size_t k = 0; k < shrunkDim_; ++k)
-            orow[k] = projected[k];
-    }
+    const auto project_rows = [&](std::size_t row_begin,
+                                  std::size_t row_end) {
+        std::vector<float> projected;
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            projectInto(weights.row(r), projected);
+            std::span<float> orow = out.row(r);
+            for (std::size_t k = 0; k < shrunkDim_; ++k)
+                orow[k] = projected[k];
+        }
+    };
+    if (pool)
+        pool->parallelFor(0, weights.rows(), 64, project_rows);
+    else
+        project_rows(0, weights.rows());
     return out;
 }
 

@@ -22,6 +22,14 @@
 
 namespace ecssd
 {
+namespace sim
+{
+class ThreadPool;
+} // namespace sim
+} // namespace ecssd
+
+namespace ecssd
+{
 namespace numeric
 {
 
@@ -54,8 +62,18 @@ class Projector
     /** Project one D-length vector down to K values. */
     std::vector<float> project(std::span<const float> vec) const;
 
-    /** Project every row of @p weights (L x D) to an L x K matrix. */
-    FloatMatrix projectRows(const FloatMatrix &weights) const;
+    /** Project into an existing buffer (resized to K), reusing its
+     *  storage across queries. */
+    void projectInto(std::span<const float> vec,
+                     std::vector<float> &out) const;
+
+    /**
+     * Project every row of @p weights (L x D) to an L x K matrix.
+     * With a pool, rows project in parallel (each output row is an
+     * independent slot: bit-identical for any thread count).
+     */
+    FloatMatrix projectRows(const FloatMatrix &weights,
+                            sim::ThreadPool *pool = nullptr) const;
 
   private:
     std::size_t fullDim_;

@@ -21,6 +21,13 @@ namespace xclass
 /**
  * Indices of the @p k largest values in @p scores, largest first;
  * ties broken by lower index for determinism.
+ *
+ * Selection is nth_element (O(n)) followed by a bounded sort of the
+ * k survivors (O(k log k)) — cheaper than a heap/partial_sort pass
+ * over all n when k << n, which is the screening regime (top-k of
+ * hundreds of thousands of scores).  The comparator is a strict
+ * total order (score descending, index ascending on ties), so the
+ * output is unique and identical to a full sort's first k entries.
  */
 template <typename Score>
 std::vector<std::uint64_t>
@@ -29,14 +36,19 @@ topKIndices(std::span<const Score> scores, std::size_t k)
     k = std::min(k, scores.size());
     std::vector<std::uint64_t> order(scores.size());
     std::iota(order.begin(), order.end(), 0);
-    std::partial_sort(
-        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
-        order.end(), [&](std::uint64_t a, std::uint64_t b) {
-            if (scores[a] != scores[b])
-                return scores[a] > scores[b];
-            return a < b;
-        });
-    order.resize(k);
+    const auto better = [&](std::uint64_t a, std::uint64_t b) {
+        if (scores[a] != scores[b])
+            return scores[a] > scores[b];
+        return a < b;
+    };
+    if (k < scores.size()) {
+        std::nth_element(order.begin(),
+                         order.begin()
+                             + static_cast<std::ptrdiff_t>(k),
+                         order.end(), better);
+        order.resize(k);
+    }
+    std::sort(order.begin(), order.end(), better);
     return order;
 }
 

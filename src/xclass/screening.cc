@@ -13,13 +13,14 @@ namespace xclass
 
 Screener::Screener(const numeric::FloatMatrix &weights,
                    const BenchmarkSpec &spec, std::uint64_t seed,
-                   const numeric::FloatMatrix *trained_projection)
-    : spec_(spec),
+                   const numeric::FloatMatrix *trained_projection,
+                   sim::ThreadPool *pool)
+    : spec_(spec), pool_(pool),
       projector_(trained_projection
                      ? numeric::Projector(*trained_projection)
                      : numeric::Projector(weights.cols(),
                                           spec.shrunkDim(), seed)),
-      screener_(projector_.projectRows(weights))
+      screener_(projector_.projectRows(weights, pool), pool)
 {
     ECSSD_ASSERT(weights.rows() == spec.categories,
                  "weights/spec category mismatch");
@@ -34,15 +35,102 @@ Screener::Screener(const numeric::FloatMatrix &weights,
 numeric::Int4Vector
 Screener::prepareFeature(std::span<const float> feature) const
 {
-    return numeric::quantizeVector(projector_.project(feature));
+    numeric::Int4Vector out;
+    prepareFeatureInto(feature, out);
+    return out;
+}
+
+void
+Screener::prepareFeatureInto(std::span<const float> feature,
+                             numeric::Int4Vector &out) const
+{
+    projector_.projectInto(feature, projectedScratch_);
+    numeric::quantizeVectorInto(projectedScratch_, out);
 }
 
 std::vector<double>
 Screener::scores(const numeric::Int4Vector &feature) const
 {
-    std::vector<double> out(screener_.rows());
-    for (std::size_t r = 0; r < screener_.rows(); ++r)
-        out[r] = screener_.dotRow(r, feature);
+    std::vector<double> out;
+    scoresInto(feature, out);
+    return out;
+}
+
+/** Rows per parallel chunk: big enough to amortize dispatch, small
+ *  enough to balance the tail. */
+static constexpr std::size_t kScoreGrain = 2048;
+
+void
+Screener::scoresInto(const numeric::Int4Vector &feature,
+                     std::vector<double> &out) const
+{
+    screener_.widenFeature(feature, widenedScratch_);
+    out.resize(screener_.rows());
+    const std::span<const std::int16_t> widened(widenedScratch_);
+    const auto score_rows = [&](std::size_t row_begin,
+                                std::size_t row_end) {
+        screener_.dotRowsLut(row_begin, row_end, widened,
+                             feature.scale, out.data() + row_begin);
+    };
+    if (pool_)
+        pool_->parallelFor(0, screener_.rows(), kScoreGrain,
+                           score_rows);
+    else
+        score_rows(0, screener_.rows());
+}
+
+std::vector<std::vector<double>>
+Screener::scoresBatch(
+    std::span<const numeric::Int4Vector> features) const
+{
+    const std::size_t queries = features.size();
+    std::vector<std::vector<double>> out(queries);
+    if (queries == 0)
+        return out;
+
+    // Widen every query once, contiguously, so the blocked kernel
+    // can stride across them.
+    const std::size_t stride = 2 * screener_.bytesPerRow();
+    std::vector<std::int16_t> widened(queries * stride);
+    std::vector<float> scales(queries);
+    std::vector<std::int16_t> one;
+    for (std::size_t q = 0; q < queries; ++q) {
+        screener_.widenFeature(features[q], one);
+        std::copy(one.begin(), one.end(),
+                  widened.begin()
+                      + static_cast<std::ptrdiff_t>(q * stride));
+        scales[q] = features[q].scale;
+    }
+    for (std::size_t q = 0; q < queries; ++q)
+        out[q].resize(screener_.rows());
+
+    // The parallel dimension is rows: each chunk runs the blocked
+    // kernel over its row range for every query, then scatters into
+    // the per-query output vectors — disjoint slots, so chunk
+    // execution order cannot matter.
+    const auto score_rows_blocked = [&](std::size_t row_begin,
+                                        std::size_t row_end) {
+        // Flat chunk-local buffer, query-major, then scatter to the
+        // per-query vectors in fixed order.
+        const std::size_t rows = row_end - row_begin;
+        std::vector<double> block(queries * rows);
+        screener_.dotRowsBatchLut(row_begin, row_end, widened.data(),
+                                  queries, stride, scales.data(),
+                                  block.data(), rows);
+        for (std::size_t q = 0; q < queries; ++q)
+            std::copy(block.begin()
+                          + static_cast<std::ptrdiff_t>(q * rows),
+                      block.begin()
+                          + static_cast<std::ptrdiff_t>((q + 1)
+                                                        * rows),
+                      out[q].begin()
+                          + static_cast<std::ptrdiff_t>(row_begin));
+    };
+    if (pool_)
+        pool_->parallelFor(0, screener_.rows(), kScoreGrain,
+                           score_rows_blocked);
+    else
+        score_rows_blocked(0, screener_.rows());
     return out;
 }
 
@@ -52,13 +140,16 @@ Screener::calibrate(const std::vector<std::vector<float>> &queries)
     ECSSD_ASSERT(!queries.empty(), "calibration needs queries");
     // Pool all screener scores and pick the global quantile that
     // passes candidateRatio of them: the "pre-trained threshold".
+    // One blocked sweep scores every calibration query at once.
+    std::vector<numeric::Int4Vector> prepared(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q)
+        prepareFeatureInto(queries[q], prepared[q]);
+    const std::vector<std::vector<double>> all =
+        scoresBatch(prepared);
     std::vector<double> pooled;
     pooled.reserve(queries.size() * screener_.rows());
-    for (const std::vector<float> &query : queries) {
-        const numeric::Int4Vector prepared = prepareFeature(query);
-        const std::vector<double> s = scores(prepared);
+    for (const std::vector<double> &s : all)
         pooled.insert(pooled.end(), s.begin(), s.end());
-    }
     const std::size_t keep = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                static_cast<double>(pooled.size())
@@ -72,8 +163,9 @@ Screener::calibrate(const std::vector<std::vector<float>> &queries)
 std::vector<std::uint64_t>
 Screener::screen(std::span<const float> feature, FilterMode mode) const
 {
-    const numeric::Int4Vector prepared = prepareFeature(feature);
-    const std::vector<double> s = scores(prepared);
+    prepareFeatureInto(feature, preparedScratch_);
+    scoresInto(preparedScratch_, scoreScratch_);
+    const std::vector<double> &s = scoreScratch_;
 
     std::vector<std::uint64_t> candidates;
     if (mode == FilterMode::Threshold) {
@@ -102,20 +194,31 @@ Screener::rowAbsMasses() const
 }
 
 CandidateClassifier::CandidateClassifier(
-    const numeric::FloatMatrix &weights)
-    : weights_(weights)
+    const numeric::FloatMatrix &weights, sim::ThreadPool *pool)
+    : weights_(weights), pool_(pool)
 {
 }
+
+/** Pre-alignment rows per parallel chunk. */
+static constexpr std::size_t kAlignGrain = 256;
 
 void
 CandidateClassifier::ensureAligned() const
 {
     if (aligned_)
         return;
-    alignedRows_.reserve(weights_.rows());
-    for (std::size_t r = 0; r < weights_.rows(); ++r)
-        alignedRows_.push_back(
-            numeric::Cfp32Vector::preAlign(weights_.row(r)));
+    alignedRows_.resize(weights_.rows());
+    const auto align_rows = [&](std::size_t row_begin,
+                                std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r)
+            alignedRows_[r] =
+                numeric::Cfp32Vector::preAlign(weights_.row(r));
+    };
+    if (pool_)
+        pool_->parallelFor(0, weights_.rows(), kAlignGrain,
+                           align_rows);
+    else
+        align_rows(0, weights_.rows());
     aligned_ = true;
 }
 
@@ -124,27 +227,53 @@ CandidateClassifier::ensureAligned16() const
 {
     if (aligned16_)
         return;
-    alignedRows16_.reserve(weights_.rows());
-    for (std::size_t r = 0; r < weights_.rows(); ++r)
-        alignedRows16_.push_back(
-            numeric::Cfp16Vector::preAlign(weights_.row(r)));
+    alignedRows16_.resize(weights_.rows());
+    const auto align_rows = [&](std::size_t row_begin,
+                                std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r)
+            alignedRows16_[r] =
+                numeric::Cfp16Vector::preAlign(weights_.row(r));
+    };
+    if (pool_)
+        pool_->parallelFor(0, weights_.rows(), kAlignGrain,
+                           align_rows);
+    else
+        align_rows(0, weights_.rows());
     aligned16_ = true;
 }
+
+/** Candidate MACs per parallel chunk of the FP32 re-rank. */
+static constexpr std::size_t kRerankGrain = 64;
 
 std::vector<double>
 CandidateClassifier::scores(std::span<const float> feature,
                             std::span<const std::uint64_t> candidates,
                             Datapath datapath) const
 {
-    std::vector<double> out;
-    out.reserve(candidates.size());
+    std::vector<double> out(candidates.size());
+
+    // Each candidate's MAC is computed exactly as in the serial loop
+    // and lands in its own slot, so chunking over the pool cannot
+    // change a single bit of the result.
+    const auto run = [&](const auto &score_one) {
+        const auto score_range = [&](std::size_t begin,
+                                     std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = score_one(candidates[i]);
+        };
+        if (pool_)
+            pool_->parallelFor(0, candidates.size(), kRerankGrain,
+                               score_range);
+        else
+            score_range(0, candidates.size());
+    };
 
     if (datapath == Datapath::Fp32) {
-        for (const std::uint64_t row : candidates) {
-            const numeric::MacResult mac =
-                numeric::NaiveFpMac::dot(weights_.row(row), feature);
-            out.push_back(mac.value);
-        }
+        run([&](std::uint64_t row) {
+            return numeric::NaiveFpMac::dot(weights_.row(row),
+                                            feature)
+                .value;
+        });
         return out;
     }
 
@@ -152,31 +281,33 @@ CandidateClassifier::scores(std::span<const float> feature,
         ensureAligned16();
         const numeric::Cfp16Vector aligned_feature =
             numeric::Cfp16Vector::preAlign(feature);
-        for (const std::uint64_t row : candidates)
-            out.push_back(numeric::alignmentFreeDot16(
-                              alignedRows16_[row], aligned_feature)
-                              .value);
+        run([&](std::uint64_t row) {
+            return numeric::alignmentFreeDot16(alignedRows16_[row],
+                                               aligned_feature)
+                .value;
+        });
         return out;
     }
 
     ensureAligned();
     const numeric::Cfp32Vector aligned_feature =
         numeric::Cfp32Vector::preAlign(feature);
-    for (const std::uint64_t row : candidates) {
-        const numeric::MacResult mac = numeric::AlignmentFreeMac::dot(
-            alignedRows_[row], aligned_feature);
-        out.push_back(mac.value);
-    }
+    run([&](std::uint64_t row) {
+        return numeric::AlignmentFreeMac::dot(alignedRows_[row],
+                                              aligned_feature)
+            .value;
+    });
     return out;
 }
 
 ApproximateClassifier::ApproximateClassifier(
     const numeric::FloatMatrix &weights, const BenchmarkSpec &spec,
     std::uint64_t seed,
-    const numeric::FloatMatrix *trained_projection)
-    : weights_(weights),
-      screener_(weights, spec, seed, trained_projection),
-      classifier_(weights)
+    const numeric::FloatMatrix *trained_projection,
+    sim::ThreadPool *pool)
+    : weights_(weights), pool_(pool),
+      screener_(weights, spec, seed, trained_projection, pool),
+      classifier_(weights, pool)
 {
 }
 
@@ -207,8 +338,17 @@ ApproximateClassifier::exact(std::span<const float> feature,
 {
     Prediction prediction;
     std::vector<double> scores(weights_.rows());
-    for (std::size_t r = 0; r < weights_.rows(); ++r)
-        scores[r] = numeric::referenceDot(weights_.row(r), feature);
+    const auto score_rows = [&](std::size_t row_begin,
+                                std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r)
+            scores[r] =
+                numeric::referenceDot(weights_.row(r), feature);
+    };
+    if (pool_)
+        pool_->parallelFor(0, weights_.rows(), kRerankGrain,
+                           score_rows);
+    else
+        score_rows(0, weights_.rows());
     prediction.candidateCount = weights_.rows();
     const std::vector<std::uint64_t> best =
         topKIndices(std::span<const double>(scores), k);

@@ -23,6 +23,7 @@
 #include "numeric/mac.hh"
 #include "numeric/matrix.hh"
 #include "numeric/projection.hh"
+#include "sim/thread_pool.hh"
 #include "xclass/workload.hh"
 
 namespace ecssd
@@ -52,11 +53,16 @@ class Screener
      * @param trained_projection Optional pre-trained K x D
      *        projection (e.g. the weight manifold's basis); when
      *        null a seeded random Gaussian projection is used.
+     * @param pool Optional host-compute pool: preprocessing
+     *        (projection, quantization) and per-query scoring run
+     *        chunked over its threads, bit-identical to the serial
+     *        path for any pool size.  Must outlive the screener.
      */
     Screener(const numeric::FloatMatrix &weights,
              const BenchmarkSpec &spec, std::uint64_t seed,
              const numeric::FloatMatrix *trained_projection =
-                 nullptr);
+                 nullptr,
+             sim::ThreadPool *pool = nullptr);
 
     std::size_t categories() const { return screener_.rows(); }
     std::uint32_t shrunkDim() const
@@ -75,9 +81,34 @@ class Screener
     numeric::Int4Vector prepareFeature(
         std::span<const float> feature) const;
 
+    /**
+     * Project + quantize into an existing vector, reusing its packed
+     * storage (no per-query allocation after warm-up).
+     */
+    void prepareFeatureInto(std::span<const float> feature,
+                            numeric::Int4Vector &out) const;
+
     /** Screener scores of every category for a prepared feature. */
     std::vector<double> scores(
         const numeric::Int4Vector &feature) const;
+
+    /**
+     * Score into an existing vector (resized to L).  The hot path:
+     * byte-wise LUT kernel, chunked over the pool when one is
+     * attached.  One query at a time per screener — the internal
+     * scratch buffers are not synchronized across callers.
+     */
+    void scoresInto(const numeric::Int4Vector &feature,
+                    std::vector<double> &out) const;
+
+    /**
+     * Score @p features.size() prepared queries in one blocked
+     * sweep: every weight row is decoded once per query block
+     * instead of once per query.  Returns one L-length score vector
+     * per query, bit-identical to calling scores() per query.
+     */
+    std::vector<std::vector<double>> scoresBatch(
+        std::span<const numeric::Int4Vector> features) const;
 
     /**
      * Calibrate the threshold on @p queries so that on average a
@@ -104,9 +135,18 @@ class Screener
 
   private:
     BenchmarkSpec spec_;
+    sim::ThreadPool *pool_ = nullptr;
     numeric::Projector projector_;
     numeric::Int4Matrix screener_;
     double threshold_ = 0.0;
+    // Per-query scratch (projection output, quantized feature,
+    // widened int16 feature): reused across queries so the hot path
+    // stops allocating.  Guarded by the one-query-at-a-time contract
+    // of scoresInto().
+    mutable std::vector<float> projectedScratch_;
+    mutable numeric::Int4Vector preparedScratch_;
+    mutable std::vector<std::int16_t> widenedScratch_;
+    mutable std::vector<double> scoreScratch_;
 };
 
 /** FP32 classification restricted to screened candidates. */
@@ -128,8 +168,13 @@ class CandidateClassifier
     /**
      * @param weights The L x D FP32 matrix (kept by reference; must
      *        outlive the classifier).
+     * @param pool Optional host-compute pool: pre-alignment and
+     *        candidate scoring run chunked over its threads
+     *        (bit-identical — every candidate's MAC is an
+     *        independent output slot).
      */
-    explicit CandidateClassifier(const numeric::FloatMatrix &weights);
+    explicit CandidateClassifier(const numeric::FloatMatrix &weights,
+                                 sim::ThreadPool *pool = nullptr);
 
     /**
      * Score @p candidates against @p feature.
@@ -143,6 +188,7 @@ class CandidateClassifier
 
   private:
     const numeric::FloatMatrix &weights_;
+    sim::ThreadPool *pool_ = nullptr;
     // Per-row pre-aligned weights, built lazily on first
     // alignment-free use (the offline Pre_align() of the weights).
     mutable std::vector<numeric::Cfp32Vector> alignedRows_;
@@ -172,7 +218,8 @@ class ApproximateClassifier
                           const BenchmarkSpec &spec,
                           std::uint64_t seed,
                           const numeric::FloatMatrix
-                              *trained_projection = nullptr);
+                              *trained_projection = nullptr,
+                          sim::ThreadPool *pool = nullptr);
 
     Screener &screener() { return screener_; }
     const Screener &screener() const { return screener_; }
@@ -190,6 +237,7 @@ class ApproximateClassifier
 
   private:
     const numeric::FloatMatrix &weights_;
+    sim::ThreadPool *pool_ = nullptr;
     Screener screener_;
     CandidateClassifier classifier_;
 };

@@ -22,6 +22,8 @@
  *   --energy              print the energy breakdown
  *   --trace CATS          enable trace categories (ftl,pipeline,...)
  *   --seed N              trace/workload seed
+ *   --threads N           host-compute worker threads (wall-clock
+ *                         only: output is bit-identical for any N)
  *   --list                list benchmarks and architectures
  *
  * Reliability model (see docs/MODELING.md, "Wear lifecycle & scrub"):
@@ -101,7 +103,7 @@ usage(const char *argv0, int code)
                 "  [--int4 dram|flash] [--no-screening] "
                 "[--no-overlap]\n"
                 "  [--arch NAME] [--sweep-layouts] [--energy]\n"
-                "  [--trace CATS] [--seed N] [--list]\n"
+                "  [--trace CATS] [--seed N] [--threads N] [--list]\n"
                 "  [--uncorrectable-read-rate P] "
                 "[--read-retry-rate P]\n"
                 "  [--erase-failure-rate P] [--wear-coefficient C]\n"
@@ -318,6 +320,10 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             cli.device.seed = std::strtoull(
                 next("--seed").c_str(), nullptr, 10);
+        } else if (arg == "--threads") {
+            cli.device.threads = static_cast<unsigned>(
+                std::strtoul(next("--threads").c_str(), nullptr,
+                             10));
         } else if (arg == "--uncorrectable-read-rate") {
             cli.device.ssd.uncorrectableReadRate = std::strtod(
                 next("--uncorrectable-read-rate").c_str(), nullptr);
