@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: deploy a small classification layer on an ECSSD and
- * run one screened inference through the Table 1 API.
+ * run one screened inference through an explicit InferenceSession
+ * (the Status-reporting form of the Table 1 calls).
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -9,12 +10,29 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "ecssd/api.hh"
 #include "sim/rng.hh"
 #include "xclass/workload.hh"
 
 using namespace ecssd;
+
+namespace
+{
+
+/** Die with the failing call's status instead of limping on. */
+void
+require(Status status, const char *call)
+{
+    if (status != Status::Ok) {
+        std::fprintf(stderr, "%s failed: %s\n", call,
+                     toString(status));
+        std::exit(1);
+    }
+}
+
+} // namespace
 
 int
 main()
@@ -46,20 +64,25 @@ main()
         calibration.push_back(model.sampleQuery(rng));
     device.calibrateThreshold(calibration);
 
-    // One inference: send the projected INT4 input and the
-    // pre-aligned CFP32 input, screen, classify, fetch results.
+    // One inference, held in an explicit session: send the projected
+    // INT4 input and the pre-aligned CFP32 input, screen, classify,
+    // fetch results.  Each call reports misuse through its Status
+    // (the free-form device.int4InputSend(...) etc. still work and
+    // die fail-fast instead).
     const std::vector<float> query = model.sampleQuery(rng);
-    device.int4InputSend(query);
-    device.cfp32InputSend(query);
-    device.int4Screen();
+    InferenceSession session = device.beginInference();
+    require(session.sendInt4(query), "sendInt4");
+    require(session.sendCfp32(query), "sendCfp32");
+    require(session.screen(), "screen");
     std::printf("Screener kept %zu / %llu categories (%.1f%%)\n",
-                device.lastCandidateCount(),
+                session.candidateCount(),
                 (unsigned long long)spec.categories,
-                100.0 * device.lastCandidateCount()
+                100.0 * session.candidateCount()
                     / spec.categories);
-    device.cfp32Classify();
+    require(session.classify(), "classify");
 
-    const auto prediction = device.getResults(5);
+    xclass::ApproximateClassifier::Prediction prediction;
+    require(session.results(5, prediction), "results");
     std::printf("Top-5 categories:");
     for (std::size_t i = 0; i < prediction.topCategories.size();
          ++i)
@@ -67,6 +90,6 @@ main()
                     (unsigned long long)prediction.topCategories[i],
                     prediction.topScores[i]);
     std::printf("\nDevice-side inference latency: %.3f ms\n",
-                sim::tickToMs(device.lastInferenceLatency()));
+                sim::tickToMs(session.latency()));
     return 0;
 }

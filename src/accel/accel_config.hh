@@ -13,6 +13,7 @@
 #ifndef ECSSD_ACCEL_ACCEL_CONFIG_HH
 #define ECSSD_ACCEL_ACCEL_CONFIG_HH
 
+#include "accel/row_cache.hh"
 #include "circuit/accelerator_model.hh"
 
 namespace ecssd
@@ -96,6 +97,11 @@ struct AccelConfig
     /** Table 2 staging buffer sizes (bytes). */
     std::uint64_t int4WeightBufferBytes = 128 * 1024;
     std::uint64_t fp32WeightBufferBytes = 400 * 1024;
+
+    /** DRAM hot-row candidate cache (disabled by default: the zero
+     *  capacity keeps the pipeline bit-identical to a cache-less
+     *  build). */
+    CacheConfig cache;
 
     /**
      * Optional explicit compute rates (GFLOPS / GOPS); zero means

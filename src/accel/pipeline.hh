@@ -17,10 +17,12 @@
 #define ECSSD_ACCEL_PIPELINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "accel/accel_config.hh"
 #include "accel/candidate_source.hh"
+#include "accel/row_cache.hh"
 #include "layout/strategy.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
@@ -73,6 +75,14 @@ struct BatchTiming
     std::uint64_t degradedRows = 0;
     /** Lost pages re-fetched from host DRAM (HostRefetch policy). */
     std::uint64_t hostRefetches = 0;
+    /** Candidate rows served from the DRAM hot-row cache. */
+    std::uint64_t cacheHitRows = 0;
+    /** Candidate rows that missed the cache (or ran cache-less). */
+    std::uint64_t cacheMissRows = 0;
+    /** Sum of per-group DRAM service time for cache hits. */
+    sim::Tick cacheHitTime = 0;
+    /** Sum of per-group flash service time for cache misses. */
+    sim::Tick cacheMissTime = 0;
     /** True when an uncorrectable read aborted the batch (FailBatch
      *  policy); timing still covers the work done up to the abort
      *  decision, but the batch produced no usable result. */
@@ -102,6 +112,21 @@ struct RunResult
     std::uint64_t hostRefetches = 0;
     /** Batches aborted under the FailBatch policy. */
     unsigned failedBatches = 0;
+    /** Sum of per-batch cache-hit candidate rows. */
+    std::uint64_t cacheHitRows = 0;
+    /** Sum of per-batch cache-miss candidate rows. */
+    std::uint64_t cacheMissRows = 0;
+
+    /** Row-level hit rate of the DRAM hot-row cache (0 when the
+     *  cache is disabled or no candidates were fetched). */
+    double
+    cacheHitRate() const
+    {
+        const std::uint64_t total = cacheHitRows + cacheMissRows;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cacheHitRows)
+                / static_cast<double>(total);
+    }
 
     /** Mean batch latency in milliseconds. */
     double
@@ -194,6 +219,10 @@ class InferencePipeline
         config_.degradedPolicy = policy;
     }
 
+    /** The DRAM hot-row cache, or nullptr when disabled. */
+    RowCache *rowCache() { return cache_.get(); }
+    const RowCache *rowCache() const { return cache_.get(); }
+
     /**
      * Attach (or detach, with nullptr) observability sinks.  When a
      * tracer is attached every batch emits the phase spans
@@ -244,6 +273,10 @@ class InferencePipeline
     unsigned pagesPerRow_;
     /** Weight rows sharing one flash page (>= 1). */
     std::uint64_t rowsPerPage_ = 1;
+    /** DRAM hot-row candidate cache (null when capacityBytes = 0,
+     *  which keeps the fetch path bit-identical to a cache-less
+     *  build). */
+    std::unique_ptr<RowCache> cache_;
     /** Optional observability sinks (null = uninstrumented). */
     sim::MetricsRegistry *metrics_ = nullptr;
     sim::SpanTracer *spans_ = nullptr;

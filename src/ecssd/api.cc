@@ -8,6 +8,152 @@
 namespace ecssd
 {
 
+const char *
+toString(Status status)
+{
+    switch (status) {
+    case Status::Ok:
+        return "ok";
+    case Status::WrongMode:
+        return "wrong-mode";
+    case Status::NotDeployed:
+        return "not-deployed";
+    case Status::MissingInput:
+        return "missing-input";
+    case Status::NotScreened:
+        return "not-screened";
+    case Status::NotClassified:
+        return "not-classified";
+    case Status::DimensionMismatch:
+        return "dimension-mismatch";
+    case Status::StaleSession:
+        return "stale-session";
+    }
+    return "?";
+}
+
+// --- InferenceSession ------------------------------------------------
+
+InferenceSession::InferenceSession(EcssdApi &api)
+    : api_(&api), epoch_(api.deployEpoch_)
+{
+}
+
+Status
+InferenceSession::check() const
+{
+    if (api_->mode_ != Mode::Accelerator)
+        return Status::WrongMode;
+    if (!api_->screener_)
+        return Status::NotDeployed;
+    if (epoch_ != api_->deployEpoch_)
+        return Status::StaleSession;
+    return Status::Ok;
+}
+
+Status
+InferenceSession::sendInt4(std::span<const float> feature)
+{
+    if (const Status guard = check(); guard != Status::Ok)
+        return guard;
+    if (feature.size() != api_->spec_->hiddenDim)
+        return Status::DimensionMismatch;
+    feature_.assign(feature.begin(), feature.end());
+    int4Sent_ = true;
+    // A new query starts here: drop the previous query's functional
+    // state so a failed or repeated sequence can never serve stale
+    // candidates or scores.
+    candidates_.clear();
+    scores_.clear();
+    classified_ = false;
+    return Status::Ok;
+}
+
+Status
+InferenceSession::sendCfp32(std::span<const float> feature)
+{
+    if (const Status guard = check(); guard != Status::Ok)
+        return guard;
+    if (feature.size() != api_->spec_->hiddenDim)
+        return Status::DimensionMismatch;
+    if (!int4Sent_ || feature_.size() != feature.size()
+        || !std::equal(feature.begin(), feature.end(),
+                       feature_.begin())) {
+        feature_.assign(feature.begin(), feature.end());
+    }
+    cfp32Sent_ = true;
+    classified_ = false;
+    return Status::Ok;
+}
+
+Status
+InferenceSession::screen()
+{
+    if (const Status guard = check(); guard != Status::Ok)
+        return guard;
+    if (!int4Sent_)
+        return Status::MissingInput;
+    // Screening restarts the candidate phase: any scores of a
+    // previous classify() are stale from this point on.
+    scores_.clear();
+    classified_ = false;
+    candidates_ = api_->screener_->screen(
+        feature_, xclass::FilterMode::Threshold);
+    // A threshold that filters nothing would stall the FP32 stage;
+    // fall back to top-ratio selection as the deployed system's
+    // guard band.
+    if (candidates_.empty())
+        candidates_ = api_->screener_->screen(
+            feature_, xclass::FilterMode::TopRatio);
+    return Status::Ok;
+}
+
+Status
+InferenceSession::classify()
+{
+    if (const Status guard = check(); guard != Status::Ok)
+        return guard;
+    if (!cfp32Sent_)
+        return Status::MissingInput;
+    if (candidates_.empty())
+        return Status::NotScreened;
+
+    scores_ = api_->classifier_->scores(
+        feature_, candidates_,
+        xclass::CandidateClassifier::Datapath::Cfp32AlignmentFree);
+    classified_ = true;
+
+    // Device-side timing of the whole screened inference.
+    api_->system_->ssd().resetTimelines();
+    accel::BatchTiming timing =
+        api_->system_->pipeline().runBatch(candidates_, 0);
+    latency_ = timing.latency();
+    api_->lastLatency_ = latency_;
+    return Status::Ok;
+}
+
+Status
+InferenceSession::results(
+    std::size_t k, xclass::ApproximateClassifier::Prediction &out)
+{
+    if (const Status guard = check(); guard != Status::Ok)
+        return guard;
+    if (!classified_)
+        return Status::NotClassified;
+
+    out = {};
+    out.candidateCount = candidates_.size();
+    const std::vector<std::uint64_t> best = xclass::topKIndices(
+        std::span<const double>(scores_), k);
+    for (const std::uint64_t local : best) {
+        out.topCategories.push_back(candidates_[local]);
+        out.topScores.push_back(scores_[local]);
+    }
+    return Status::Ok;
+}
+
+// --- EcssdApi --------------------------------------------------------
+
 EcssdApi::EcssdApi(const EcssdOptions &options) : options_(options)
 {
 }
@@ -26,6 +172,14 @@ EcssdApi::requireDeployed(const char *api) const
     if (!screener_)
         sim::fatal(api, " requires deployed weights; call "
                         "weightDeploy() first");
+}
+
+InferenceSession &
+EcssdApi::implicitSession()
+{
+    if (!implicit_)
+        implicit_.reset(new InferenceSession(*this));
+    return *implicit_;
 }
 
 sim::Tick
@@ -59,6 +213,12 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
                                options_.ssd.channels);
     }
 
+    // A new deployment invalidates every outstanding session and the
+    // implicit one; the rebuilt system starts with an empty DRAM
+    // hot-row cache (the old layer's rows are gone).
+    ++deployEpoch_;
+    implicit_.reset();
+
     // The timing system models the device side of this deployment.
     system_ = std::make_unique<EcssdSystem>(spec, options_);
     return system_->deployTimeEstimate();
@@ -84,11 +244,9 @@ EcssdApi::int4InputSend(std::span<const float> feature)
 {
     requireAccelerator("int4InputSend");
     requireDeployed("int4InputSend");
-    ECSSD_ASSERT(feature.size() == spec_->hiddenDim,
-                 "feature dimension mismatch");
-    pendingFeature_.assign(feature.begin(), feature.end());
-    int4Sent_ = true;
-    classified_ = false;
+    if (implicitSession().sendInt4(feature)
+        == Status::DimensionMismatch)
+        sim::panic("feature dimension mismatch");
 }
 
 void
@@ -96,15 +254,9 @@ EcssdApi::cfp32InputSend(std::span<const float> feature)
 {
     requireAccelerator("cfp32InputSend");
     requireDeployed("cfp32InputSend");
-    ECSSD_ASSERT(feature.size() == spec_->hiddenDim,
-                 "feature dimension mismatch");
-    if (!int4Sent_ || pendingFeature_.size() != feature.size()
-        || !std::equal(feature.begin(), feature.end(),
-                       pendingFeature_.begin())) {
-        pendingFeature_.assign(feature.begin(), feature.end());
-    }
-    cfp32Sent_ = true;
-    classified_ = false;
+    if (implicitSession().sendCfp32(feature)
+        == Status::DimensionMismatch)
+        sim::panic("feature dimension mismatch");
 }
 
 void
@@ -112,16 +264,8 @@ EcssdApi::int4Screen()
 {
     requireAccelerator("int4Screen");
     requireDeployed("int4Screen");
-    if (!int4Sent_)
+    if (!implicit_ || implicit_->screen() != Status::Ok)
         sim::fatal("int4Screen without int4InputSend");
-    candidates_ = screener_->screen(pendingFeature_,
-                                    xclass::FilterMode::Threshold);
-    // A threshold that filters nothing would stall the FP32 stage;
-    // fall back to top-ratio selection as the deployed system's
-    // guard band.
-    if (candidates_.empty())
-        candidates_ = screener_->screen(
-            pendingFeature_, xclass::FilterMode::TopRatio);
 }
 
 void
@@ -129,39 +273,27 @@ EcssdApi::cfp32Classify()
 {
     requireAccelerator("cfp32Classify");
     requireDeployed("cfp32Classify");
-    if (!cfp32Sent_)
-        sim::fatal("cfp32Classify without cfp32InputSend");
-    if (candidates_.empty())
+    const Status status =
+        implicit_ ? implicit_->classify() : Status::MissingInput;
+    switch (status) {
+    case Status::Ok:
+        break;
+    case Status::NotScreened:
         sim::fatal("cfp32Classify without candidates; run "
                    "int4Screen first");
-
-    candidateScores_ = classifier_->scores(
-        pendingFeature_, candidates_,
-        xclass::CandidateClassifier::Datapath::Cfp32AlignmentFree);
-    classified_ = true;
-
-    // Device-side timing of the whole screened inference.
-    system_->ssd().resetTimelines();
-    accel::BatchTiming timing =
-        system_->pipeline().runBatch(candidates_, 0);
-    lastLatency_ = timing.latency();
+    default:
+        sim::fatal("cfp32Classify without cfp32InputSend");
+    }
 }
 
 xclass::ApproximateClassifier::Prediction
 EcssdApi::getResults(std::size_t k)
 {
     requireAccelerator("getResults");
-    if (!classified_)
-        sim::fatal("getResults before cfp32Classify");
-
     xclass::ApproximateClassifier::Prediction prediction;
-    prediction.candidateCount = candidates_.size();
-    const std::vector<std::uint64_t> best = xclass::topKIndices(
-        std::span<const double>(candidateScores_), k);
-    for (const std::uint64_t local : best) {
-        prediction.topCategories.push_back(candidates_[local]);
-        prediction.topScores.push_back(candidateScores_[local]);
-    }
+    if (!implicit_
+        || implicit_->results(k, prediction) != Status::Ok)
+        sim::fatal("getResults before cfp32Classify");
     return prediction;
 }
 

@@ -11,11 +11,19 @@
  * Calls are functional (they compute real predictions through the
  * bit-accurate datapaths) and timed (the device-side work drives the
  * simulated SSD's timelines, so every inference has a latency).
+ *
+ * Query state lives in an explicit InferenceSession: beginInference()
+ * hands out a session whose sendInt4 / sendCfp32 / screen / classify
+ * / results calls return a Status instead of dying, so hosts can
+ * probe, retry, or interleave queries.  The Table 1 free-form calls
+ * remain as thin wrappers over one implicit session, preserving their
+ * original fail-fast contract (sim::fatal on sequence misuse).
  */
 
 #ifndef ECSSD_ECSSD_API_HH
 #define ECSSD_ECSSD_API_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -33,6 +41,94 @@ enum class Mode
 {
     Ssd,
     Accelerator,
+};
+
+/** Outcome of an InferenceSession call. */
+enum class Status
+{
+    Ok,
+    /** The device is not in accelerator mode (call ecssdEnable()). */
+    WrongMode,
+    /** No weights deployed (call weightDeploy()). */
+    NotDeployed,
+    /** The call needs an input this session has not received. */
+    MissingInput,
+    /** classify() before a screen() produced candidates. */
+    NotScreened,
+    /** results() before a successful classify(). */
+    NotClassified,
+    /** The feature length does not match the deployed layer. */
+    DimensionMismatch,
+    /** The session predates the current weight deployment. */
+    StaleSession,
+};
+
+/** Human-readable status name. */
+const char *toString(Status status);
+
+class EcssdApi;
+
+/**
+ * One query's state machine, held explicitly.
+ *
+ * Obtained from EcssdApi::beginInference().  Every call validates the
+ * sequence and reports misuse through its Status return value; the
+ * session never aborts.  A session is bound to the weight deployment
+ * it was created under — after another weightDeploy() its calls
+ * return Status::StaleSession.
+ */
+class InferenceSession
+{
+  public:
+    /** Send the 4-bit projected input (INT4_input_send).  Starts a
+     *  fresh query: stale candidates/scores of this session are
+     *  dropped. */
+    Status sendInt4(std::span<const float> feature);
+
+    /** Send the pre-aligned 32-bit input (CFP32_input_send). */
+    Status sendCfp32(std::span<const float> feature);
+
+    /** Run low-precision screening + filtering (INT4_screen). */
+    Status screen();
+
+    /** Run candidate-only full-precision classification
+     *  (CFP32_classify); drives the device timing model. */
+    Status classify();
+
+    /**
+     * Fetch the final top-k prediction (Get_results).
+     *
+     * @param k Result count.
+     * @param[out] out The prediction, valid only on Status::Ok.
+     */
+    Status results(std::size_t k,
+                   xclass::ApproximateClassifier::Prediction &out);
+
+    /** Candidates selected by this session's last screen(). */
+    std::size_t candidateCount() const { return candidates_.size(); }
+
+    /** Device latency of this session's last classify(), in ticks. */
+    sim::Tick latency() const { return latency_; }
+
+  private:
+    friend class EcssdApi;
+
+    explicit InferenceSession(EcssdApi &api);
+
+    /** Mode / deployment / epoch guard shared by every call. */
+    Status check() const;
+
+    EcssdApi *api_;
+    /** Deployment epoch this session was created under. */
+    std::uint64_t epoch_;
+
+    std::vector<float> feature_;
+    bool int4Sent_ = false;
+    bool cfp32Sent_ = false;
+    bool classified_ = false;
+    std::vector<std::uint64_t> candidates_;
+    std::vector<double> scores_;
+    sim::Tick latency_ = 0;
 };
 
 /** The ECSSD host library bound to one device. */
@@ -68,7 +164,9 @@ class EcssdApi
     /**
      * Deploy a classification layer (Weight_deploy): builds the INT4
      * screener, pre-aligns and places the FP32 rows per the device's
-     * layout strategy, and loads both into the device.
+     * layout strategy, and loads both into the device.  Invalidates
+     * every outstanding InferenceSession (and any DRAM-cached rows of
+     * the previous layer).
      *
      * @param weights L x D FP32 weights (kept by reference; must
      *        outlive the API object).
@@ -89,7 +187,20 @@ class EcssdApi
     void calibrateThreshold(
         const std::vector<std::vector<float>> &queries);
 
-    // --- Transmission / Computation ------------------------------
+    // --- Sessions -------------------------------------------------
+
+    /**
+     * Start an explicit inference session.  The session is valid
+     * until the next weightDeploy(); its calls report misuse via
+     * Status instead of aborting.
+     */
+    InferenceSession beginInference() { return InferenceSession(*this); }
+
+    // --- Transmission / Computation (Table 1 wrappers) ------------
+    //
+    // Thin delegates over one implicit session, with the original
+    // fail-fast contract: sequence misuse dies via sim::fatal, a
+    // dimension mismatch panics.
 
     /** Send the 4-bit projected input for one query (INT4_input_send). */
     void int4InputSend(std::span<const float> feature);
@@ -129,7 +240,7 @@ class EcssdApi
     std::size_t
     lastCandidateCount() const
     {
-        return candidates_.size();
+        return implicit_ ? implicit_->candidateCount() : 0;
     }
 
     /** Accelerator-mode system (valid after weightDeploy). */
@@ -139,8 +250,13 @@ class EcssdApi
     EcssdSystem &ssdSystem() { return *ssdMode_; }
 
   private:
+    friend class InferenceSession;
+
     void requireAccelerator(const char *api) const;
     void requireDeployed(const char *api) const;
+
+    /** The implicit session backing the Table 1 wrappers. */
+    InferenceSession &implicitSession();
 
     EcssdOptions options_;
     Mode mode_ = Mode::Ssd;
@@ -160,12 +276,11 @@ class EcssdApi
     std::unique_ptr<xclass::CandidateClassifier> classifier_;
     std::unique_ptr<layout::LayoutStrategy> functionalLayout_;
 
-    std::vector<float> pendingFeature_;
-    bool int4Sent_ = false;
-    bool cfp32Sent_ = false;
-    std::vector<std::uint64_t> candidates_;
-    std::vector<double> candidateScores_;
-    bool classified_ = false;
+    /** Bumped by weightDeploy(); sessions from earlier epochs turn
+     *  stale. */
+    std::uint64_t deployEpoch_ = 0;
+    /** The Table 1 wrappers' session (reset on weightDeploy). */
+    std::unique_ptr<InferenceSession> implicit_;
     sim::Tick lastLatency_ = 0;
 };
 

@@ -1,12 +1,47 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "sim/logging.hh"
 
 namespace ecssd
 {
+
+void
+EcssdOptions::validate(const xclass::BenchmarkSpec *spec) const
+{
+    if (threads == 0)
+        sim::fatal("EcssdOptions: threads must be >= 1");
+    if (!std::isfinite(predictorNoise) || predictorNoise < 0.0
+        || predictorNoise > 16.0)
+        sim::fatal("EcssdOptions: predictorNoise must be in [0, 16], "
+                   "got ",
+                   predictorNoise);
+    if (cache.associativity == 0)
+        sim::fatal("EcssdOptions: cache associativity must be >= 1");
+    ssd.validate();
+    if (spec != nullptr) {
+        // DRAM residency: the INT4 screener claims its bytes first;
+        // the hot-row cache may only take what is left.  (A screener
+        // that alone exceeds DRAM is refused later, by
+        // deployTimeEstimate() — Section 7.1's scale-out case.)
+        const std::uint64_t screener_bytes =
+            int4Placement == accel::Int4Placement::Dram
+            ? spec->int4WeightBytes()
+            : 0;
+        const std::uint64_t remaining =
+            ssd.dramBytes > screener_bytes
+            ? ssd.dramBytes - screener_bytes
+            : 0;
+        if (cache.capacityBytes > remaining)
+            sim::fatal("EcssdOptions: hot-row cache (",
+                       cache.capacityBytes,
+                       " bytes) exceeds the SSD DRAM left after "
+                       "screener residency (", remaining, " bytes)");
+    }
+}
 
 std::string
 describe(const EcssdOptions &options)
@@ -23,12 +58,29 @@ describe(const EcssdOptions &options)
     if (options.ssd.uncorrectableReadRate > 0.0)
         os << " degraded-policy="
            << accel::toString(options.degradedPolicy);
+    if (options.cache.enabled())
+        os << " cache=" << (options.cache.capacityBytes >> 20)
+           << "MiB/" << accel::toString(options.cache.admission);
     return os.str();
 }
 
+namespace
+{
+
+/** Validate @p options against @p spec before any member uses it. */
+const EcssdOptions &
+validated(const EcssdOptions &options,
+          const xclass::BenchmarkSpec &spec)
+{
+    options.validate(&spec);
+    return options;
+}
+
+} // namespace
+
 EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
                          const EcssdOptions &options)
-    : spec_(spec), options_(options),
+    : spec_(spec), options_(validated(options, spec)),
       threadPool_(
           std::make_unique<sim::ThreadPool>(options.threads)),
       queue_(std::make_unique<sim::EventQueue>()),
@@ -71,10 +123,33 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
     accel_config.weightPrecision = options.weightPrecision;
     accel_config.degradedPolicy = options.degradedPolicy;
     accel_config.threads = options.threads;
+    accel_config.cache = options.cache;
     pipeline_ = std::make_unique<accel::InferencePipeline>(
         spec_, accel_config, *ssd_, *strategy_,
         options.int4Placement);
     pipeline_->setScreeningEnabled(options.screening);
+
+    // Account for the DRAM capacity the accelerator mode claims: the
+    // resident INT4 screener plus the hot-row cache.  The screener
+    // reservation is clamped — a screener too big for DRAM is refused
+    // by deployTimeEstimate(), not here (the DramCapacityGuard
+    // contract) — and validate() guaranteed the cache fits whatever
+    // the screener leaves.
+    if (options.int4Placement == accel::Int4Placement::Dram)
+        ssd_->dram().reserve(
+            std::min(spec_.int4WeightBytes(),
+                     ssd_->dram().availableBytes()));
+    if (accel::RowCache *cache = pipeline_->rowCache()) {
+        ssd_->dram().reserve(options.cache.capacityBytes);
+        // Flash relocations (patrol scrub, wear leveling, GC) may
+        // rewrite a cached group's backing block; drop the stale DRAM
+        // copy.  The pipeline outlives every FTL call this system
+        // makes, so the captured pointer stays valid.
+        ssd_->ftl().setRelocationListener(
+            [cache](const ssdsim::PhysicalPage &src) {
+                cache->invalidatePhysical(src);
+            });
+    }
 }
 
 accel::RunResult
@@ -120,6 +195,13 @@ EcssdSystem::publishMetrics(sim::MetricsRegistry &registry,
     registry.gaugeSet(
         "run.failed_batches",
         static_cast<double>(result.failedBatches));
+    // Cache gauges exist only when the cache does, so a disabled
+    // run's metrics JSON stays byte-identical to a cache-less build.
+    if (const accel::RowCache *cache = pipeline_->rowCache()) {
+        cache->publishMetrics(registry);
+        registry.gaugeSet("run.cache_hit_rate",
+                          result.cacheHitRate());
+    }
 }
 
 circuit::EnergyBreakdown

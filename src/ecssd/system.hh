@@ -48,6 +48,18 @@ struct EcssdOptions
     unsigned threads = 1;
     std::uint64_t seed = 1;
     ssdsim::SsdConfig ssd = ssdsim::SsdConfig{};
+    /** DRAM hot-row candidate cache (capacityBytes = 0: disabled,
+     *  bit-identical to a cache-less build). */
+    accel::CacheConfig cache;
+
+    /**
+     * Validate the option set, dying fatally (sim::FatalError) on an
+     * inconsistent configuration — the EcssdOptions twin of
+     * SsdConfig::validate().  With a @p spec the capacity checks run
+     * too: the INT4 screener plus the hot-row cache must fit the SSD
+     * DRAM.  Also validates the embedded SsdConfig.
+     */
+    void validate(const xclass::BenchmarkSpec *spec = nullptr) const;
 
     /** The full ECSSD design point (all techniques on). */
     static EcssdOptions

@@ -75,12 +75,23 @@ UniformLayout::dieSlotOf(std::uint64_t row) const
 
 LearningAdaptiveLayout::LearningAdaptiveLayout(
     std::vector<std::uint8_t> placement,
-    std::vector<std::uint8_t> die_slots, unsigned channels)
+    std::vector<std::uint8_t> die_slots,
+    std::vector<std::uint8_t> hot_grades, unsigned channels)
     : placement_(std::move(placement)),
-      dieSlots_(std::move(die_slots)), channels_(channels)
+      dieSlots_(std::move(die_slots)),
+      hotGrades_(std::move(hot_grades)), channels_(channels)
 {
     ECSSD_ASSERT(placement_.size() == dieSlots_.size(),
                  "placement/die-slot size mismatch");
+    ECSSD_ASSERT(placement_.size() == hotGrades_.size(),
+                 "placement/hot-grade size mismatch");
+}
+
+double
+LearningAdaptiveLayout::hotDegreeOf(std::uint64_t row) const
+{
+    ECSSD_ASSERT(row < hotGrades_.size(), "row out of range");
+    return static_cast<double>(hotGrades_[row]) / 255.0;
 }
 
 unsigned
@@ -135,9 +146,23 @@ LearningAdaptiveLayout::build(std::span<const double> hotness,
             write_cursor[channel]++ & 0xff);
         loads.push({mass + hotness[row], channel});
     }
+
+    // The exported hot degree is the row's hotness relative to the
+    // hottest row, quantized to a byte.
+    const double peak = hotness[order.front()];
+    std::vector<std::uint8_t> hot_grades(hotness.size(), 0);
+    if (peak > 0.0) {
+        for (std::size_t row = 0; row < hotness.size(); ++row) {
+            const double h =
+                std::clamp(hotness[row] / peak, 0.0, 1.0);
+            hot_grades[row] =
+                static_cast<std::uint8_t>(h * 255.0 + 0.5);
+        }
+    }
     return std::unique_ptr<LearningAdaptiveLayout>(
-        new LearningAdaptiveLayout(std::move(placement),
-                                   std::move(die_slots), channels));
+        new LearningAdaptiveLayout(
+            std::move(placement), std::move(die_slots),
+            std::move(hot_grades), channels));
 }
 
 std::unique_ptr<LearningAdaptiveLayout>
@@ -182,6 +207,7 @@ LearningAdaptiveLayout::buildStreaming(
     // cursor realizes that ordering without a second pass.
     std::vector<std::uint8_t> placement(rows, 0);
     std::vector<std::uint8_t> die_slots(rows, 0);
+    std::vector<std::uint8_t> hot_grades(rows, 0);
     std::vector<std::uint64_t> grade_cursor(grades);
     std::vector<std::uint64_t> write_cursor(
         static_cast<std::size_t>(grades) * channels, 0);
@@ -199,10 +225,17 @@ LearningAdaptiveLayout::buildStreaming(
             write_cursor[static_cast<std::size_t>(grade) * channels
                          + channel]++
             & 0xff);
+        // The exported hot degree is the grade band, mapped onto
+        // (0, 1] with the hottest band at 1.
+        hot_grades[row] = static_cast<std::uint8_t>(
+            255.0 * static_cast<double>(grade + 1)
+                / static_cast<double>(grades)
+            + 0.5);
     }
     return std::unique_ptr<LearningAdaptiveLayout>(
-        new LearningAdaptiveLayout(std::move(placement),
-                                   std::move(die_slots), channels));
+        new LearningAdaptiveLayout(
+            std::move(placement), std::move(die_slots),
+            std::move(hot_grades), channels));
 }
 
 std::unique_ptr<LayoutStrategy>

@@ -68,6 +68,14 @@ class LayoutStrategy
 
     /** Number of channels placed across. */
     virtual unsigned channels() const = 0;
+
+    /**
+     * Predicted hot degree of @p row in [0, 1]: the learning
+     * framework's popularity signal, exported so other layers (the
+     * DRAM hot-row cache's admission policy) can reuse it.  The
+     * non-learning strategies have no predictor and return 0.
+     */
+    virtual double hotDegreeOf(std::uint64_t) const { return 0.0; }
 };
 
 /**
@@ -130,6 +138,7 @@ class LearningAdaptiveLayout : public LayoutStrategy
     std::uint64_t dieSlotOf(std::uint64_t row) const override;
     std::uint64_t rows() const override { return placement_.size(); }
     unsigned channels() const override { return channels_; }
+    double hotDegreeOf(std::uint64_t row) const override;
 
     /**
      * Precise builder for in-memory hotness vectors: greedy balanced
@@ -163,12 +172,16 @@ class LearningAdaptiveLayout : public LayoutStrategy
   private:
     LearningAdaptiveLayout(std::vector<std::uint8_t> placement,
                            std::vector<std::uint8_t> die_slots,
+                           std::vector<std::uint8_t> hot_grades,
                            unsigned channels);
 
     std::vector<std::uint8_t> placement_;
     /** Within-channel write-order slot, modulo 256 (die counts are
      *  powers of two in practice, so the wrap is exact). */
     std::vector<std::uint8_t> dieSlots_;
+    /** Quantized hot degree (0..255, 255 = hottest): one extra byte
+     *  per row buys the cross-layer predictor export. */
+    std::vector<std::uint8_t> hotGrades_;
     unsigned channels_;
 };
 

@@ -14,6 +14,12 @@ isLatencyKey(const std::string &key)
     return key.rfind("latency.", 0) == 0;
 }
 
+bool
+isTrendKey(const std::string &key)
+{
+    return key.rfind("trend.", 0) == 0;
+}
+
 std::vector<std::string>
 compareBaselines(const std::map<std::string, double> &baseline,
                  const std::map<std::string, double> &current,
@@ -21,6 +27,11 @@ compareBaselines(const std::map<std::string, double> &baseline,
 {
     std::vector<std::string> failures;
     for (const auto &[key, expected] : baseline) {
+        // Trend-only series (cache hit-rates and the like) are
+        // recorded for plotting, not gating: skip them outright so a
+        // workload shift can never fail CI through them.
+        if (isTrendKey(key))
+            continue;
         const auto it = current.find(key);
         if (it == current.end()) {
             failures.push_back("missing metric '" + key + "'");

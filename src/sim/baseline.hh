@@ -3,11 +3,13 @@
  * Bench-baseline comparison: the perf-regression gate.
  *
  * Baselines are flat JSON documents (see bench/bench_smoke.cc) with
- * two top-level sections: "latency" (simulated times, utilizations,
- * throughputs — allowed to drift within a latency tolerance) and
+ * three top-level sections: "latency" (simulated times, utilizations,
+ * throughputs — allowed to drift within a latency tolerance),
  * "counters" (deterministic event counts — held to a much tighter
- * tolerance).  compareBaselines() diffs a current run against the
- * checked-in baseline and reports every violation; CI fails on any.
+ * tolerance) and "trend" (observability-only series such as cache
+ * hit-rates — recorded for trend lines, never gated).
+ * compareBaselines() diffs a current run against the checked-in
+ * baseline and reports every violation; CI fails on any.
  */
 
 #ifndef ECSSD_SIM_BASELINE_HH
@@ -34,12 +36,17 @@ struct BaselineTolerance
 /** True when @p key is held to the latency tolerance. */
 bool isLatencyKey(const std::string &key);
 
+/** True when @p key is trend-only: tracked, never gated. */
+bool isTrendKey(const std::string &key);
+
 /**
  * Compare @p current against @p baseline.
  *
  * Every baseline key must exist in @p current and sit within its
  * tolerance; keys present only in @p current are new metrics and are
- * ignored (checking in a fresh baseline picks them up).
+ * ignored (checking in a fresh baseline picks them up).  "trend."
+ * keys are exempt entirely — workload-dependent ratios like cache
+ * hit-rate carry no pass/fail meaning, so they never gate.
  *
  * @return Human-readable violation descriptions; empty = pass.
  */

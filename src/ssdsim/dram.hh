@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 #include "ssdsim/config.hh"
 
@@ -66,12 +67,44 @@ class DramModel
     /** Capacity check used by weight deployment. */
     std::uint64_t capacityBytes() const { return config_.dramBytes; }
 
+    /**
+     * Reserve @p bytes of DRAM capacity (screener residency, hot-row
+     * cache).  Pure accounting: reservations never touch the timing
+     * model, they only track who claimed how much of the 16 GiB so
+     * over-subscription is a configuration error, not a silent lie.
+     */
+    void
+    reserve(std::uint64_t bytes)
+    {
+        ECSSD_ASSERT(bytes <= availableBytes(),
+                     "DRAM capacity over-subscribed");
+        reservedBytes_ += bytes;
+    }
+
+    /** Release a prior reservation (weight redeployment). */
+    void
+    release(std::uint64_t bytes)
+    {
+        ECSSD_ASSERT(bytes <= reservedBytes_,
+                     "DRAM reservation underflow");
+        reservedBytes_ -= bytes;
+    }
+
+    std::uint64_t reservedBytes() const { return reservedBytes_; }
+
+    std::uint64_t
+    availableBytes() const
+    {
+        return config_.dramBytes - reservedBytes_;
+    }
+
   private:
     SsdConfig config_;
     sim::Tick freeAt_ = 0;
     std::uint64_t bytesMoved_ = 0;
     sim::Tick busyTime_ = 0;
     std::uint64_t accesses_ = 0;
+    std::uint64_t reservedBytes_ = 0;
 };
 
 } // namespace ssdsim

@@ -269,6 +269,9 @@ Ftl::relocatePage(const PhysicalPage &src, Pool &dst_pool,
     ECSSD_ASSERT(it != p2l_.end(), "relocating an unmapped page");
     const LogicalPage lpa = it->second;
 
+    if (relocationListener_)
+        relocationListener_(src);
+
     unreadable = false;
     sim::Tick t = flash_.readPage(src, issue_at, 0, 0, &unreadable);
     const PhysicalPage dst = allocateInPool(dst_pool);

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -187,6 +188,20 @@ class Ftl
      */
     void publishMetrics(sim::MetricsRegistry &registry) const;
 
+    /**
+     * Register a callback invoked with the *source* physical page of
+     * every relocation (GC, rescue evacuation, patrol scrub, wear
+     * leveling), before the move.  Upper layers that shadow flash
+     * contents (the DRAM hot-row cache) use it to drop stale copies.
+     * Pass an empty function to detach.
+     */
+    void
+    setRelocationListener(
+        std::function<void(const PhysicalPage &)> listener)
+    {
+        relocationListener_ = std::move(listener);
+    }
+
   private:
     struct BlockInfo
     {
@@ -295,6 +310,8 @@ class Ftl
     std::map<std::uint64_t, std::uint64_t> eraseHist_;
     /** Patrol-scrub resume position (dense block index). */
     std::size_t scrubCursor_ = 0;
+    /** Relocation notification hook (empty = detached). */
+    std::function<void(const PhysicalPage &)> relocationListener_;
     /** End-of-life latch: set when spares run out, never cleared. */
     bool readOnly_ = false;
 };

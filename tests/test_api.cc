@@ -1,7 +1,8 @@
 /**
  * @file
  * Table 1 API tests: mode discipline, the full inference call
- * sequence, and SSD-mode commands.
+ * sequence, SSD-mode commands, and the explicit InferenceSession
+ * (Status-reporting) variant of the query state machine.
  */
 
 #include <gtest/gtest.h>
@@ -182,4 +183,124 @@ TEST(EcssdApi, DimensionMismatchPanics)
     api.weightDeploy(f.model.weights(), f.spec);
     std::vector<float> wrong(f.spec.hiddenDim + 1, 1.0f);
     EXPECT_THROW(api.int4InputSend(wrong), sim::PanicError);
+}
+
+TEST(EcssdApi, NewQueryDropsPreviousCandidates)
+{
+    // Regression: lastCandidateCount() used to keep serving the
+    // previous query's count after a new input was sent.
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+
+    sim::Rng rng(5);
+    const std::vector<float> first = f.model.sampleQuery(rng);
+    api.int4InputSend(first);
+    api.int4Screen();
+    EXPECT_GT(api.lastCandidateCount(), 0u);
+
+    const std::vector<float> second = f.model.sampleQuery(rng);
+    api.int4InputSend(second);
+    EXPECT_EQ(api.lastCandidateCount(), 0u);
+    EXPECT_THROW(api.cfp32Classify(), sim::FatalError);
+    api.int4Screen();
+    EXPECT_GT(api.lastCandidateCount(), 0u);
+}
+
+// --- InferenceSession --------------------------------------------------
+
+TEST(InferenceSession, ReportsModeAndDeploymentStatus)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    std::vector<float> feature(f.spec.hiddenDim, 1.0f);
+
+    InferenceSession ssd_mode = api.beginInference();
+    EXPECT_EQ(ssd_mode.sendInt4(feature), Status::WrongMode);
+
+    api.ecssdEnable();
+    InferenceSession undeployed = api.beginInference();
+    EXPECT_EQ(undeployed.sendInt4(feature), Status::NotDeployed);
+    EXPECT_EQ(undeployed.screen(), Status::NotDeployed);
+}
+
+TEST(InferenceSession, FullSequenceReturnsOk)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+
+    sim::Rng rng(6);
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    InferenceSession session = api.beginInference();
+    EXPECT_EQ(session.sendInt4(query), Status::Ok);
+    EXPECT_EQ(session.sendCfp32(query), Status::Ok);
+    EXPECT_EQ(session.screen(), Status::Ok);
+    EXPECT_GT(session.candidateCount(), 0u);
+    EXPECT_EQ(session.classify(), Status::Ok);
+    EXPECT_GT(session.latency(), 0u);
+
+    xclass::ApproximateClassifier::Prediction prediction;
+    EXPECT_EQ(session.results(3, prediction), Status::Ok);
+    EXPECT_EQ(prediction.topCategories.size(), 3u);
+    EXPECT_EQ(prediction.candidateCount, session.candidateCount());
+}
+
+TEST(InferenceSession, SequenceMisuseReturnsStatusNotDeath)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+
+    sim::Rng rng(7);
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    InferenceSession session = api.beginInference();
+    xclass::ApproximateClassifier::Prediction prediction;
+
+    EXPECT_EQ(session.screen(), Status::MissingInput);
+    EXPECT_EQ(session.classify(), Status::MissingInput);
+    EXPECT_EQ(session.results(1, prediction),
+              Status::NotClassified);
+
+    std::vector<float> wrong(f.spec.hiddenDim + 1, 1.0f);
+    EXPECT_EQ(session.sendInt4(wrong), Status::DimensionMismatch);
+
+    EXPECT_EQ(session.sendInt4(query), Status::Ok);
+    EXPECT_EQ(session.sendCfp32(query), Status::Ok);
+    // classify() before screen(): input present, candidates absent.
+    EXPECT_EQ(session.classify(), Status::NotScreened);
+    EXPECT_EQ(session.screen(), Status::Ok);
+    EXPECT_EQ(session.classify(), Status::Ok);
+    EXPECT_EQ(session.results(1, prediction), Status::Ok);
+}
+
+TEST(InferenceSession, RedeployTurnsSessionsStale)
+{
+    ApiFixture f;
+    EcssdApi api(f.options);
+    api.ecssdEnable();
+    api.weightDeploy(f.model.weights(), f.spec);
+
+    sim::Rng rng(8);
+    const std::vector<float> query = f.model.sampleQuery(rng);
+    InferenceSession old_session = api.beginInference();
+    EXPECT_EQ(old_session.sendInt4(query), Status::Ok);
+
+    api.weightDeploy(f.model.weights(), f.spec);
+    EXPECT_EQ(old_session.sendInt4(query), Status::StaleSession);
+    EXPECT_EQ(old_session.screen(), Status::StaleSession);
+
+    InferenceSession fresh = api.beginInference();
+    EXPECT_EQ(fresh.sendInt4(query), Status::Ok);
+    EXPECT_EQ(fresh.screen(), Status::Ok);
+}
+
+TEST(InferenceSession, StatusNamesAreStable)
+{
+    EXPECT_STREQ(toString(Status::Ok), "ok");
+    EXPECT_STREQ(toString(Status::NotScreened), "not-screened");
+    EXPECT_STREQ(toString(Status::StaleSession), "stale-session");
 }

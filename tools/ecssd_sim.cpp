@@ -24,6 +24,8 @@
  *   --seed N              trace/workload seed
  *   --threads N           host-compute worker threads (wall-clock
  *                         only: output is bit-identical for any N)
+ *   --cache-mb N          SSD-DRAM hot-row candidate cache capacity
+ *                         in MiB (0 = disabled, the default)
  *   --list                list benchmarks and architectures
  *
  * Reliability model (see docs/MODELING.md, "Wear lifecycle & scrub"):
@@ -103,7 +105,8 @@ usage(const char *argv0, int code)
                 "  [--int4 dram|flash] [--no-screening] "
                 "[--no-overlap]\n"
                 "  [--arch NAME] [--sweep-layouts] [--energy]\n"
-                "  [--trace CATS] [--seed N] [--threads N] [--list]\n"
+                "  [--trace CATS] [--seed N] [--threads N]\n"
+                "  [--cache-mb N] [--list]\n"
                 "  [--uncorrectable-read-rate P] "
                 "[--read-retry-rate P]\n"
                 "  [--erase-failure-rate P] [--wear-coefficient C]\n"
@@ -200,6 +203,13 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
                 result.meanBatchMs(),
                 result.channelUtilization * 100.0,
                 result.effectiveGflops);
+    if (options.cache.enabled()) {
+        std::printf("  cache: hit-rate %5.1f%%  (%llu hit / %llu "
+                    "miss candidate rows)\n",
+                    result.cacheHitRate() * 100.0,
+                    (unsigned long long)result.cacheHitRows,
+                    (unsigned long long)result.cacheMissRows);
+    }
     if (energy) {
         const circuit::EnergyBreakdown e =
             system.estimateRunEnergy(result);
@@ -324,6 +334,11 @@ main(int argc, char **argv)
             cli.device.threads = static_cast<unsigned>(
                 std::strtoul(next("--threads").c_str(), nullptr,
                              10));
+        } else if (arg == "--cache-mb") {
+            cli.device.cache.capacityBytes =
+                std::strtoull(next("--cache-mb").c_str(), nullptr,
+                              10)
+                << 20;
         } else if (arg == "--uncorrectable-read-rate") {
             cli.device.ssd.uncorrectableReadRate = std::strtod(
                 next("--uncorrectable-read-rate").c_str(), nullptr);
@@ -370,9 +385,10 @@ main(int argc, char **argv)
         }
     }
     sim::initTraceFromEnvironment();
-    // Fail fast on contradictory reliability knobs, before any
-    // benchmark state is built.
-    cli.device.ssd.validate();
+    // Fail fast on contradictory device/reliability knobs, before
+    // any benchmark state is built (the spec-dependent capacity
+    // checks rerun inside EcssdSystem).
+    cli.device.validate();
 
     xclass::BenchmarkSpec spec =
         xclass::benchmarkByName(cli.benchmark);
