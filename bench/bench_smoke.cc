@@ -9,8 +9,9 @@
  *
  *  - BENCH_e2e.json: per-benchmark end-to-end latency/utilization at
  *    a reduced scale (Fig 13's sweep shrunk to smoke size), an
- *    InferenceServer serving pass, and a hot-row cache pass (hit/miss
- *    latency split plus a trend-only hit-rate);
+ *    InferenceServer serving pass, a hot-row cache pass (hit/miss
+ *    latency split plus a trend-only hit-rate), and a hot-swap pass
+ *    (serving p99 through a staged redeploy, swap outcome counters);
  *  - BENCH_breakdown.json: the Fig 8 stepwise technique breakdown on
  *    one benchmark.
  *
@@ -174,6 +175,48 @@ benchServing(BaselineDoc &doc)
 }
 
 void
+benchRedeploy(BaselineDoc &doc)
+{
+    // Serving through a hot swap: half the load enqueues, a staged
+    // redeploy to the same weights begins, and the rest serves
+    // through the flip.  The swap must commit, shed nothing, and the
+    // tail latency under the staging IO budget is gated — a budget
+    // regression that stops yielding to foreground batches shows up
+    // here as a p99 drift.
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), kServingScale);
+    const EcssdOptions options = EcssdOptions::full();
+    xclass::SyntheticModel model(spec, options.seed);
+    InferenceServer server(model.weights(), spec, options);
+    sim::Rng rng(options.seed + 1);
+    for (unsigned r = 0; r < 12; ++r)
+        server.enqueue(model.sampleQuery(rng));
+    if (server.beginRedeploy(model.weights(), spec) != Status::Ok)
+        sim::fatal("smoke hot swap did not begin");
+    for (unsigned r = 0; r < 12; ++r)
+        server.enqueue(model.sampleQuery(rng));
+    server.processAll(5);
+
+    const RedeployStatus status = server.redeployStatus();
+    doc.latency["redeploy.serving_p99_ms"] =
+        server.latencyPercentiles().p99();
+    doc.latency["redeploy.staging_ms"] =
+        sim::tickToMs(status.stagingTime);
+    doc.counters["redeploy.committed"] =
+        status.phase == RedeployPhase::Committed ? 1.0 : 0.0;
+    doc.counters["redeploy.rolled_back"] =
+        status.phase == RedeployPhase::RolledBack ? 1.0 : 0.0;
+    doc.counters["redeploy.staged_bytes"] =
+        static_cast<double>(status.stagedBytes);
+    doc.counters["redeploy.deploy_epoch"] =
+        static_cast<double>(server.deployEpoch());
+    doc.counters["redeploy.shed_requests"] = static_cast<double>(
+        server.serverStats().shedRequests);
+    doc.counters["redeploy.ok_responses"] = static_cast<double>(
+        server.serverStats().okResponses);
+}
+
+void
 benchBreakdown(BaselineDoc &doc)
 {
     // The Fig 8 ladder on one benchmark at smoke scale.
@@ -231,6 +274,7 @@ main(int argc, char **argv)
     benchEndToEnd(e2e);
     benchCache(e2e);
     benchServing(e2e);
+    benchRedeploy(e2e);
     e2e.write(out_dir + "/BENCH_e2e.json");
 
     BaselineDoc breakdown;

@@ -262,6 +262,65 @@ InferencePipeline::fetchFp32Rows(
     return done;
 }
 
+sim::Tick
+InferencePipeline::warmRows(std::span<const std::uint64_t> rows,
+                            sim::Tick issue_at)
+{
+    if (!cache_ || rows.empty())
+        return issue_at;
+
+    // Same page-group walk as fetchFp32Rows: dedupe by group, fetch
+    // misses from the layout's flash placement, admit intact groups.
+    sim::Tick done = issue_at;
+    std::size_t i = 0;
+    while (i < rows.size()) {
+        const std::uint64_t group = rows[i] / rowsPerPage_;
+        std::uint32_t rows_wanted = 0;
+        while (i < rows.size() && rows[i] / rowsPerPage_ == group) {
+            ++rows_wanted;
+            ++i;
+        }
+        if (cache_->lookup(group, rows_wanted))
+            continue; // already warm
+        const std::uint64_t bytes_wanted = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(rows_wanted)
+                * weightRowBytes(),
+            static_cast<std::uint64_t>(pagesPerRow_)
+                * ssd_.config().pageBytes);
+
+        sim::Tick group_done = issue_at;
+        std::uint64_t bytes_left = bytes_wanted;
+        bool group_unreadable = false;
+        std::vector<ssdsim::PhysicalPage> group_pages;
+        for (unsigned p = 0; p < pagesPerRow_; ++p) {
+            const ssdsim::PhysicalPage ppa = layout::pageOfRow(
+                strategy_, ssd_.config(), group, p);
+            const std::uint32_t chunk =
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    bytes_left, ssd_.config().pageBytes));
+            bool unreadable = false;
+            const sim::Tick page_done = ssd_.flash().readPage(
+                ppa, issue_at, 0, chunk, &unreadable);
+            if (unreadable)
+                group_unreadable = true;
+            group_done = std::max(group_done, page_done);
+            bytes_left -= chunk;
+            group_pages.push_back(ppa);
+        }
+        done = std::max(done, group_done);
+        if (group_unreadable) {
+            cache_->markFlashLost(group);
+            continue;
+        }
+        if (cache_->admit(group, group_pages)) {
+            cache_->noteWarmInsertion();
+            done = std::max(
+                done, ssd_.dram().stream(bytes_wanted, group_done));
+        }
+    }
+    return done;
+}
+
 BatchTiming
 InferencePipeline::runBatch(
     std::span<const std::uint64_t> candidates, sim::Tick issue_at)

@@ -224,6 +224,21 @@ class InferencePipeline
     const RowCache *rowCache() const { return cache_.get(); }
 
     /**
+     * Warm the DRAM hot-row cache with @p rows (sorted candidate
+     * rows, e.g. what the staged screener selected for a recorded
+     * query during an online redeploy).  Misses are fetched from
+     * flash and admitted exactly like demand fills — same layout
+     * addressing, same admission policy, same DRAM fill transfer —
+     * but counted as RowCacheStats::warmInsertions.  A group whose
+     * flash read comes back uncorrectable is marked lost and not
+     * admitted.  No-op without a cache.
+     *
+     * @return Completion tick of the last warm fill.
+     */
+    sim::Tick warmRows(std::span<const std::uint64_t> rows,
+                       sim::Tick issue_at);
+
+    /**
      * Attach (or detach, with nullptr) observability sinks.  When a
      * tracer is attached every batch emits the phase spans
      * pipeline.batch > {pipeline.host_upload, pipeline.int4,

@@ -100,6 +100,10 @@ struct RowCacheStats
     /** Candidate rows served from DRAM whose flash copy had
      *  previously come back uncorrectable: degradation avoided. */
     std::uint64_t avoidedDegradedRows = 0;
+    /** Insertions made by an explicit warm-up pass (online-redeploy
+     *  warming) rather than by demand misses; a subset of
+     *  insertions. */
+    std::uint64_t warmInsertions = 0;
 
     double
     hitRate() const
@@ -193,6 +197,10 @@ class RowCache
 
     /** Drop every entry (weight redeployment). */
     void invalidateAll();
+
+    /** Count one admit() as warm-up-driven (caller invokes it right
+     *  after a successful admit from a warming pass). */
+    void noteWarmInsertion() { ++stats_.warmInsertions; }
 
     const RowCacheStats &stats() const { return stats_; }
 

@@ -28,15 +28,109 @@ toString(Status status)
         return "dimension-mismatch";
     case Status::StaleSession:
         return "stale-session";
+    case Status::RedeployActive:
+        return "redeploy-active";
+    case Status::NoRedeploy:
+        return "no-redeploy";
     }
     return "?";
 }
+
+namespace
+{
+
+/** Recent-query ring capacity (warm-up / validation material). */
+constexpr std::size_t kRecentQueryCapacity = 32;
+
+/** Staged probe programs run per staging advance step. */
+constexpr unsigned kProbesPerStep = 4;
+
+/**
+ * The deployed screening policy: threshold filtering with the
+ * top-ratio guard band when the threshold passes nothing (the same
+ * fallback InferenceSession::screen() serves with).
+ */
+std::vector<std::uint64_t>
+screenWithFallback(xclass::Screener &screener,
+                   std::span<const float> feature)
+{
+    std::vector<std::uint64_t> rows =
+        screener.screen(feature, xclass::FilterMode::Threshold);
+    if (rows.empty())
+        rows = screener.screen(feature, xclass::FilterMode::TopRatio);
+    return rows;
+}
+
+/**
+ * Shadow-scoring recall of @p staged against @p live on one query:
+ * the fraction of the live screener's candidates the staged screener
+ * also selects.  1.0 when the live screener selects nothing (there
+ * is nothing to miss).
+ */
+double
+screenerRecall(xclass::Screener &live, xclass::Screener &staged,
+               std::span<const float> query)
+{
+    const std::vector<std::uint64_t> live_rows =
+        screenWithFallback(live, query);
+    if (live_rows.empty())
+        return 1.0;
+    const std::vector<std::uint64_t> staged_rows =
+        screenWithFallback(staged, query);
+    std::vector<std::uint64_t> common;
+    std::set_intersection(live_rows.begin(), live_rows.end(),
+                          staged_rows.begin(), staged_rows.end(),
+                          std::back_inserter(common));
+    return static_cast<double>(common.size())
+        / static_cast<double>(live_rows.size());
+}
+
+} // namespace
 
 // --- InferenceSession ------------------------------------------------
 
 InferenceSession::InferenceSession(EcssdApi &api)
     : api_(&api), epoch_(api.deployEpoch_)
 {
+    api_->sessionOpened(epoch_);
+}
+
+InferenceSession::InferenceSession(InferenceSession &&other) noexcept
+    : api_(other.api_), epoch_(other.epoch_),
+      feature_(std::move(other.feature_)),
+      int4Sent_(other.int4Sent_), cfp32Sent_(other.cfp32Sent_),
+      classified_(other.classified_),
+      candidates_(std::move(other.candidates_)),
+      scores_(std::move(other.scores_)), latency_(other.latency_)
+{
+    // The open-session registration moves with the state.
+    other.api_ = nullptr;
+}
+
+InferenceSession &
+InferenceSession::operator=(InferenceSession &&other) noexcept
+{
+    if (this != &other) {
+        if (api_)
+            api_->sessionClosed(epoch_);
+        api_ = other.api_;
+        epoch_ = other.epoch_;
+        feature_ = std::move(other.feature_);
+        int4Sent_ = other.int4Sent_;
+        cfp32Sent_ = other.cfp32Sent_;
+        classified_ = other.classified_;
+        candidates_ = std::move(other.candidates_);
+        scores_ = std::move(other.scores_);
+        latency_ = other.latency_;
+        other.api_ = nullptr;
+    }
+    return *this;
+}
+
+InferenceSession::~InferenceSession()
+{
+    if (api_)
+        api_->sessionClosed(epoch_);
 }
 
 Status
@@ -44,9 +138,9 @@ InferenceSession::check() const
 {
     if (api_->mode_ != Mode::Accelerator)
         return Status::WrongMode;
-    if (!api_->screener_)
+    if (!api_->live_.deployed())
         return Status::NotDeployed;
-    if (epoch_ != api_->deployEpoch_)
+    if (!api_->resolve(epoch_))
         return Status::StaleSession;
     return Status::Ok;
 }
@@ -56,7 +150,9 @@ InferenceSession::sendInt4(std::span<const float> feature)
 {
     if (const Status guard = check(); guard != Status::Ok)
         return guard;
-    if (feature.size() != api_->spec_->hiddenDim)
+    const EcssdApi::DeployedVersion &version =
+        *api_->resolve(epoch_);
+    if (feature.size() != version.spec->hiddenDim)
         return Status::DimensionMismatch;
     feature_.assign(feature.begin(), feature.end());
     int4Sent_ = true;
@@ -66,6 +162,9 @@ InferenceSession::sendInt4(std::span<const float> feature)
     candidates_.clear();
     scores_.clear();
     classified_ = false;
+    // Feed the recent-query ring the next hot swap warms and
+    // validates with.
+    api_->recordQuery(feature_);
     return Status::Ok;
 }
 
@@ -74,7 +173,9 @@ InferenceSession::sendCfp32(std::span<const float> feature)
 {
     if (const Status guard = check(); guard != Status::Ok)
         return guard;
-    if (feature.size() != api_->spec_->hiddenDim)
+    const EcssdApi::DeployedVersion &version =
+        *api_->resolve(epoch_);
+    if (feature.size() != version.spec->hiddenDim)
         return Status::DimensionMismatch;
     if (!int4Sent_ || feature_.size() != feature.size()
         || !std::equal(feature.begin(), feature.end(),
@@ -93,17 +194,18 @@ InferenceSession::screen()
         return guard;
     if (!int4Sent_)
         return Status::MissingInput;
+    EcssdApi::DeployedVersion &version = *api_->resolve(epoch_);
     // Screening restarts the candidate phase: any scores of a
     // previous classify() are stale from this point on.
     scores_.clear();
     classified_ = false;
-    candidates_ = api_->screener_->screen(
+    candidates_ = version.screener->screen(
         feature_, xclass::FilterMode::Threshold);
     // A threshold that filters nothing would stall the FP32 stage;
     // fall back to top-ratio selection as the deployed system's
     // guard band.
     if (candidates_.empty())
-        candidates_ = api_->screener_->screen(
+        candidates_ = version.screener->screen(
             feature_, xclass::FilterMode::TopRatio);
     return Status::Ok;
 }
@@ -111,6 +213,9 @@ InferenceSession::screen()
 Status
 InferenceSession::classify()
 {
+    // The drain clock may have expired since the last call; settle
+    // it first so the staleness answer below is current.
+    api_->pollDrain();
     if (const Status guard = check(); guard != Status::Ok)
         return guard;
     if (!cfp32Sent_)
@@ -118,17 +223,22 @@ InferenceSession::classify()
     if (candidates_.empty())
         return Status::NotScreened;
 
-    scores_ = api_->classifier_->scores(
+    EcssdApi::DeployedVersion &version = *api_->resolve(epoch_);
+    scores_ = version.classifier->scores(
         feature_, candidates_,
         xclass::CandidateClassifier::Datapath::Cfp32AlignmentFree);
     classified_ = true;
 
-    // Device-side timing of the whole screened inference.
-    api_->system_->ssd().resetTimelines();
+    // Device-side timing of the whole screened inference, on the
+    // version this session is bound to (an old-epoch session keeps
+    // running on the draining device).
+    version.system->ssd().resetTimelines();
     accel::BatchTiming timing =
-        api_->system_->pipeline().runBatch(candidates_, 0);
+        version.system->pipeline().runBatch(candidates_, 0);
     latency_ = timing.latency();
     api_->lastLatency_ = latency_;
+    api_->serviceClock_ += latency_;
+    api_->pollDrain();
     return Status::Ok;
 }
 
@@ -158,6 +268,8 @@ EcssdApi::EcssdApi(const EcssdOptions &options) : options_(options)
 {
 }
 
+EcssdApi::~EcssdApi() = default;
+
 void
 EcssdApi::requireAccelerator(const char *api) const
 {
@@ -169,7 +281,7 @@ EcssdApi::requireAccelerator(const char *api) const
 void
 EcssdApi::requireDeployed(const char *api) const
 {
-    if (!screener_)
+    if (!live_.deployed())
         sim::fatal(api, " requires deployed weights; call "
                         "weightDeploy() first");
 }
@@ -177,9 +289,60 @@ EcssdApi::requireDeployed(const char *api) const
 InferenceSession &
 EcssdApi::implicitSession()
 {
+    // A hot swap retires the implicit session with its epoch; the
+    // Table 1 wrappers transparently continue on the new version.
+    if (implicit_ && !resolve(implicit_->epoch_))
+        implicit_.reset();
     if (!implicit_)
         implicit_.reset(new InferenceSession(*this));
     return *implicit_;
+}
+
+EcssdApi::DeployedVersion *
+EcssdApi::resolve(std::uint64_t epoch)
+{
+    if (live_.deployed() && epoch == live_.epoch)
+        return &live_;
+    if (draining_ && draining_->deployed()
+        && epoch == draining_->epoch)
+        return draining_.get();
+    return nullptr;
+}
+
+void
+EcssdApi::sessionOpened(std::uint64_t epoch)
+{
+    ++openSessions_[epoch];
+}
+
+void
+EcssdApi::sessionClosed(std::uint64_t epoch)
+{
+    const auto it = openSessions_.find(epoch);
+    ECSSD_ASSERT(it != openSessions_.end() && it->second > 0,
+                 "session close without a matching open");
+    if (--it->second == 0)
+        openSessions_.erase(it);
+    // The last old-epoch session closing is what completes a drain.
+    pollDrain();
+}
+
+std::uint64_t
+EcssdApi::openSessions(std::uint64_t epoch) const
+{
+    const auto it = openSessions_.find(epoch);
+    return it == openSessions_.end() ? 0 : it->second;
+}
+
+void
+EcssdApi::recordQuery(const std::vector<float> &feature)
+{
+    if (recentQueries_.size() < kRecentQueryCapacity) {
+        recentQueries_.push_back(feature);
+        return;
+    }
+    recentQueries_[recentCursor_] = feature;
+    recentCursor_ = (recentCursor_ + 1) % kRecentQueryCapacity;
 }
 
 sim::Tick
@@ -192,11 +355,26 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
                      && weights.cols() == spec.hiddenDim,
                  "weights do not match the benchmark spec");
 
-    weights_ = &weights;
-    spec_ = spec;
-    screener_ = std::make_unique<xclass::Screener>(
+    // Stop the world: a staged redeploy in flight is superseded (the
+    // pre-flip path releases its staging capacity), and any draining
+    // version is reclaimed immediately.
+    if (redeploy_ && redeploy_->machine.active()) {
+        if (redeploy_->machine.preFlip()) {
+            rollbackRedeploy(RollbackReason::Aborted);
+        } else {
+            redeploy_->machine.rollback(RollbackReason::Aborted,
+                                        serviceClock_);
+            ++redeployRollbacks_;
+        }
+    }
+    draining_.reset();
+
+    DeployedVersion version;
+    version.weights = &weights;
+    version.spec = spec;
+    version.screener = std::make_unique<xclass::Screener>(
         weights, spec, options_.seed, trained_projection);
-    classifier_ =
+    version.classifier =
         std::make_unique<xclass::CandidateClassifier>(weights);
 
     // Hot degrees come from the INT4 row masses (Section 5.3); the
@@ -204,11 +382,12 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
     // memory at deploy time.
     if (options_.layoutKind == layout::LayoutKind::LearningAdaptive) {
         const std::vector<double> masses =
-            screener_->rowAbsMasses();
-        functionalLayout_ = layout::LearningAdaptiveLayout::build(
-            masses, options_.ssd.channels);
+            version.screener->rowAbsMasses();
+        version.functionalLayout =
+            layout::LearningAdaptiveLayout::build(
+                masses, options_.ssd.channels);
     } else {
-        functionalLayout_ =
+        version.functionalLayout =
             layout::makeLayout(options_.layoutKind, spec.categories,
                                options_.ssd.channels);
     }
@@ -216,19 +395,25 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
     // A new deployment invalidates every outstanding session and the
     // implicit one; the rebuilt system starts with an empty DRAM
     // hot-row cache (the old layer's rows are gone).
-    ++deployEpoch_;
+    version.epoch = ++epochCounter_;
+    version.versionId = ++versionCounter_;
+    deployEpoch_ = version.epoch;
     implicit_.reset();
 
     // The timing system models the device side of this deployment.
-    system_ = std::make_unique<EcssdSystem>(spec, options_);
-    return system_->deployTimeEstimate();
+    version.system = std::make_unique<EcssdSystem>(spec, options_);
+    version.system->setDeployVersion(version.epoch,
+                                     version.versionId);
+    version.system->attachObservability(metrics_, spans_);
+    live_ = std::move(version);
+    return live_.system->deployTimeEstimate();
 }
 
 void
 EcssdApi::filterThreshold(double threshold)
 {
     requireDeployed("filterThreshold");
-    screener_->setThreshold(threshold);
+    live_.screener->setThreshold(threshold);
 }
 
 void
@@ -236,8 +421,405 @@ EcssdApi::calibrateThreshold(
     const std::vector<std::vector<float>> &queries)
 {
     requireDeployed("calibrateThreshold");
-    screener_->calibrate(queries);
+    live_.screener->calibrate(queries);
 }
+
+// --- Staged online redeploy ------------------------------------------
+
+Status
+EcssdApi::redeployBegin(const numeric::FloatMatrix &weights,
+                        const xclass::BenchmarkSpec &spec,
+                        const RedeployConfig &config,
+                        const numeric::FloatMatrix *trained_projection)
+{
+    if (mode_ != Mode::Accelerator)
+        return Status::WrongMode;
+    if (!live_.deployed())
+        return Status::NotDeployed;
+    if (redeploy_ && redeploy_->machine.active())
+        return Status::RedeployActive;
+    if (weights.rows() != spec.categories
+        || weights.cols() != spec.hiddenDim)
+        return Status::DimensionMismatch;
+    config.validate();
+
+    redeploy_ = std::make_unique<StagedRedeploy>();
+    StagedRedeploy &r = *redeploy_;
+    r.config = config;
+    r.weights = &weights;
+    r.spec = spec;
+    r.projection = trained_projection;
+    r.oldEpoch = live_.epoch;
+    r.version.versionId = versionCounter_ + 1;
+    r.machine.attachObservability(metrics_, spans_);
+    r.machine.begin(serviceClock_);
+
+    // The staged INT4 screener claims the live device's leftover
+    // DRAM for the duration of the swap; not fitting is the graceful
+    // DramPressure rollback, not an abort.
+    if (options_.int4Placement == accel::Int4Placement::Dram) {
+        const std::uint64_t staged_bytes = spec.int4WeightBytes();
+        if (!live_.system->ssd().dram().tryReserve(staged_bytes)) {
+            rollbackRedeploy(RollbackReason::DramPressure);
+            return Status::Ok;
+        }
+        r.stagedReserveBytes = staged_bytes;
+    }
+
+    // Price the staging: the stop-the-world deploy time of the new
+    // footprint, stretched by the IO-budget fraction.
+    sim::Tick full_time = 0;
+    try {
+        full_time = estimateDeployTime(spec, options_.ssd);
+    } catch (const sim::FatalError &) {
+        rollbackRedeploy(RollbackReason::DramPressure);
+        return Status::Ok;
+    } catch (const sim::PanicError &) {
+        // The INT4 footprint overruns the device DRAM entirely
+        // (ECSSD_ASSERT in the estimate): same graceful outcome.
+        rollbackRedeploy(RollbackReason::DramPressure);
+        return Status::Ok;
+    }
+    r.ledger.reset(spec.int4WeightBytes() + spec.fp32WeightBytes(),
+                   full_time, config.ioBudgetFraction,
+                   config.stepBytes);
+
+    // Probe targets: the top of the live device's logical space (the
+    // staging area's flash).  Real programs + verify-reads there
+    // surface the media faults foreground traffic would see.
+    ssdsim::Ftl &ftl = live_.system->ssd().ftl();
+    const std::uint64_t probes = std::min<std::uint64_t>(
+        config.stagingProbePages, ftl.logicalPages());
+    for (std::uint64_t i = 0; i < probes; ++i)
+        r.probePages.push_back(ftl.logicalPages() - 1 - i);
+    return Status::Ok;
+}
+
+Status
+EcssdApi::redeployAdvance()
+{
+    if (!redeploy_ || !redeploy_->machine.active())
+        return Status::NoRedeploy;
+    StagedRedeploy &r = *redeploy_;
+
+    switch (r.machine.phase()) {
+    case RedeployPhase::Staging: {
+        // Staging stops the moment the device latches read-only —
+        // a read-only device can never accept the staged version.
+        if (live_.system->ssd().ftl().readOnly()) {
+            rollbackRedeploy(RollbackReason::DeviceReadOnly);
+            return Status::Ok;
+        }
+        RollbackReason reason = RollbackReason::None;
+        if (!stageProbePages(live_.system->ssd().ftl(), r.probePages,
+                             r.probeCursor, kProbesPerStep,
+                             serviceClock_, reason)) {
+            rollbackRedeploy(reason);
+            return Status::Ok;
+        }
+        // One budgeted chunk of background program time.
+        serviceClock_ += r.ledger.step();
+        if (!r.ledger.done())
+            return Status::Ok;
+        // Finish the probe tail before declaring staging complete.
+        if (!stageProbePages(
+                live_.system->ssd().ftl(), r.probePages,
+                r.probeCursor,
+                static_cast<unsigned>(r.probePages.size()),
+                serviceClock_, reason)) {
+            rollbackRedeploy(reason);
+            return Status::Ok;
+        }
+        try {
+            buildStagedVersion();
+        } catch (const sim::FatalError &) {
+            // The staged configuration is infeasible on this device
+            // (screener/cache residency): roll back, keep serving.
+            rollbackRedeploy(RollbackReason::DramPressure);
+            return Status::Ok;
+        } catch (const sim::PanicError &) {
+            rollbackRedeploy(RollbackReason::DramPressure);
+            return Status::Ok;
+        }
+        r.machine.advanceTo(RedeployPhase::Warming, serviceClock_);
+        return Status::Ok;
+    }
+    case RedeployPhase::Warming:
+        if (r.warmed < r.config.warmupQueries
+            && r.warmed < recentQueries_.size()) {
+            warmOneQuery();
+        } else {
+            r.machine.advanceTo(RedeployPhase::Validating,
+                                serviceClock_);
+        }
+        return Status::Ok;
+    case RedeployPhase::Validating: {
+        const std::size_t target = std::min<std::size_t>(
+            r.config.validationQueries, recentQueries_.size());
+        if (r.validated < target) {
+            validateOneQuery();
+            return Status::Ok;
+        }
+        r.recall = r.validated > 0
+            ? r.recallSum / static_cast<double>(r.validated)
+            : 1.0;
+        if (r.recall >= r.config.minValidationRecall)
+            flipEpoch();
+        else
+            rollbackRedeploy(RollbackReason::ValidationRecall);
+        return Status::Ok;
+    }
+    case RedeployPhase::Draining:
+        // The background reclaim daemon's poll: service time passes
+        // even when no request happens to arrive, so a drain always
+        // reaches its deadline.
+        serviceClock_ += r.config.drainPollInterval;
+        pollDrain();
+        return Status::Ok;
+    default:
+        return Status::NoRedeploy;
+    }
+}
+
+Status
+EcssdApi::redeployAbort()
+{
+    if (!redeploy_ || !redeploy_->machine.active())
+        return Status::NoRedeploy;
+    if (!redeploy_->machine.preFlip())
+        return Status::RedeployActive;
+    rollbackRedeploy(RollbackReason::Aborted);
+    return Status::Ok;
+}
+
+RedeployStatus
+EcssdApi::redeployStatus()
+{
+    pollDrain();
+    RedeployStatus status;
+    if (!redeploy_)
+        return status;
+    const StagedRedeploy &r = *redeploy_;
+    status.phase = r.machine.phase();
+    status.reason = r.machine.reason();
+    status.stagedBytes = r.ledger.stagedBytes();
+    status.totalBytes = r.ledger.totalBytes();
+    status.validationRecall = r.recall;
+    status.oldEpoch = r.oldEpoch;
+    status.newEpoch = r.newEpoch;
+    status.weightVersion = r.version.versionId;
+    status.inFlightOldSessions =
+        r.flippedAt > 0 || r.machine.phase() == RedeployPhase::Draining
+        ? openSessions(r.oldEpoch)
+        : 0;
+    status.stagingTime = r.ledger.elapsed();
+    status.drainElapsed = r.drainElapsed;
+    return status;
+}
+
+sim::Tick
+EcssdApi::redeployRun()
+{
+    if (!redeploy_ || !redeploy_->machine.active())
+        return 0;
+    while (redeploy_ && redeploy_->machine.active())
+        redeployAdvance();
+    return redeploy_ ? redeploy_->ledger.elapsed() : 0;
+}
+
+void
+EcssdApi::buildStagedVersion()
+{
+    StagedRedeploy &r = *redeploy_;
+    DeployedVersion version;
+    version.weights = r.weights;
+    version.spec = r.spec;
+    version.versionId = r.version.versionId;
+    version.screener = std::make_unique<xclass::Screener>(
+        *r.weights, r.spec, options_.seed, r.projection);
+    // The staged screener inherits the live screening policy so the
+    // shadow-scoring compares weights, not thresholds.
+    version.screener->setThreshold(live_.screener->threshold());
+    version.classifier =
+        std::make_unique<xclass::CandidateClassifier>(*r.weights);
+    if (options_.layoutKind == layout::LayoutKind::LearningAdaptive) {
+        const std::vector<double> masses =
+            version.screener->rowAbsMasses();
+        version.functionalLayout =
+            layout::LearningAdaptiveLayout::build(
+                masses, options_.ssd.channels);
+    } else {
+        version.functionalLayout = layout::makeLayout(
+            options_.layoutKind, r.spec.categories,
+            options_.ssd.channels);
+    }
+    version.system = std::make_unique<EcssdSystem>(r.spec, options_);
+    r.version = std::move(version);
+}
+
+void
+EcssdApi::warmOneQuery()
+{
+    StagedRedeploy &r = *redeploy_;
+    const std::vector<float> &query = recentQueries_[r.warmed];
+    ++r.warmed;
+    // A query recorded under a different input width cannot replay.
+    if (query.size() != r.spec.hiddenDim)
+        return;
+    const std::vector<std::uint64_t> rows =
+        screenWithFallback(*r.version.screener, query);
+    // Pre-fill the staged version's DRAM hot-row cache with the rows
+    // this query would fetch, so the flip lands warm.
+    r.version.system->pipeline().warmRows(rows, 0);
+}
+
+void
+EcssdApi::validateOneQuery()
+{
+    StagedRedeploy &r = *redeploy_;
+    const std::vector<float> &query = recentQueries_[r.validated];
+    ++r.validated;
+    if (query.size() != r.spec.hiddenDim
+        || query.size() != live_.spec->hiddenDim) {
+        // Not comparable across the swap; count it as full recall
+        // rather than penalizing an input-width migration.
+        r.recallSum += 1.0;
+        return;
+    }
+    r.recallSum +=
+        screenerRecall(*live_.screener, *r.version.screener, query);
+}
+
+void
+EcssdApi::flipEpoch()
+{
+    StagedRedeploy &r = *redeploy_;
+    r.machine.advanceTo(RedeployPhase::Flipping, serviceClock_);
+
+    // The staging claims on the old device end here: the staged
+    // version owns its own device from now on, and the old device
+    // only has to serve its draining sessions.
+    if (r.stagedReserveBytes > 0) {
+        live_.system->ssd().dram().release(r.stagedReserveBytes);
+        r.stagedReserveBytes = 0;
+    }
+    for (unsigned i = 0; i < r.probeCursor; ++i)
+        live_.system->ssd().ftl().trim(r.probePages[i]);
+
+    draining_ = std::make_unique<DeployedVersion>(std::move(live_));
+    live_ = std::move(r.version);
+    live_.epoch = ++epochCounter_;
+    versionCounter_ = live_.versionId;
+    deployEpoch_ = live_.epoch;
+    r.newEpoch = live_.epoch;
+    live_.system->setDeployVersion(live_.epoch, live_.versionId);
+    live_.system->attachObservability(metrics_, spans_);
+    r.flippedAt = serviceClock_;
+
+    r.machine.advanceTo(RedeployPhase::Draining, serviceClock_);
+    pollDrain();
+}
+
+void
+EcssdApi::pollDrain()
+{
+    if (!redeploy_
+        || redeploy_->machine.phase() != RedeployPhase::Draining)
+        return;
+    StagedRedeploy &r = *redeploy_;
+    r.drainElapsed = serviceClock_ - r.flippedAt;
+    if (!draining_ || openSessions(r.oldEpoch) == 0) {
+        commitRedeploy();
+        return;
+    }
+    if (r.drainElapsed >= r.config.drainDeadline) {
+        if (r.config.drainTimeoutRollsBack)
+            rollbackRedeploy(RollbackReason::DrainTimeout);
+        else
+            commitRedeploy();
+    }
+}
+
+void
+EcssdApi::commitRedeploy()
+{
+    StagedRedeploy &r = *redeploy_;
+    r.machine.advanceTo(RedeployPhase::Committed, serviceClock_);
+    ++redeployCommits_;
+    // Reclaim the old version's capacity (its device, DRAM
+    // residency, and cache go with it); any session still bound to
+    // the old epoch is stale from here on.
+    draining_.reset();
+}
+
+void
+EcssdApi::rollbackRedeploy(RollbackReason reason)
+{
+    StagedRedeploy &r = *redeploy_;
+    if (r.machine.preFlip()) {
+        // Release the staging claims on the live device.
+        if (r.stagedReserveBytes > 0) {
+            live_.system->ssd().dram().release(r.stagedReserveBytes);
+            r.stagedReserveBytes = 0;
+        }
+        for (unsigned i = 0; i < r.probeCursor; ++i)
+            live_.system->ssd().ftl().trim(r.probePages[i]);
+        r.version = DeployedVersion{};
+    } else if (draining_) {
+        // Post-flip: restore the old version as live.  Sessions
+        // bound to the rolled-back epoch turn stale; old-epoch
+        // sessions resume seamlessly — no request ever fails.
+        r.drainElapsed = serviceClock_ - r.flippedAt;
+        r.version = std::move(live_);
+        live_ = std::move(*draining_);
+        draining_.reset();
+        deployEpoch_ = live_.epoch;
+        live_.system->attachObservability(metrics_, spans_);
+        // The staging probes live on the restored device; drop them.
+        for (unsigned i = 0; i < r.probeCursor; ++i)
+            live_.system->ssd().ftl().trim(r.probePages[i]);
+    }
+    r.machine.rollback(reason, serviceClock_);
+    ++redeployRollbacks_;
+}
+
+void
+EcssdApi::attachObservability(sim::MetricsRegistry *metrics,
+                              sim::SpanTracer *spans)
+{
+    metrics_ = metrics;
+    spans_ = spans;
+    if (live_.system)
+        live_.system->attachObservability(metrics, spans);
+    if (redeploy_)
+        redeploy_->machine.attachObservability(metrics, spans);
+}
+
+void
+EcssdApi::publishRedeployMetrics(sim::MetricsRegistry &registry)
+{
+    if (!redeploy_)
+        return;
+    const RedeployStatus status = redeployStatus();
+    registry.gaugeSet("redeploy.phase",
+                      static_cast<double>(status.phase));
+    registry.gaugeSet("redeploy.staged_bytes",
+                      static_cast<double>(status.stagedBytes));
+    registry.gaugeSet("redeploy.total_bytes",
+                      static_cast<double>(status.totalBytes));
+    registry.gaugeSet("redeploy.validation_recall",
+                      status.validationRecall);
+    registry.gaugeSet("redeploy.staging_ms",
+                      sim::tickToMs(status.stagingTime));
+    registry.gaugeSet("redeploy.drain_ms",
+                      sim::tickToMs(status.drainElapsed));
+    registry.gaugeSet("redeploy.committed",
+                      static_cast<double>(redeployCommits_));
+    registry.gaugeSet("redeploy.rolled_back",
+                      static_cast<double>(redeployRollbacks_));
+}
+
+// --- Table 1 wrappers ------------------------------------------------
 
 void
 EcssdApi::int4InputSend(std::span<const float> feature)
@@ -296,6 +878,8 @@ EcssdApi::getResults(std::size_t k)
         sim::fatal("getResults before cfp32Classify");
     return prediction;
 }
+
+// --- SSD mode --------------------------------------------------------
 
 sim::Tick
 EcssdApi::ssdWrite(ssdsim::LogicalPage lpa)

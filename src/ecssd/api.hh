@@ -18,17 +18,27 @@
  * probe, retry, or interleave queries.  The Table 1 free-form calls
  * remain as thin wrappers over one implicit session, preserving their
  * original fail-fast contract (sim::fatal on sequence misuse).
+ *
+ * Weight versions are first-class: weightDeploy() remains the
+ * stop-the-world path (every outstanding session turns stale), while
+ * redeployBegin()/redeployAdvance() run the staged online redeploy of
+ * redeploy.hh — the new version stages, warms, and validates in the
+ * background, the deploy epoch flips atomically, and old-epoch
+ * sessions keep serving on the draining version until the bounded
+ * drain deadline.
  */
 
 #ifndef ECSSD_ECSSD_API_HH
 #define ECSSD_ECSSD_API_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "ecssd/redeploy.hh"
 #include "ecssd/system.hh"
 #include "numeric/cfp32.hh"
 #include "xclass/screening.hh"
@@ -59,8 +69,13 @@ enum class Status
     NotClassified,
     /** The feature length does not match the deployed layer. */
     DimensionMismatch,
-    /** The session predates the current weight deployment. */
+    /** The session's weight version is gone: it predates the current
+     *  deployment, or its drain window closed after an epoch flip. */
     StaleSession,
+    /** A staged redeploy is already in flight (one at a time). */
+    RedeployActive,
+    /** The redeploy call has no active redeploy to act on. */
+    NoRedeploy,
 };
 
 /** Human-readable status name. */
@@ -74,12 +89,22 @@ class EcssdApi;
  * Obtained from EcssdApi::beginInference().  Every call validates the
  * sequence and reports misuse through its Status return value; the
  * session never aborts.  A session is bound to the weight deployment
- * it was created under — after another weightDeploy() its calls
- * return Status::StaleSession.
+ * (deploy epoch) it was created under: a stop-the-world
+ * weightDeploy() turns it stale immediately, while a staged online
+ * redeploy lets it finish on the old version during the bounded drain
+ * window — Status::StaleSession only after the drain closes.
+ *
+ * Sessions are move-only: the API tracks how many sessions are open
+ * per epoch so a drain can complete the moment the last old-epoch
+ * session closes.
  */
 class InferenceSession
 {
   public:
+    InferenceSession(InferenceSession &&other) noexcept;
+    InferenceSession &operator=(InferenceSession &&other) noexcept;
+    ~InferenceSession();
+
     /** Send the 4-bit projected input (INT4_input_send).  Starts a
      *  fresh query: stale candidates/scores of this session are
      *  dropped. */
@@ -109,6 +134,9 @@ class InferenceSession
 
     /** Device latency of this session's last classify(), in ticks. */
     sim::Tick latency() const { return latency_; }
+
+    /** Deploy epoch this session is bound to. */
+    std::uint64_t epoch() const { return epoch_; }
 
   private:
     friend class EcssdApi;
@@ -141,6 +169,8 @@ class EcssdApi
      */
     explicit EcssdApi(const EcssdOptions &options = EcssdOptions{});
 
+    ~EcssdApi();
+
     // --- Preparation --------------------------------------------------
 
     /** Switch to accelerator mode (ECSSD_enable). */
@@ -164,9 +194,11 @@ class EcssdApi
     /**
      * Deploy a classification layer (Weight_deploy): builds the INT4
      * screener, pre-aligns and places the FP32 rows per the device's
-     * layout strategy, and loads both into the device.  Invalidates
-     * every outstanding InferenceSession (and any DRAM-cached rows of
-     * the previous layer).
+     * layout strategy, and loads both into the device.  Stop the
+     * world: invalidates every outstanding InferenceSession (and any
+     * DRAM-cached rows of the previous layer), and aborts any staged
+     * redeploy in flight.  For a swap that serves through the
+     * transition, use redeployBegin().
      *
      * @param weights L x D FP32 weights (kept by reference; must
      *        outlive the API object).
@@ -187,12 +219,81 @@ class EcssdApi
     void calibrateThreshold(
         const std::vector<std::vector<float>> &queries);
 
+    // --- Staged online redeploy -----------------------------------
+
+    /**
+     * Begin a zero-downtime hot swap to @p weights: stage the new
+     * version under the configured IO budget, warm and validate it
+     * with recorded recent queries, flip the deploy epoch, and drain
+     * old-epoch sessions — all driven incrementally by
+     * redeployAdvance() (or to completion by redeployRun()) while
+     * live sessions keep serving.
+     *
+     * Guards report through the return Status: WrongMode before
+     * ecssdEnable(), NotDeployed before a first weightDeploy(),
+     * RedeployActive while another redeploy is in flight,
+     * DimensionMismatch when @p weights do not match @p spec.  A
+     * redeploy that cannot even reserve its staging capacity still
+     * returns Ok — it begins and immediately rolls back
+     * (RollbackReason::DramPressure), observable via
+     * redeployStatus().
+     *
+     * @param weights The new L x D layer (kept by reference; must
+     *        outlive the redeploy).
+     * @param spec The new version's benchmark parameters.
+     * @param config Staging/validation/drain policy.
+     * @param trained_projection Optional learned projection.
+     */
+    Status redeployBegin(
+        const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const RedeployConfig &config = RedeployConfig{},
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /**
+     * Drive the active redeploy one step: one budgeted staging
+     * chunk, one warm-up query, one validation query, the epoch
+     * flip, or one drain poll — whichever the current phase needs.
+     * Returns NoRedeploy once the redeploy is terminal (or none was
+     * begun); Ok otherwise.
+     */
+    Status redeployAdvance();
+
+    /**
+     * Abort the active redeploy.  Legal before the flip (rolls back
+     * with RollbackReason::Aborted, staged capacity released);
+     * returns RedeployActive after the flip (the swap is already
+     * serving; it completes through the drain), NoRedeploy when
+     * nothing is in flight.
+     */
+    Status redeployAbort();
+
+    /** Snapshot of the current (or last) redeploy.  Also polls the
+     *  drain clock, so a deadline expiry is observed here too. */
+    RedeployStatus redeployStatus();
+
+    /**
+     * Drive the active redeploy to its terminal phase.
+     *
+     * @return Background time the staging consumed (0 when no
+     *         redeploy was active).
+     */
+    sim::Tick redeployRun();
+
+    /** Current deploy epoch (bumped by weightDeploy and by every
+     *  committed flip). */
+    std::uint64_t deployEpoch() const { return deployEpoch_; }
+
+    /** Monotone id of the weight version currently serving (0 before
+     *  the first deployment). */
+    std::uint64_t weightVersion() const { return live_.versionId; }
+
     // --- Sessions -------------------------------------------------
 
     /**
-     * Start an explicit inference session.  The session is valid
-     * until the next weightDeploy(); its calls report misuse via
-     * Status instead of aborting.
+     * Start an explicit inference session bound to the current
+     * deploy epoch.  Its calls report misuse via Status instead of
+     * aborting; see InferenceSession for the staleness contract.
      */
     InferenceSession beginInference() { return InferenceSession(*this); }
 
@@ -244,13 +345,80 @@ class EcssdApi
     }
 
     /** Accelerator-mode system (valid after weightDeploy). */
-    EcssdSystem &system() { return *system_; }
+    EcssdSystem &system() { return *live_.system; }
 
     /** SSD-mode system (valid after the first ssdWrite). */
     EcssdSystem &ssdSystem() { return *ssdMode_; }
 
+    /**
+     * Attach (or detach, with nullptr) observability sinks: forwarded
+     * to the live system (pipeline/device instrumentation) and to the
+     * redeploy machine ("redeploy.<phase>" spans, redeploy.commits /
+     * redeploy.rollbacks counters, redeploy.phase gauge).  Survives
+     * epoch flips — the new live version is re-instrumented at the
+     * flip.
+     */
+    void attachObservability(sim::MetricsRegistry *metrics,
+                             sim::SpanTracer *spans);
+
+    /** Snapshot redeploy state ("redeploy.*" gauges) into
+     *  @p registry; no-op when no redeploy was ever begun, keeping
+     *  metrics of never-redeploying runs byte-identical. */
+    void publishRedeployMetrics(sim::MetricsRegistry &registry);
+
+    /** Cumulative service time of this API (classify latencies plus
+     *  background redeploy work); the clock drain deadlines are
+     *  measured against. */
+    sim::Tick serviceTime() const { return serviceClock_; }
+
   private:
     friend class InferenceSession;
+
+    /** One weight generation: functional models plus its timed
+     *  system, stamped with the epoch it serves under. */
+    struct DeployedVersion
+    {
+        const numeric::FloatMatrix *weights = nullptr;
+        std::optional<xclass::BenchmarkSpec> spec;
+        std::unique_ptr<xclass::Screener> screener;
+        std::unique_ptr<xclass::CandidateClassifier> classifier;
+        std::unique_ptr<layout::LayoutStrategy> functionalLayout;
+        std::unique_ptr<EcssdSystem> system;
+        std::uint64_t epoch = 0;
+        std::uint64_t versionId = 0;
+
+        bool deployed() const { return static_cast<bool>(screener); }
+    };
+
+    /** Everything one staged redeploy carries until it terminates. */
+    struct StagedRedeploy
+    {
+        RedeployMachine machine;
+        RedeployConfig config;
+        /** The version being staged (complete after Staging). */
+        DeployedVersion version;
+        const numeric::FloatMatrix *weights = nullptr;
+        xclass::BenchmarkSpec spec;
+        const numeric::FloatMatrix *projection = nullptr;
+        StagingLedger ledger;
+        /** Staging-area probe pages programmed through the live FTL. */
+        std::vector<ssdsim::LogicalPage> probePages;
+        unsigned probeCursor = 0;
+        /** DRAM reserved on the live device for the staged INT4. */
+        std::uint64_t stagedReserveBytes = 0;
+        unsigned warmed = 0;
+        unsigned validated = 0;
+        double recallSum = 0.0;
+        double recall = 1.0;
+        /** Epochs on either side of the flip (newEpoch 0 until the
+         *  flip assigns it). */
+        std::uint64_t oldEpoch = 0;
+        std::uint64_t newEpoch = 0;
+        /** Service tick of the epoch flip (drain start). */
+        sim::Tick flippedAt = 0;
+        /** Drain duration so far (frozen at the terminal phase). */
+        sim::Tick drainElapsed = 0;
+    };
 
     void requireAccelerator(const char *api) const;
     void requireDeployed(const char *api) const;
@@ -258,10 +426,46 @@ class EcssdApi
     /** The implicit session backing the Table 1 wrappers. */
     InferenceSession &implicitSession();
 
+    /** The version serving @p epoch: the live one, or the draining
+     *  one while its drain window is open; nullptr once stale. */
+    DeployedVersion *resolve(std::uint64_t epoch);
+
+    /** Session-count bookkeeping (InferenceSession ctor/dtor/move). */
+    void sessionOpened(std::uint64_t epoch);
+    void sessionClosed(std::uint64_t epoch);
+
+    /** Open sessions bound to @p epoch. */
+    std::uint64_t openSessions(std::uint64_t epoch) const;
+
+    /** Record one query feature into the recent ring (warm-up and
+     *  validation replay material). */
+    void recordQuery(const std::vector<float> &feature);
+
+    /** Build the staged version's functional models + system (throws
+     *  sim::FatalError on an infeasible configuration). */
+    void buildStagedVersion();
+
+    /** Run one warm-up query through the staged version. */
+    void warmOneQuery();
+
+    /** Shadow-score one query: staged-vs-live screener recall. */
+    void validateOneQuery();
+
+    /** Flip the epoch: staged becomes live, live starts draining. */
+    void flipEpoch();
+
+    /** Check the drain: commit when the last old session closed,
+     *  commit-or-rollback when the deadline expired. */
+    void pollDrain();
+
+    /** Commit: reclaim the draining version's capacity. */
+    void commitRedeploy();
+
+    /** Roll back the active redeploy (any phase) with @p reason. */
+    void rollbackRedeploy(RollbackReason reason);
+
     EcssdOptions options_;
     Mode mode_ = Mode::Ssd;
-    /** Accelerator-mode system (rebuilt per weight deployment). */
-    std::unique_ptr<EcssdSystem> system_;
     /**
      * SSD-mode system.  Kept separately so block data written in SSD
      * mode survives accelerator deployments: the weights occupy a
@@ -269,19 +473,47 @@ class EcssdApi
      */
     std::unique_ptr<EcssdSystem> ssdMode_;
 
-    // Functional state (accelerator mode).
-    const numeric::FloatMatrix *weights_ = nullptr;
-    std::optional<xclass::BenchmarkSpec> spec_;
-    std::unique_ptr<xclass::Screener> screener_;
-    std::unique_ptr<xclass::CandidateClassifier> classifier_;
-    std::unique_ptr<layout::LayoutStrategy> functionalLayout_;
+    /** The serving version (accelerator mode). */
+    DeployedVersion live_;
+    /** The previous version, serving old-epoch sessions during a
+     *  drain; reclaimed at commit. */
+    std::unique_ptr<DeployedVersion> draining_;
+    /** The in-flight (or last terminal) staged redeploy. */
+    std::unique_ptr<StagedRedeploy> redeploy_;
 
-    /** Bumped by weightDeploy(); sessions from earlier epochs turn
-     *  stale. */
+    /** The currently-serving epoch (what new sessions bind to). */
     std::uint64_t deployEpoch_ = 0;
-    /** The Table 1 wrappers' session (reset on weightDeploy). */
-    std::unique_ptr<InferenceSession> implicit_;
+    /**
+     * Monotone epoch source.  Separate from deployEpoch_: a post-flip
+     * rollback restores deployEpoch_ to the old value, but the burned
+     * epoch is never reissued — sessions bound to a rolled-back
+     * version must stay stale forever.
+     */
+    std::uint64_t epochCounter_ = 0;
+    /** Monotone weight-version id source. */
+    std::uint64_t versionCounter_ = 0;
+    /** Lifetime commit/rollback counts (across redeploy attempts). */
+    std::uint64_t redeployCommits_ = 0;
+    std::uint64_t redeployRollbacks_ = 0;
+    /** Open InferenceSessions per epoch. */
+    std::map<std::uint64_t, std::uint64_t> openSessions_;
+    /** Recent query features (ring, newest-overwrites-oldest). */
+    std::vector<std::vector<float>> recentQueries_;
+    std::size_t recentCursor_ = 0;
+    /** Cumulative service clock (classify latencies + redeploy
+     *  background work); drains are deadlined against it. */
+    sim::Tick serviceClock_ = 0;
     sim::Tick lastLatency_ = 0;
+    /** Optional observability sinks (null = uninstrumented). */
+    sim::MetricsRegistry *metrics_ = nullptr;
+    sim::SpanTracer *spans_ = nullptr;
+    /**
+     * The Table 1 wrappers' session (reset on weightDeploy).
+     * Declared last: its destructor notifies sessionClosed(), which
+     * may poll the drain, so every other member must still be alive
+     * while it runs.
+     */
+    std::unique_ptr<InferenceSession> implicit_;
 };
 
 } // namespace ecssd

@@ -1,0 +1,215 @@
+#include "ecssd/redeploy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+
+const char *
+toString(RedeployPhase phase)
+{
+    switch (phase) {
+      case RedeployPhase::Idle: return "Idle";
+      case RedeployPhase::Staging: return "Staging";
+      case RedeployPhase::Warming: return "Warming";
+      case RedeployPhase::Validating: return "Validating";
+      case RedeployPhase::Flipping: return "Flipping";
+      case RedeployPhase::Draining: return "Draining";
+      case RedeployPhase::Committed: return "Committed";
+      case RedeployPhase::RolledBack: return "RolledBack";
+    }
+    return "?";
+}
+
+const char *
+toString(RollbackReason reason)
+{
+    switch (reason) {
+      case RollbackReason::None: return "None";
+      case RollbackReason::Aborted: return "Aborted";
+      case RollbackReason::ValidationRecall: return "ValidationRecall";
+      case RollbackReason::StagedMediaFault: return "StagedMediaFault";
+      case RollbackReason::DeviceReadOnly: return "DeviceReadOnly";
+      case RollbackReason::DramPressure: return "DramPressure";
+      case RollbackReason::DrainTimeout: return "DrainTimeout";
+      case RollbackReason::ShardLoss: return "ShardLoss";
+    }
+    return "?";
+}
+
+void
+RedeployConfig::validate() const
+{
+    if (ioBudgetFraction <= 0.0 || ioBudgetFraction > 1.0)
+        sim::fatal("redeploy ioBudgetFraction must be in (0, 1], got ",
+                   ioBudgetFraction);
+    if (stepBytes == 0)
+        sim::fatal("redeploy stepBytes must be positive");
+    if (minValidationRecall < 0.0 || minValidationRecall > 1.0)
+        sim::fatal("redeploy minValidationRecall must be in [0, 1], "
+                   "got ", minValidationRecall);
+    if (drainPollInterval == 0)
+        sim::fatal("redeploy drainPollInterval must be positive");
+}
+
+// ---------------------------------------------------------------------
+// RedeployMachine
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The legal forward successor of each active phase. */
+RedeployPhase
+nextPhaseOf(RedeployPhase phase)
+{
+    switch (phase) {
+      case RedeployPhase::Staging: return RedeployPhase::Warming;
+      case RedeployPhase::Warming: return RedeployPhase::Validating;
+      case RedeployPhase::Validating: return RedeployPhase::Flipping;
+      case RedeployPhase::Flipping: return RedeployPhase::Draining;
+      case RedeployPhase::Draining: return RedeployPhase::Committed;
+      default: return RedeployPhase::Idle;
+    }
+}
+
+} // namespace
+
+void
+RedeployMachine::begin(sim::Tick now)
+{
+    if (active())
+        sim::panic("redeploy begin() while a redeploy is active (",
+                   toString(phase_), ")");
+    reason_ = RollbackReason::None;
+    enterPhase(RedeployPhase::Staging, now);
+}
+
+void
+RedeployMachine::advanceTo(RedeployPhase next, sim::Tick now)
+{
+    if (!active() || next != nextPhaseOf(phase_))
+        sim::panic("illegal redeploy transition ", toString(phase_),
+                   " -> ", toString(next));
+    enterPhase(next, now);
+    if (next == RedeployPhase::Committed) {
+        ++commits_;
+        if (metrics_)
+            metrics_->counterAdd("redeploy.commits");
+    }
+}
+
+void
+RedeployMachine::rollback(RollbackReason reason, sim::Tick now)
+{
+    if (!active())
+        sim::panic("redeploy rollback() with no active redeploy (",
+                   toString(phase_), ")");
+    reason_ = reason;
+    enterPhase(RedeployPhase::RolledBack, now);
+    ++rollbacks_;
+    if (metrics_)
+        metrics_->counterAdd("redeploy.rollbacks");
+}
+
+void
+RedeployMachine::attachObservability(sim::MetricsRegistry *metrics,
+                                     sim::SpanTracer *spans)
+{
+    metrics_ = metrics;
+    spans_ = spans;
+    // An in-flight phase span belongs to the old tracer; forget it
+    // rather than closing it on a stranger.
+    spanOpen_ = false;
+}
+
+void
+RedeployMachine::enterPhase(RedeployPhase next, sim::Tick now)
+{
+    if (spans_ && spanOpen_) {
+        spans_->end(openSpan_,
+                    std::max(now, phaseEnteredAt_));
+        spanOpen_ = false;
+    }
+    phase_ = next;
+    phaseEnteredAt_ = now;
+    if (metrics_) {
+        metrics_->gaugeSet("redeploy.phase",
+                           static_cast<double>(phase_));
+    }
+    if (spans_ && !terminal() && phase_ != RedeployPhase::Idle) {
+        openSpan_ = spans_->begin(
+            std::string("redeploy.") + toString(phase_), now);
+        spanOpen_ = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// StagingLedger
+// ---------------------------------------------------------------------
+
+void
+StagingLedger::reset(std::uint64_t total_bytes,
+                     sim::Tick full_bandwidth_time,
+                     double io_budget_fraction,
+                     std::uint64_t step_bytes)
+{
+    totalBytes_ = total_bytes;
+    stagedBytes_ = 0;
+    stepBytes_ = std::max<std::uint64_t>(step_bytes, 1);
+    fullTime_ = full_bandwidth_time;
+    budget_ = io_budget_fraction;
+    elapsed_ = 0;
+}
+
+sim::Tick
+StagingLedger::step()
+{
+    if (done())
+        return 0;
+    const std::uint64_t chunk =
+        std::min(stepBytes_, totalBytes_ - stagedBytes_);
+    stagedBytes_ += chunk;
+    // The chunk's share of the stop-the-world time, stretched by the
+    // inverse of the bandwidth fraction granted to staging.
+    const double share = totalBytes_ == 0
+        ? 1.0
+        : static_cast<double>(chunk) / static_cast<double>(totalBytes_);
+    const sim::Tick cost = static_cast<sim::Tick>(
+        static_cast<double>(fullTime_) * share / budget_);
+    elapsed_ += cost;
+    return cost;
+}
+
+// ---------------------------------------------------------------------
+// Staged-page probes
+// ---------------------------------------------------------------------
+
+bool
+stageProbePages(ssdsim::Ftl &ftl,
+                const std::vector<ssdsim::LogicalPage> &pages,
+                unsigned &cursor, unsigned budget, sim::Tick now,
+                RollbackReason &reason)
+{
+    for (unsigned n = 0; n < budget && cursor < pages.size();
+         ++n, ++cursor) {
+        const ssdsim::LogicalPage lpa = pages[cursor];
+        bool rejected = false;
+        const sim::Tick programmed = ftl.write(lpa, now, &rejected);
+        if (rejected) {
+            reason = RollbackReason::DeviceReadOnly;
+            return false;
+        }
+        bool uncorrectable = false;
+        ftl.read(lpa, programmed, &uncorrectable);
+        if (uncorrectable) {
+            reason = RollbackReason::StagedMediaFault;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ecssd

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Zero-downtime weight hot-swap: the staged online-redeploy state
+ * machine shared by every serving layer (EcssdApi, InferenceServer,
+ * the scale-out fleet).
+ *
+ * A redeploy serves traffic *through* the swap instead of around it:
+ *
+ *   Idle -> Staging -> Warming -> Validating -> Flipping -> Draining
+ *        -> Committed | RolledBack
+ *
+ *  - Staging: the new version's INT4 screener + FP32/CFP16 rows
+ *    program into spare flash capacity and leftover DRAM under an
+ *    explicit IO budget (staging yields to foreground reads, like
+ *    the patrol scrub).
+ *  - Warming: the staged screener and row cache replay a recorded
+ *    sample of recent queries so the flip lands on a warm version.
+ *  - Validating: a shadow-scoring pass compares the staged
+ *    screener's candidates against the live version on the same
+ *    queries; recall below the configured floor rolls back.
+ *  - Flipping: the deploy epoch advances atomically — new sessions
+ *    bind to the new version, in-flight sessions keep the old one.
+ *  - Draining: old-epoch sessions finish on the old version under a
+ *    bounded drain deadline; its capacity is reclaimed only after
+ *    the drain completes.
+ *
+ * Any failure (validation below threshold, uncorrectable reads on
+ * staged pages, the end-of-life read-only latch, DRAM pressure, a
+ * drain timeout under the strict policy) rolls back to the old
+ * version with zero failed requests: the machine's owner keeps the
+ * old version serving until Committed.
+ */
+
+#ifndef ECSSD_ECSSD_REDEPLOY_HH
+#define ECSSD_ECSSD_REDEPLOY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+#include "ssdsim/ftl.hh"
+
+namespace ecssd
+{
+
+/** Phase of one staged online redeploy. */
+enum class RedeployPhase
+{
+    Idle,
+    /** Budgeted programs of the new version into spare capacity. */
+    Staging,
+    /** Replaying recorded queries through the staged version. */
+    Warming,
+    /** Shadow-scoring the staged screener against the live one. */
+    Validating,
+    /** The atomic epoch flip (instantaneous; never observed from
+     *  outside a transition). */
+    Flipping,
+    /** Old-epoch sessions finishing on the old version. */
+    Draining,
+    /** Terminal: the new version serves, old capacity reclaimed. */
+    Committed,
+    /** Terminal: the old version serves, staged capacity released. */
+    RolledBack,
+};
+
+/** Why a redeploy rolled back. */
+enum class RollbackReason
+{
+    None,
+    /** redeployAbort() before the flip. */
+    Aborted,
+    /** Shadow-scoring recall fell below the configured floor. */
+    ValidationRecall,
+    /** A staged page verify-read came back uncorrectable. */
+    StagedMediaFault,
+    /** The device latched read-only (end of life) mid-staging. */
+    DeviceReadOnly,
+    /** The new version does not fit the DRAM left after current
+     *  residency. */
+    DramPressure,
+    /** Drain deadline expired under the strict rollback policy. */
+    DrainTimeout,
+    /** The shard being swapped died mid-redeploy (fleet swaps). */
+    ShardLoss,
+};
+
+const char *toString(RedeployPhase phase);
+const char *toString(RollbackReason reason);
+
+/** Policy knobs of one staged redeploy. */
+struct RedeployConfig
+{
+    /**
+     * Fraction of the deploy-path bandwidth the staging programs may
+     * take; the rest stays with foreground reads.  Staging a version
+     * that takes T to deploy stop-the-world takes T / fraction here.
+     */
+    double ioBudgetFraction = 0.25;
+    /** Bytes staged per advance step (the budget granule). */
+    std::uint64_t stepBytes = 8ULL << 20;
+    /** Recorded recent queries replayed to warm the staged version. */
+    unsigned warmupQueries = 4;
+    /** Recorded recent queries shadow-scored for validation. */
+    unsigned validationQueries = 4;
+    /** Minimum staged-vs-live screener recall; below it: rollback. */
+    double minValidationRecall = 0.9;
+    /** Drain budget after the flip, in service-clock ticks. */
+    sim::Tick drainDeadline = sim::milliseconds(50.0);
+    /** Service-clock ticks one Draining advance step models (the
+     *  background reclaim daemon's poll interval). */
+    sim::Tick drainPollInterval = sim::microseconds(100.0);
+    /**
+     * Deadline-expiry policy.  False (default): the swap commits and
+     * remaining old-epoch sessions are force-retired (StaleSession
+     * from then on).  True: the swap rolls back instead, restoring
+     * the old epoch so those sessions keep serving.
+     */
+    bool drainTimeoutRollsBack = false;
+    /** Staged pages actually programmed + verify-read through the
+     *  FTL (the rest of the footprint is accounted analytically).
+     *  The probe reads surface real media faults on staged pages. */
+    unsigned stagingProbePages = 16;
+
+    /** Die fatally (sim::FatalError) on a nonsensical config. */
+    void validate() const;
+};
+
+/** Point-in-time snapshot of one redeploy, for operators/tests. */
+struct RedeployStatus
+{
+    RedeployPhase phase = RedeployPhase::Idle;
+    RollbackReason reason = RollbackReason::None;
+    /** Bytes staged so far / total footprint of the new version. */
+    std::uint64_t stagedBytes = 0;
+    std::uint64_t totalBytes = 0;
+    /** Mean staged-vs-live screener recall of the validation pass. */
+    double validationRecall = 1.0;
+    /** Epochs on either side of the flip. */
+    std::uint64_t oldEpoch = 0;
+    std::uint64_t newEpoch = 0;
+    /** Monotone id of the weight version being (or last) deployed. */
+    std::uint64_t weightVersion = 0;
+    /** Old-epoch sessions still open (Draining only). */
+    std::uint64_t inFlightOldSessions = 0;
+    /** Background ticks consumed by the budgeted staging so far. */
+    sim::Tick stagingTime = 0;
+    /** Service-clock ticks since the flip (Draining and later). */
+    sim::Tick drainElapsed = 0;
+};
+
+/**
+ * The redeploy phase machine: legal-transition bookkeeping plus
+ * observability (redeploy.* counters and per-phase spans).  Owners
+ * (EcssdApi, InferenceServer, ScaleOutEcssd) drive the transitions
+ * and supply the clock; the machine guarantees that every begun
+ * redeploy terminates in exactly one of Committed / RolledBack.
+ */
+class RedeployMachine
+{
+  public:
+    RedeployMachine() = default;
+
+    RedeployPhase phase() const { return phase_; }
+    RollbackReason reason() const { return reason_; }
+
+    /** True from begin() until a terminal phase. */
+    bool
+    active() const
+    {
+        return phase_ != RedeployPhase::Idle && !terminal();
+    }
+
+    bool
+    terminal() const
+    {
+        return phase_ == RedeployPhase::Committed
+            || phase_ == RedeployPhase::RolledBack;
+    }
+
+    /** True before the flip (abort is still possible). */
+    bool
+    preFlip() const
+    {
+        return phase_ == RedeployPhase::Staging
+            || phase_ == RedeployPhase::Warming
+            || phase_ == RedeployPhase::Validating;
+    }
+
+    /** Idle (or terminal, restarting) -> Staging at tick @p now. */
+    void begin(sim::Tick now);
+
+    /**
+     * Advance to @p next at tick @p now.  Only the forward edges of
+     * the phase diagram are legal (Staging->Warming->Validating->
+     * Flipping->Draining->Committed); anything else dies fatally —
+     * a wedged or skipping owner is a bug, not a state.
+     */
+    void advanceTo(RedeployPhase next, sim::Tick now);
+
+    /** Any active phase -> RolledBack with @p reason at @p now. */
+    void rollback(RollbackReason reason, sim::Tick now);
+
+    /** Attach (or detach, with nullptr) observability sinks: the
+     *  registry sees redeploy.commits / redeploy.rollbacks counters
+     *  and the redeploy.phase gauge; the tracer sees one
+     *  "redeploy.<phase>" span per non-terminal phase. */
+    void attachObservability(sim::MetricsRegistry *metrics,
+                             sim::SpanTracer *spans);
+
+    /** Completed redeploys through this machine. */
+    std::uint64_t commits() const { return commits_; }
+    std::uint64_t rollbacks() const { return rollbacks_; }
+
+  private:
+    void enterPhase(RedeployPhase next, sim::Tick now);
+
+    RedeployPhase phase_ = RedeployPhase::Idle;
+    RollbackReason reason_ = RollbackReason::None;
+    sim::Tick phaseEnteredAt_ = 0;
+    sim::SpanId openSpan_ = 0;
+    bool spanOpen_ = false;
+    std::uint64_t commits_ = 0;
+    std::uint64_t rollbacks_ = 0;
+    sim::MetricsRegistry *metrics_ = nullptr;
+    sim::SpanTracer *spans_ = nullptr;
+};
+
+/**
+ * Budgeted-staging ledger: tracks how many bytes of the new version
+ * have programmed and how much background time the IO budget has
+ * consumed.  Shared by every redeploy driver so the budget math is
+ * identical across the API, the server, and the fleet.
+ */
+class StagingLedger
+{
+  public:
+    /**
+     * @param total_bytes Footprint of the new version (INT4 + FP32).
+     * @param full_bandwidth_time Stop-the-world deploy time of that
+     *        footprint (the analytic estimate).
+     * @param io_budget_fraction Bandwidth share granted to staging.
+     * @param step_bytes Bytes staged per step.
+     */
+    void reset(std::uint64_t total_bytes,
+               sim::Tick full_bandwidth_time,
+               double io_budget_fraction, std::uint64_t step_bytes);
+
+    bool done() const { return stagedBytes_ >= totalBytes_; }
+    std::uint64_t stagedBytes() const { return stagedBytes_; }
+    std::uint64_t totalBytes() const { return totalBytes_; }
+    /** Background ticks consumed so far. */
+    sim::Tick elapsed() const { return elapsed_; }
+
+    /** Stage one budget step; returns the ticks it consumed. */
+    sim::Tick step();
+
+  private:
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t stagedBytes_ = 0;
+    std::uint64_t stepBytes_ = 0;
+    sim::Tick fullTime_ = 0;
+    double budget_ = 1.0;
+    sim::Tick elapsed_ = 0;
+};
+
+/**
+ * Program + verify-read one batch of staged probe pages through
+ * @p ftl.  The probes exercise the real flash path so staging
+ * surfaces the same faults foreground traffic would: an
+ * uncorrectable verify-read or a read-only rejection aborts the
+ * staging with the corresponding rollback reason.
+ *
+ * @param ftl The live device's FTL.
+ * @param pages The staging area's logical pages (probe targets).
+ * @param cursor Resume position into @p pages (advanced).
+ * @param budget Probes to run this step.
+ * @param now Issue tick (the service clock).
+ * @param[out] reason Set on failure (StagedMediaFault /
+ *        DeviceReadOnly); untouched on success.
+ * @return False when staging must roll back.
+ */
+bool stageProbePages(ssdsim::Ftl &ftl,
+                     const std::vector<ssdsim::LogicalPage> &pages,
+                     unsigned &cursor, unsigned budget, sim::Tick now,
+                     RollbackReason &reason);
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_REDEPLOY_HH

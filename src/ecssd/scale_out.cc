@@ -34,6 +34,7 @@ ScaleOutEcssd::ScaleOutEcssd(const xclass::BenchmarkSpec &spec,
         shard_options.threads = 1;
         shards_.push_back(std::make_unique<EcssdSystem>(
             shardSpec_, shard_options));
+        shards_.back()->setDeployVersion(fleetEpoch_, fleetVersion_);
     }
     health_.resize(devices);
 }
@@ -103,6 +104,13 @@ ScaleOutEcssd::shardHealthReport(unsigned shard) const
     return shards_[shard]->health(health_[shard].serviceTime);
 }
 
+EcssdSystem &
+ScaleOutEcssd::shardSystem(unsigned shard)
+{
+    ECSSD_ASSERT(shard < shards_.size(), "shard index out of range");
+    return *shards_[shard];
+}
+
 sim::Tick
 ScaleOutEcssd::drainShard(unsigned shard)
 {
@@ -116,6 +124,8 @@ ScaleOutEcssd::drainShard(unsigned shard)
     shard_options.threads = 1;
     shards_[shard] = std::make_unique<EcssdSystem>(shardSpec_,
                                                    shard_options);
+    // The spare deploys whatever version the fleet currently serves.
+    shards_[shard]->setDeployVersion(fleetEpoch_, fleetVersion_);
     ShardHealth &health = health_[shard];
     health.alive = true;
     health.failAfterBatches = std::numeric_limits<unsigned>::max();
@@ -123,6 +133,66 @@ ScaleOutEcssd::drainShard(unsigned shard)
     ++health.replacements;
     --spares_;
     return shards_[shard]->deployTimeEstimate();
+}
+
+FleetRedeployResult
+ScaleOutEcssd::rollingRedeploy(const RedeployConfig &config)
+{
+    config.validate();
+    FleetRedeployResult result;
+    result.weightVersion = fleetVersion_ + 1;
+
+    // Each shard re-stages the same partition footprint; under the
+    // IO budget the background copy is stretched by 1/budget over
+    // the stop-the-world deploy time.
+    const sim::Tick full_time =
+        estimateDeployTime(shardSpec_, options_.ssd);
+    const sim::Tick per_shard = static_cast<sim::Tick>(
+        static_cast<double>(full_time) / config.ioBudgetFraction);
+
+    std::vector<unsigned> swapped;
+    for (unsigned d = 0; d < devices(); ++d) {
+        if (!health_[d].alive) {
+            // A dead shard cannot stage; the spare that eventually
+            // replaces it deploys the then-current fleet version.
+            ++result.shardsSkipped;
+            continue;
+        }
+        if (shards_[d]->ssd().ftl().readOnly()) {
+            // Shard lost mid-roll: revert every shard already
+            // swapped so the fleet never serves a mixed deployment.
+            sim::warn("shard ", d, " read-only during rolling "
+                      "redeploy; reverting ", swapped.size(),
+                      " swapped shards");
+            for (const unsigned s : swapped)
+                shards_[s]->setDeployVersion(fleetEpoch_,
+                                             fleetVersion_);
+            result.shardsSwapped = 0;
+            result.rolledBack = true;
+            result.reason = RollbackReason::ShardLoss;
+            ++fleetRedeployRollbacks_;
+            return result;
+        }
+        // One shard at a time: its staging completes (and ages its
+        // service clock) before the roll moves on.
+        result.stagingTime += per_shard;
+        health_[d].serviceTime += per_shard;
+        shards_[d]->setDeployVersion(fleetEpoch_ + 1,
+                                     fleetVersion_ + 1);
+        swapped.push_back(d);
+        ++result.shardsSwapped;
+    }
+    if (result.shardsSwapped == 0) {
+        // Nothing live to swap: the roll never took effect.
+        result.rolledBack = true;
+        result.reason = RollbackReason::ShardLoss;
+        ++fleetRedeployRollbacks_;
+        return result;
+    }
+    ++fleetEpoch_;
+    ++fleetVersion_;
+    ++fleetRedeployCommits_;
+    return result;
 }
 
 ScaleOutResult
@@ -293,6 +363,16 @@ ScaleOutEcssd::publishMetrics(sim::MetricsRegistry &registry,
                       sim::tickToMs(result.totalTime));
     registry.gaugeSet("fleet.recall_loss_estimate",
                       result.recallLossEstimate);
+    registry.gaugeSet("fleet.deploy_epoch",
+                      static_cast<double>(fleetEpoch_));
+    registry.gaugeSet("fleet.weight_version",
+                      static_cast<double>(fleetVersion_));
+    registry.gaugeSet(
+        "fleet.redeploy_commits",
+        static_cast<double>(fleetRedeployCommits_));
+    registry.gaugeSet(
+        "fleet.redeploy_rollbacks",
+        static_cast<double>(fleetRedeployRollbacks_));
 }
 
 } // namespace ecssd

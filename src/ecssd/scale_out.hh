@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "ecssd/redeploy.hh"
 #include "ecssd/system.hh"
 
 namespace ecssd
@@ -114,6 +115,25 @@ struct ScaleOutResult
     double recallLossEstimate = 0.0;
 };
 
+/** Outcome of one rolling fleet weight redeploy. */
+struct FleetRedeployResult
+{
+    /** Shards whose deploy epoch flipped to the new version. */
+    unsigned shardsSwapped = 0;
+    /** Dead shards the roll passed over (they pick the new version
+     *  up when a spare replaces them). */
+    unsigned shardsSkipped = 0;
+    /** Background staging time summed over the swapped shards (each
+     *  shard stages serially, one at a time, under the IO budget). */
+    sim::Tick stagingTime = 0;
+    /** The fleet-wide weight version this roll targeted. */
+    std::uint64_t weightVersion = 0;
+    /** True when the roll aborted and every already-swapped shard
+     *  reverted to the old version. */
+    bool rolledBack = false;
+    RollbackReason reason = RollbackReason::None;
+};
+
 /**
  * A row-partitioned fleet of ECSSDs serving one huge classification
  * layer.
@@ -187,6 +207,32 @@ class ScaleOutEcssd
     /** SMART report of @p shard at its cumulative service time. */
     ssdsim::HealthReport shardHealthReport(unsigned shard) const;
 
+    /** Direct access to one shard's system (fault injection). */
+    EcssdSystem &shardSystem(unsigned shard);
+
+    // --- Rolling weight redeploy ----------------------------------
+
+    /**
+     * Hot-swap the fleet to a new weight version, one shard at a
+     * time: each live shard stages the new layout in the background
+     * under @p config's IO budget and flips its deploy epoch before
+     * the roll moves to the next shard, so at most one shard is ever
+     * mid-swap and the merged top-k keeps serving throughout.  Dead
+     * shards are skipped (a spare replacing them deploys the current
+     * version).  A shard found read-only mid-roll aborts the roll:
+     * every already-swapped shard reverts to the old version
+     * (RollbackReason::ShardLoss) so the fleet never serves a mixed
+     * deployment.
+     */
+    FleetRedeployResult rollingRedeploy(
+        const RedeployConfig &config = RedeployConfig{});
+
+    /** Fleet-wide deploy epoch (bumped per completed roll). */
+    std::uint64_t deployEpoch() const { return fleetEpoch_; }
+
+    /** Fleet-wide weight version currently deployed. */
+    std::uint64_t weightVersion() const { return fleetVersion_; }
+
     /**
      * Run @p batches batches on every live shard in parallel and
      * merge over the survivors.  A shard whose scheduled failure
@@ -222,6 +268,12 @@ class ScaleOutEcssd
     std::vector<ShardHealth> health_;
     DrainPolicy drainPolicy_;
     unsigned spares_ = 0;
+    /** Fleet-wide serving identity (every shard reports it). */
+    std::uint64_t fleetEpoch_ = 1;
+    std::uint64_t fleetVersion_ = 1;
+    /** Lifetime rolling-redeploy outcome counts. */
+    std::uint64_t fleetRedeployCommits_ = 0;
+    std::uint64_t fleetRedeployRollbacks_ = 0;
 };
 
 } // namespace ecssd

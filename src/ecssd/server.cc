@@ -15,16 +15,19 @@ InferenceServer::InferenceServer(
     const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
     const numeric::FloatMatrix *trained_projection,
     const ServerConfig &server_config)
-    : weights_(weights), spec_(spec), config_(server_config),
+    : weights_(&weights), spec_(spec), options_(options),
+      config_(server_config),
       threadPool_(
           std::make_unique<sim::ThreadPool>(options.threads)),
-      classifier_(weights, spec, options.seed, trained_projection,
-                  threadPool_.get()),
+      classifier_(std::make_unique<xclass::ApproximateClassifier>(
+          weights, spec, options.seed, trained_projection,
+          threadPool_.get())),
       system_(std::make_unique<EcssdSystem>(spec, options))
 {
     ECSSD_ASSERT(weights.rows() == spec.categories
                      && weights.cols() == spec.hiddenDim,
                  "weights do not match the benchmark spec");
+    system_->setDeployVersion(deployEpoch_, weightVersion_);
 }
 
 void
@@ -32,7 +35,10 @@ InferenceServer::attachObservability(sim::MetricsRegistry *metrics,
                                      sim::SpanTracer *spans)
 {
     metrics_ = metrics;
+    spans_ = spans;
     system_->attachObservability(metrics, spans);
+    if (swap_)
+        swap_->machine.attachObservability(metrics, spans);
 }
 
 void
@@ -53,6 +59,21 @@ InferenceServer::publishMetrics(sim::MetricsRegistry &registry) const
     gauge("degraded_rows", stats_.degradedRows);
     registry.gaugeSet("server.device_time_ms",
                       sim::tickToMs(deviceClock_));
+    gauge("deploy_epoch", deployEpoch_);
+    gauge("weight_version", weightVersion_);
+    if (swap_ || redeployCommits_ > 0 || redeployRollbacks_ > 0) {
+        gauge("redeploy_commits", redeployCommits_);
+        gauge("redeploy_rollbacks", redeployRollbacks_);
+        if (swap_) {
+            registry.gaugeSet(
+                "server.redeploy_staged_bytes",
+                static_cast<double>(swap_->ledger.stagedBytes()));
+            registry.gaugeSet("server.redeploy_staging_ms",
+                              sim::tickToMs(swap_->ledger.elapsed()));
+            registry.gaugeSet("server.redeploy_validation_recall",
+                              swap_->recall);
+        }
+    }
 }
 
 void
@@ -205,12 +226,20 @@ InferenceServer::serveOneBatch(std::size_t k)
         predictions;
     for (const PendingRequest &request : batch) {
         const auto prediction =
-            classifier_.predict(request.feature, k);
+            classifier_->predict(request.feature, k);
         predictions.push_back(prediction);
         const std::vector<std::uint64_t> rows =
-            classifier_.screener().screen(
+            classifier_->screener().screen(
                 request.feature, xclass::FilterMode::TopRatio);
         union_rows.insert(rows.begin(), rows.end());
+        // Remember the feature: the next hot swap warms and
+        // validates against the queries this server actually saw.
+        if (recentQueries_.size() < 32) {
+            recentQueries_.push_back(request.feature);
+        } else {
+            recentQueries_[recentCursor_] = request.feature;
+            recentCursor_ = (recentCursor_ + 1) % 32;
+        }
     }
 
     // Timing pass: the device fetches the union once per batch; the
@@ -255,6 +284,11 @@ InferenceServer::serveOneBatch(std::size_t k)
             "server.queue_depth",
             static_cast<double>(pending_.size()));
     }
+    // The batch boundary is the swap's scheduling point: one staged
+    // step here keeps the background IO yielding to the foreground
+    // requests just served, and makes the flip atomic — no request
+    // is in flight across it.
+    stepRedeploy();
     return responses;
 }
 
@@ -267,6 +301,10 @@ InferenceServer::processAll(std::size_t k)
         for (Response &response : batch)
             responses.push_back(std::move(response));
     }
+    // An idle server finishes any in-flight swap: without traffic
+    // the background daemon keeps ticking the state machine.
+    while (redeployActive())
+        stepRedeploy();
     for (Response &response : unservedResponses_)
         responses.push_back(std::move(response));
     unservedResponses_.clear();
@@ -312,10 +350,226 @@ InferenceServer::runOpenLoop(
         for (Response &response : batch)
             responses.push_back(std::move(response));
     }
+    while (redeployActive())
+        stepRedeploy();
     for (Response &response : unservedResponses_)
         responses.push_back(std::move(response));
     unservedResponses_.clear();
     return responses;
+}
+
+// --- Weight hot swap -------------------------------------------------
+
+Status
+InferenceServer::beginRedeploy(
+    const numeric::FloatMatrix &weights,
+    const xclass::BenchmarkSpec &spec, const RedeployConfig &config,
+    const numeric::FloatMatrix *trained_projection)
+{
+    if (swap_ && swap_->machine.active())
+        return Status::RedeployActive;
+    if (weights.rows() != spec.categories
+        || weights.cols() != spec.hiddenDim)
+        return Status::DimensionMismatch;
+    // Queued and future requests carry the serving input width; a
+    // swap cannot change it under them.
+    if (spec.hiddenDim != spec_.hiddenDim)
+        return Status::DimensionMismatch;
+    config.validate();
+
+    swap_ = std::make_unique<StagedSwap>();
+    StagedSwap &swap = *swap_;
+    swap.config = config;
+    swap.weights = &weights;
+    swap.spec = spec;
+    swap.projection = trained_projection;
+    swap.oldEpoch = deployEpoch_;
+    swap.versionId = weightVersion_ + 1;
+    swap.machine.attachObservability(metrics_, spans_);
+    swap.machine.begin(deviceClock_);
+
+    sim::Tick full_time = 0;
+    try {
+        full_time = estimateDeployTime(spec, options_.ssd);
+    } catch (const sim::FatalError &) {
+        rollbackSwap(RollbackReason::DramPressure);
+        return Status::Ok;
+    } catch (const sim::PanicError &) {
+        rollbackSwap(RollbackReason::DramPressure);
+        return Status::Ok;
+    }
+    swap.ledger.reset(spec.int4WeightBytes() + spec.fp32WeightBytes(),
+                      full_time, config.ioBudgetFraction,
+                      config.stepBytes);
+    return Status::Ok;
+}
+
+Status
+InferenceServer::redeployAdvance()
+{
+    if (!redeployActive())
+        return Status::NoRedeploy;
+    stepRedeploy();
+    return Status::Ok;
+}
+
+bool
+InferenceServer::redeployActive() const
+{
+    return swap_ && swap_->machine.active();
+}
+
+RedeployStatus
+InferenceServer::redeployStatus() const
+{
+    RedeployStatus status;
+    if (!swap_)
+        return status;
+    const StagedSwap &swap = *swap_;
+    status.phase = swap.machine.phase();
+    status.reason = swap.machine.reason();
+    status.stagedBytes = swap.ledger.stagedBytes();
+    status.totalBytes = swap.ledger.totalBytes();
+    status.validationRecall = swap.recall;
+    status.oldEpoch = swap.oldEpoch;
+    status.newEpoch = swap.newEpoch;
+    status.weightVersion = swap.versionId;
+    status.stagingTime = swap.ledger.elapsed();
+    return status;
+}
+
+void
+InferenceServer::stepRedeploy()
+{
+    if (!redeployActive())
+        return;
+    StagedSwap &swap = *swap_;
+
+    switch (swap.machine.phase()) {
+    case RedeployPhase::Staging: {
+        // A device that latched read-only can never program the
+        // staged version.
+        if (system_->ssd().ftl().readOnly()) {
+            rollbackSwap(RollbackReason::DeviceReadOnly);
+            return;
+        }
+        // One budgeted background-program chunk between batches: the
+        // foreground just had the device to itself, now staging gets
+        // its bounded slice.
+        deviceClock_ += swap.ledger.step();
+        if (!swap.ledger.done())
+            return;
+        try {
+            swap.classifier =
+                std::make_unique<xclass::ApproximateClassifier>(
+                    *swap.weights, swap.spec, options_.seed,
+                    swap.projection, threadPool_.get());
+            swap.system =
+                std::make_unique<EcssdSystem>(swap.spec, options_);
+        } catch (const sim::FatalError &) {
+            rollbackSwap(RollbackReason::DramPressure);
+            return;
+        } catch (const sim::PanicError &) {
+            rollbackSwap(RollbackReason::DramPressure);
+            return;
+        }
+        swap.machine.advanceTo(RedeployPhase::Warming, deviceClock_);
+        return;
+    }
+    case RedeployPhase::Warming:
+        if (swap.warmed < swap.config.warmupQueries
+            && swap.warmed < recentQueries_.size()) {
+            // Pre-fill the staged device's hot-row cache with the
+            // rows this recorded query selects on the new weights.
+            const std::vector<std::uint64_t> rows =
+                swap.classifier->screener().screen(
+                    recentQueries_[swap.warmed],
+                    xclass::FilterMode::TopRatio);
+            swap.system->pipeline().warmRows(rows, 0);
+            ++swap.warmed;
+        } else {
+            swap.machine.advanceTo(RedeployPhase::Validating,
+                                   deviceClock_);
+        }
+        return;
+    case RedeployPhase::Validating: {
+        const std::size_t target = std::min<std::size_t>(
+            swap.config.validationQueries, recentQueries_.size());
+        if (swap.validated < target) {
+            // Shadow-score: of the candidates the live screener
+            // selects (the serving TopRatio path), what fraction
+            // does the staged screener also select?
+            const std::vector<float> &query =
+                recentQueries_[swap.validated];
+            ++swap.validated;
+            const std::vector<std::uint64_t> live_rows =
+                classifier_->screener().screen(
+                    query, xclass::FilterMode::TopRatio);
+            if (live_rows.empty()) {
+                swap.recallSum += 1.0;
+                return;
+            }
+            const std::vector<std::uint64_t> staged_rows =
+                swap.classifier->screener().screen(
+                    query, xclass::FilterMode::TopRatio);
+            std::vector<std::uint64_t> common;
+            std::set_intersection(live_rows.begin(), live_rows.end(),
+                                  staged_rows.begin(),
+                                  staged_rows.end(),
+                                  std::back_inserter(common));
+            swap.recallSum += static_cast<double>(common.size())
+                / static_cast<double>(live_rows.size());
+            return;
+        }
+        swap.recall = swap.validated > 0
+            ? swap.recallSum / static_cast<double>(swap.validated)
+            : 1.0;
+        if (swap.recall >= swap.config.minValidationRecall)
+            flipSwap();
+        else
+            rollbackSwap(RollbackReason::ValidationRecall);
+        return;
+    }
+    default:
+        return;
+    }
+}
+
+void
+InferenceServer::flipSwap()
+{
+    StagedSwap &swap = *swap_;
+    swap.machine.advanceTo(RedeployPhase::Flipping, deviceClock_);
+
+    weights_ = swap.weights;
+    spec_ = swap.spec;
+    classifier_ = std::move(swap.classifier);
+    system_ = std::move(swap.system);
+    ++deployEpoch_;
+    weightVersion_ = swap.versionId;
+    swap.newEpoch = deployEpoch_;
+    system_->setDeployVersion(deployEpoch_, weightVersion_);
+    system_->attachObservability(metrics_, spans_);
+
+    // Serving is synchronous per batch, so at this boundary no
+    // request is bound to the old version: the drain is empty and
+    // commits immediately, reclaiming the old device and classifier.
+    swap.machine.advanceTo(RedeployPhase::Draining, deviceClock_);
+    swap.machine.advanceTo(RedeployPhase::Committed, deviceClock_);
+    ++redeployCommits_;
+    if (metrics_)
+        metrics_->gaugeSet("server.deploy_epoch",
+                           static_cast<double>(deployEpoch_));
+}
+
+void
+InferenceServer::rollbackSwap(RollbackReason reason)
+{
+    StagedSwap &swap = *swap_;
+    swap.classifier.reset();
+    swap.system.reset();
+    swap.machine.rollback(reason, deviceClock_);
+    ++redeployRollbacks_;
 }
 
 } // namespace ecssd

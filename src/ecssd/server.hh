@@ -13,6 +13,16 @@
  * retry-with-backoff path for batches the device aborts under the
  * FailBatch degraded-read policy (with a screener-fallback last
  * resort so the server keeps answering on a dying device).
+ *
+ * Zero-downtime weight hot swap: beginRedeploy() stages a new weight
+ * version alongside the serving one; the staged-redeploy state
+ * machine (redeploy.hh) advances one step between served batches, so
+ * staging IO yields to foreground requests.  The version flip happens
+ * at a batch boundary — the server serves requests synchronously, so
+ * no request is ever in flight across the flip and the drain commits
+ * immediately.  A validation failure or a device fault during staging
+ * rolls back automatically; the old version keeps serving and no
+ * request fails.
  */
 
 #ifndef ECSSD_ECSSD_SERVER_HH
@@ -23,6 +33,8 @@
 #include <memory>
 #include <vector>
 
+#include "ecssd/api.hh"
+#include "ecssd/redeploy.hh"
 #include "ecssd/system.hh"
 #include "sim/stats.hh"
 #include "xclass/screening.hh"
@@ -180,6 +192,51 @@ class InferenceServer
         return system_->health(deviceClock_);
     }
 
+    // --- Weight hot swap ------------------------------------------
+
+    /**
+     * Begin a staged hot swap to @p weights.  The swap advances one
+     * state-machine step per served batch (staging chunks between
+     * batches, so the IO budget yields to foreground requests) and
+     * flips at a batch boundary; processAll()/runOpenLoop() finish
+     * any in-flight swap after the queue empties.
+     *
+     * Returns RedeployActive while a swap is in flight and
+     * DimensionMismatch when @p weights do not match @p spec or
+     * @p spec changes the input width (queued requests could no
+     * longer be served).  A swap whose staging footprint cannot fit
+     * the device returns Ok and immediately rolls back
+     * (RollbackReason::DramPressure) — observable via
+     * redeployStatus().
+     *
+     * @param weights The new L x D layer (must outlive the swap).
+     * @param spec The new version's benchmark parameters.
+     * @param config Staging/validation policy.
+     * @param trained_projection Optional learned projection.
+     */
+    Status beginRedeploy(
+        const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const RedeployConfig &config = RedeployConfig{},
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /** Advance the in-flight swap one step without serving a batch
+     *  (an idle server's background daemon tick).  NoRedeploy once
+     *  the swap is terminal or none was begun. */
+    Status redeployAdvance();
+
+    /** Snapshot of the current (or last) hot swap. */
+    RedeployStatus redeployStatus() const;
+
+    /** True while a hot swap is between begin and terminal. */
+    bool redeployActive() const;
+
+    /** Deploy epoch of the serving version (bumped per flip). */
+    std::uint64_t deployEpoch() const { return deployEpoch_; }
+
+    /** Monotone id of the serving weight version. */
+    std::uint64_t weightVersion() const { return weightVersion_; }
+
     /**
      * Attach (or detach, with nullptr) observability sinks.  The
      * registry receives live "server.*" counters (admission, shed,
@@ -219,15 +276,54 @@ class InferenceServer
         const std::vector<std::uint64_t> &candidates,
         sim::Tick &backoff);
 
-    const numeric::FloatMatrix &weights_;
+    /** Everything one server hot swap stages until it terminates. */
+    struct StagedSwap
+    {
+        RedeployMachine machine;
+        RedeployConfig config;
+        const numeric::FloatMatrix *weights = nullptr;
+        xclass::BenchmarkSpec spec;
+        const numeric::FloatMatrix *projection = nullptr;
+        StagingLedger ledger;
+        /** Built once staging completes. */
+        std::unique_ptr<xclass::ApproximateClassifier> classifier;
+        std::unique_ptr<EcssdSystem> system;
+        unsigned warmed = 0;
+        unsigned validated = 0;
+        double recallSum = 0.0;
+        double recall = 1.0;
+        std::uint64_t oldEpoch = 0;
+        std::uint64_t newEpoch = 0;
+        std::uint64_t versionId = 0;
+    };
+
+    /** Advance the in-flight swap one step (between batches). */
+    void stepRedeploy();
+
+    /** Flip to the staged version at a batch boundary and commit. */
+    void flipSwap();
+
+    /** Roll the in-flight swap back; the old version keeps serving. */
+    void rollbackSwap(RollbackReason reason);
+
+    const numeric::FloatMatrix *weights_;
     xclass::BenchmarkSpec spec_;
+    EcssdOptions options_;
     ServerConfig config_;
     /** Host-compute pool shared by the functional classifier
      *  (options.threads workers); declared before classifier_ so it
      *  outlives every parallel consumer. */
     std::unique_ptr<sim::ThreadPool> threadPool_;
-    xclass::ApproximateClassifier classifier_;
+    std::unique_ptr<xclass::ApproximateClassifier> classifier_;
     std::unique_ptr<EcssdSystem> system_;
+    /** The in-flight (or last terminal) hot swap. */
+    std::unique_ptr<StagedSwap> swap_;
+    std::uint64_t deployEpoch_ = 1;
+    std::uint64_t weightVersion_ = 1;
+    /** Recent request features (ring): hot-swap warm-up/validation
+     *  replay material. */
+    std::vector<std::vector<float>> recentQueries_;
+    std::size_t recentCursor_ = 0;
     std::deque<PendingRequest> pending_;
     /** Terminal responses produced outside a served batch (shed at
      *  admission, dropped at expiry); drained by processAll /
@@ -244,8 +340,13 @@ class InferenceServer
     sim::Distribution latencyMs_;
     sim::Percentiles latencyPercentiles_;
     ServerStats stats_;
-    /** Optional live-metrics sink (null = uninstrumented). */
+    /** Lifetime hot-swap outcome counts. */
+    std::uint64_t redeployCommits_ = 0;
+    std::uint64_t redeployRollbacks_ = 0;
+    /** Optional observability sinks (null = uninstrumented); kept so
+     *  an epoch flip can re-instrument the new system. */
     sim::MetricsRegistry *metrics_ = nullptr;
+    sim::SpanTracer *spans_ = nullptr;
 };
 
 } // namespace ecssd

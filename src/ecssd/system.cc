@@ -202,6 +202,14 @@ EcssdSystem::publishMetrics(sim::MetricsRegistry &registry,
         registry.gaugeSet("run.cache_hit_rate",
                           result.cacheHitRate());
     }
+    // Serving identity, only once a versioned layer stamped it —
+    // unversioned runs keep their metrics JSON byte-identical.
+    if (weightVersion_ != 0) {
+        registry.gaugeSet("run.deploy_epoch",
+                          static_cast<double>(deployEpoch_));
+        registry.gaugeSet("run.weight_version",
+                          static_cast<double>(weightVersion_));
+    }
 }
 
 circuit::EnergyBreakdown
@@ -230,11 +238,16 @@ EcssdSystem::estimateRunEnergy(const accel::RunResult &result) const
 sim::Tick
 EcssdSystem::deployTimeEstimate() const
 {
-    const ssdsim::SsdConfig &config = options_.ssd;
+    return estimateDeployTime(spec_, options_.ssd);
+}
 
+sim::Tick
+estimateDeployTime(const xclass::BenchmarkSpec &spec,
+                   const ssdsim::SsdConfig &config)
+{
     // 4-bit matrix: host link then DRAM write, pipelined; the slower
     // of the two links bounds the stream.
-    const std::uint64_t int4_bytes = spec_.int4WeightBytes();
+    const std::uint64_t int4_bytes = spec.int4WeightBytes();
     ECSSD_ASSERT(int4_bytes <= config.dramBytes,
                  "INT4 screener does not fit the SSD DRAM; "
                  "scale out (Section 7.1)");
@@ -245,7 +258,7 @@ EcssdSystem::deployTimeEstimate() const
 
     // 32-bit matrix: programs stripe over every channel and die, so
     // the throughput per channel is pageBytes / max(bus, tPROG/dies).
-    const std::uint64_t fp32_bytes = spec_.fp32WeightBytes();
+    const std::uint64_t fp32_bytes = spec.fp32WeightBytes();
     const sim::Tick per_page_bus = config.pageTransferTime();
     const sim::Tick per_page_prog = sim::microseconds(
         config.programLatencyUs / config.diesPerChannel);

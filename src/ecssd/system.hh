@@ -87,6 +87,17 @@ struct EcssdOptions
 std::string describe(const EcssdOptions &options);
 
 /**
+ * Analytic weight-deployment (preparation) time of @p spec on a
+ * device with @p config: the 4-bit matrix streams into DRAM, the
+ * 32-bit matrix programs into flash with all channels in parallel.
+ * Free-standing so redeploy planners can price a version *before*
+ * building a system for it.  Fatal when the INT4 screener does not
+ * fit the SSD DRAM.
+ */
+sim::Tick estimateDeployTime(const xclass::BenchmarkSpec &spec,
+                             const ssdsim::SsdConfig &config);
+
+/**
  * One ECSSD instance bound to a workload.
  *
  * Owns the event queue, SSD device, layout, trace generator, and
@@ -144,10 +155,30 @@ class EcssdSystem
      * tick: retention ages are measured against it, so serving layers
      * pass their cumulative service time.
      */
-    ssdsim::HealthReport health(sim::Tick now) const
+    ssdsim::HealthReport
+    health(sim::Tick now) const
     {
-        return ssd_->health(now);
+        ssdsim::HealthReport report = ssd_->health(now);
+        report.deployEpoch = deployEpoch_;
+        report.weightVersion = weightVersion_;
+        return report;
     }
+
+    /**
+     * Stamp the serving identity a versioned layer (EcssdApi, the
+     * server, the fleet) gave this system.  Surfaces in health() and,
+     * when the version is nonzero, in publishMetrics() — unversioned
+     * systems keep their metrics JSON byte-identical.
+     */
+    void
+    setDeployVersion(std::uint64_t epoch, std::uint64_t version)
+    {
+        deployEpoch_ = epoch;
+        weightVersion_ = version;
+    }
+
+    std::uint64_t deployEpoch() const { return deployEpoch_; }
+    std::uint64_t weightVersion() const { return weightVersion_; }
 
     /**
      * Attach (or detach, with nullptr) observability sinks to the
@@ -176,6 +207,9 @@ class EcssdSystem
     std::unique_ptr<accel::TraceSource> trace_;
     std::unique_ptr<layout::LayoutStrategy> strategy_;
     std::unique_ptr<accel::InferencePipeline> pipeline_;
+    /** Serving identity (0/0 until a versioned layer stamps it). */
+    std::uint64_t deployEpoch_ = 0;
+    std::uint64_t weightVersion_ = 0;
 };
 
 } // namespace ecssd

@@ -34,7 +34,13 @@ compareBaselines(const std::map<std::string, double> &baseline,
             continue;
         const auto it = current.find(key);
         if (it == current.end()) {
-            failures.push_back("missing metric '" + key + "'");
+            // A key the baseline gates on has disappeared from the
+            // current run — the regression this most often means is
+            // a silently-dropped instrument, so the message says
+            // which side lost it.
+            failures.push_back("missing metric '" + key
+                               + "': present in baseline, absent "
+                                 "from current run");
             continue;
         }
         const double actual = it->second;

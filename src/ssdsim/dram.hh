@@ -81,6 +81,22 @@ class DramModel
         reservedBytes_ += bytes;
     }
 
+    /**
+     * Reservation attempt that reports failure instead of dying:
+     * the online-redeploy path probes whether a staged version fits
+     * the leftover DRAM and rolls back gracefully when it does not.
+     *
+     * @return True when the reservation was taken.
+     */
+    bool
+    tryReserve(std::uint64_t bytes)
+    {
+        if (bytes > availableBytes())
+            return false;
+        reservedBytes_ += bytes;
+        return true;
+    }
+
     /** Release a prior reservation (weight redeployment). */
     void
     release(std::uint64_t bytes)

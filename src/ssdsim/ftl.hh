@@ -179,6 +179,11 @@ class Ftl
      *  writes (end of life). */
     bool readOnly() const { return readOnly_; }
 
+    /** Latch the device read-only immediately (fault injection:
+     *  end-of-life mid-redeploy).  Like the organic latch, it is
+     *  never cleared. */
+    void forceReadOnly() { readOnly_ = true; }
+
     /** SMART-style health snapshot at tick @p now. */
     HealthReport healthReport(sim::Tick now) const;
 

@@ -58,6 +58,15 @@ struct HealthReport
     /** Blocks migrated by static wear leveling. */
     std::uint64_t wearLevelMoves = 0;
 
+    // --- Serving identity -------------------------------------------
+    /** Deploy epoch the serving layer stamped on this device (0 when
+     *  no versioned serving layer owns it).  Lets operators tell
+     *  which weight generation a device is serving. */
+    std::uint64_t deployEpoch = 0;
+    /** Monotone weight-version id of the deployed model (0 = none or
+     *  unversioned legacy deploy). */
+    std::uint64_t weightVersion = 0;
+
     // --- Media-error trend -----------------------------------------
     /** Page reads the flash array has served (all paths). */
     std::uint64_t mediaReads = 0;

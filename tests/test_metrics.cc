@@ -255,7 +255,26 @@ TEST(Baseline, MissingCurrentKeyFails)
     const std::map<std::string, double> current = {};
     const auto failures = compareBaselines(baseline, current);
     ASSERT_EQ(failures.size(), 1u);
-    EXPECT_NE(failures[0].find("missing"), std::string::npos);
+    // The diagnostic must name the metric and say which side lost it
+    // (a dropped instrument reads very differently from a drift).
+    EXPECT_NE(failures[0].find("missing metric 'counters.rows'"),
+              std::string::npos);
+    EXPECT_NE(failures[0].find("absent from current run"),
+              std::string::npos);
+}
+
+TEST(Baseline, MissingTrendKeyIsNotGated)
+{
+    // Trend-only series are recorded for plotting: their absence must
+    // never fail the gate, while a missing gated key still does.
+    const std::map<std::string, double> baseline = {
+        {"trend.cache.hit_rate", 0.9}, {"counters.rows", 100.0}};
+    const std::map<std::string, double> current = {
+        {"counters.rows", 100.0}};
+    EXPECT_TRUE(compareBaselines(baseline, current).empty());
+    const auto failures = compareBaselines(baseline, {});
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].find("counters.rows"), std::string::npos);
 }
 
 TEST(Baseline, ExtraCurrentKeysAreIgnored)

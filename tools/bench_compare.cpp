@@ -72,18 +72,47 @@ main(int argc, char **argv)
     const auto current =
         ecssd::sim::parseFlatJson(readFile(files[1]));
 
+    // A baseline with nothing to gate on would "pass" every run —
+    // the classic silent failure when a rename or a truncated
+    // regeneration empties it.  Treat it as a hard error so CI can
+    // never go green on a vacuous comparison.
+    std::size_t gated = 0;
+    for (const auto &[key, value] : baseline) {
+        (void)value;
+        if (!ecssd::sim::isTrendKey(key))
+            ++gated;
+    }
+    if (gated == 0) {
+        std::fprintf(stderr,
+                     "bench-compare: baseline '%s' has no gateable "
+                     "metrics (%zu keys, all trend-only or none); "
+                     "regenerate it before gating on it\n",
+                     files[0].c_str(), baseline.size());
+        return 1;
+    }
+
     const std::vector<std::string> failures =
         ecssd::sim::compareBaselines(baseline, current, tolerance);
     if (failures.empty()) {
         std::printf("bench-compare: %zu metrics within tolerance "
                     "(latency %.0f%%, counter %.0f%%)\n",
-                    baseline.size(), tolerance.latency * 100.0,
+                    gated, tolerance.latency * 100.0,
                     tolerance.counter * 100.0);
         return 0;
     }
+    // Split the diff: a metric that vanished is a different bug (a
+    // dropped instrument or renamed key) than one that drifted, and
+    // the fix for each is different.
+    std::size_t missing = 0;
+    for (const std::string &failure : failures) {
+        if (failure.rfind("missing metric", 0) == 0)
+            ++missing;
+    }
     std::fprintf(stderr,
-                 "bench-compare: %zu of %zu metrics drifted:\n",
-                 failures.size(), baseline.size());
+                 "bench-compare: %zu of %zu gated metrics failed "
+                 "(%zu missing from current, %zu drifted):\n",
+                 failures.size(), gated, missing,
+                 failures.size() - missing);
     for (const std::string &failure : failures)
         std::fprintf(stderr, "  %s\n", failure.c_str());
     return 1;

@@ -50,6 +50,15 @@
  *                         requests through the InferenceServer
  *                         (functional tier; needs --scale small
  *                         enough for in-memory weights)
+ *
+ * Weight hot swap (see docs/MODELING.md Section 12):
+ *   --redeploy-at N       during the serving pass, begin a staged
+ *                         hot swap to a fresh weight version after
+ *                         the first N requests; the swap stages,
+ *                         validates, and flips under the remaining
+ *                         live traffic (requires --serve-requests)
+ *   --redeploy-io-budget F  background staging IO budget as a
+ *                         fraction of device bandwidth (default 0.25)
  */
 
 #include <cstdio>
@@ -84,6 +93,8 @@ struct CliOptions
     std::string metricsProm;
     std::string spanLog;
     unsigned serveRequests = 0;
+    unsigned redeployAt = 0;
+    double redeployIoBudget = 0.25;
     EcssdOptions device = EcssdOptions::full();
 
     bool
@@ -114,7 +125,8 @@ usage(const char *argv0, int code)
                 "  [--scrub-threshold P] [--scrub-budget N]\n"
                 "  [--wear-level-bound N] [--health]\n"
                 "  [--metrics-json FILE] [--metrics-prom FILE]\n"
-                "  [--span-log FILE] [--serve-requests N]\n",
+                "  [--span-log FILE] [--serve-requests N]\n"
+                "  [--redeploy-at N] [--redeploy-io-budget F]\n",
                 argv0);
     std::exit(code);
 }
@@ -182,6 +194,10 @@ printHealth(const EcssdSystem &system, sim::Tick now)
         (unsigned long long)h.mediaReads,
         (unsigned long long)h.mediaUncorrectable,
         h.observedErrorRate, h.predictedErrorRate);
+    std::printf("          serving: deploy epoch %llu  "
+                "weight version %llu\n",
+                (unsigned long long)h.deployEpoch,
+                (unsigned long long)h.weightVersion);
 }
 
 void
@@ -235,6 +251,7 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
 void
 runServingPass(const xclass::BenchmarkSpec &spec,
                const EcssdOptions &options, unsigned requests,
+               unsigned redeploy_at, double redeploy_io_budget,
                sim::MetricsRegistry *metrics,
                sim::SpanTracer *spans)
 {
@@ -250,9 +267,51 @@ runServingPass(const xclass::BenchmarkSpec &spec,
     InferenceServer server(model.weights(), spec, options);
     server.attachObservability(metrics, spans);
     sim::Rng rng(options.seed);
-    for (unsigned r = 0; r < requests; ++r)
+
+    // Optional hot swap: serve the first --redeploy-at requests on
+    // the initial version, begin the staged swap to a fresh weight
+    // version, then serve the rest while the swap stages, validates,
+    // and flips underneath them.
+    std::unique_ptr<xclass::SyntheticModel> next_model;
+    const unsigned before =
+        redeploy_at > 0 ? std::min(redeploy_at, requests) : requests;
+    for (unsigned r = 0; r < before; ++r)
         server.enqueue(model.sampleQuery(rng));
     server.processAll(5);
+    if (redeploy_at > 0) {
+        next_model = std::make_unique<xclass::SyntheticModel>(
+            spec, options.seed + 1);
+        RedeployConfig config;
+        config.ioBudgetFraction = redeploy_io_budget;
+        // The swap target is a freshly-synthesized model, which
+        // shares no screening structure with the serving one — a
+        // recall gate would always roll the demo back.  Production
+        // swaps (retrained weights) keep the default gate.
+        config.minValidationRecall = 0.0;
+        const Status begun = server.beginRedeploy(
+            next_model->weights(), spec, config);
+        if (begun != Status::Ok)
+            sim::warn("--redeploy-at: beginRedeploy returned ",
+                      toString(begun));
+        for (unsigned r = before; r < requests; ++r)
+            server.enqueue(model.sampleQuery(rng));
+        server.processAll(5);
+        const RedeployStatus status = server.redeployStatus();
+        std::printf("  redeploy: %s%s%s  staged %llu/%llu bytes  "
+                    "recall %.3f  epoch %llu -> %llu  version %llu\n",
+                    toString(status.phase),
+                    status.reason == RollbackReason::None ? ""
+                                                          : "  ",
+                    status.reason == RollbackReason::None
+                        ? ""
+                        : toString(status.reason),
+                    (unsigned long long)status.stagedBytes,
+                    (unsigned long long)status.totalBytes,
+                    status.validationRecall,
+                    (unsigned long long)status.oldEpoch,
+                    (unsigned long long)server.deployEpoch(),
+                    (unsigned long long)server.weightVersion());
+    }
     if (metrics)
         server.publishMetrics(*metrics);
 }
@@ -378,6 +437,12 @@ main(int argc, char **argv)
         } else if (arg == "--serve-requests") {
             cli.serveRequests = static_cast<unsigned>(std::strtoul(
                 next("--serve-requests").c_str(), nullptr, 10));
+        } else if (arg == "--redeploy-at") {
+            cli.redeployAt = static_cast<unsigned>(std::strtoul(
+                next("--redeploy-at").c_str(), nullptr, 10));
+        } else if (arg == "--redeploy-io-budget") {
+            cli.redeployIoBudget = std::strtod(
+                next("--redeploy-io-budget").c_str(), nullptr);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -389,6 +454,9 @@ main(int argc, char **argv)
     // any benchmark state is built (the spec-dependent capacity
     // checks rerun inside EcssdSystem).
     cli.device.validate();
+    if (cli.redeployAt > 0 && cli.serveRequests == 0)
+        sim::fatal("--redeploy-at needs a serving pass; add "
+                   "--serve-requests N");
 
     xclass::BenchmarkSpec spec =
         xclass::benchmarkByName(cli.benchmark);
@@ -440,6 +508,7 @@ main(int argc, char **argv)
                cli.health, &registry, &tracer, quiet);
         if (cli.serveRequests > 0)
             runServingPass(spec, cli.device, cli.serveRequests,
+                           cli.redeployAt, cli.redeployIoBudget,
                            &registry, &tracer);
         if (!cli.metricsJson.empty())
             writeDump(cli.metricsJson, [&](std::ostream &os) {
