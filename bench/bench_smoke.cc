@@ -10,8 +10,11 @@
  *  - BENCH_e2e.json: per-benchmark end-to-end latency/utilization at
  *    a reduced scale (Fig 13's sweep shrunk to smoke size), an
  *    InferenceServer serving pass, a hot-row cache pass (hit/miss
- *    latency split plus a trend-only hit-rate), and a hot-swap pass
- *    (serving p99 through a staged redeploy, swap outcome counters);
+ *    latency split plus a trend-only hit-rate), a hot-swap pass
+ *    (serving p99 through a staged redeploy, swap outcome counters),
+ *    and an open-loop overload pass (100k bursty arrivals against
+ *    the admission/brownout stack: tail percentiles, goodput, shed
+ *    split, ladder dwell);
  *  - BENCH_breakdown.json: the Fig 8 stepwise technique breakdown on
  *    one benchmark.
  *
@@ -217,6 +220,93 @@ benchRedeploy(BaselineDoc &doc)
 }
 
 void
+benchOverload(BaselineDoc &doc)
+{
+    // Open-loop overload pass: a 100k-arrival bursty (MMPP-2) trace
+    // at ~3x the device's service rate, served under the full
+    // overload-control stack (queue-delay admission, class-aware
+    // shedding, deadline-slack batching, brownout ladder).  Every
+    // number is simulated time or a deterministic event count, so the
+    // tail percentiles, goodput, shed split, and ladder dwell are all
+    // gated: an admission or ladder regression shows up as a p999
+    // blowup or a shed-mix shift.  The spec is tiny (256 categories)
+    // so the 100k-request functional pass stays inside the smoke
+    // budget.
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 256);
+    spec.hiddenDim = 64;
+    spec.batchSize = 8;
+    const EcssdOptions options = EcssdOptions::full();
+    xclass::SyntheticModel model(spec, options.seed);
+
+    ServerConfig config;
+    config.admissionTargetDelay = sim::microseconds(500.0);
+    config.brownout.enterDelay = sim::microseconds(400.0);
+    config.brownout.exitDelay = sim::microseconds(200.0);
+    config.brownout.recoveryGuard = sim::microseconds(100.0);
+    config.batchMaxWait = sim::microseconds(50.0);
+    InferenceServer server(model.weights(), spec, options,
+                           &model.basis(), config);
+
+    std::vector<std::vector<float>> queries;
+    sim::Rng qrng(options.seed);
+    for (int q = 0; q < 32; ++q)
+        queries.push_back(model.sampleQuery(qrng));
+
+    sim::TrafficConfig traffic;
+    traffic.process = sim::ArrivalProcess::BurstySpike;
+    traffic.ratePerSecond = 60000.0;
+    traffic.burstRateMultiplier = 6.0;
+    traffic.goldFraction = 0.25;
+    traffic.seed = 17;
+    sim::TrafficEngine engine(traffic);
+    const auto responses =
+        server.runTraffic(engine, 100000, queries, 5);
+    if (responses.size() != 100000)
+        sim::fatal("overload smoke lost terminals");
+
+    const ServerStats &stats = server.serverStats();
+    doc.latency["overload.p99_ms"] =
+        server.latencyPercentiles().p99();
+    doc.latency["overload.p999_ms"] =
+        server.latencyPercentiles().quantile(0.999);
+    doc.latency["overload.device_time_ms"] =
+        sim::tickToMs(server.deviceTime());
+    doc.latency["overload.brownout_full_dwell_ms"] =
+        sim::tickToMs(server.brownoutDwell(BrownoutLevel::Full));
+    doc.latency["overload.brownout_degraded_dwell_ms"] =
+        sim::tickToMs(
+            server.brownoutDwell(BrownoutLevel::ReducedCandidates))
+        + sim::tickToMs(
+            server.brownoutDwell(BrownoutLevel::ScreenerOnly))
+        + sim::tickToMs(server.brownoutDwell(BrownoutLevel::Shed));
+    // Goodput: served (non-shed, non-dropped) answers per second of
+    // simulated device time.
+    doc.counters["overload.goodput_rps"] =
+        static_cast<double>(stats.okResponses
+                            + stats.degradedResponses)
+        / sim::tickToSeconds(server.deviceTime());
+    doc.counters["overload.shed_gold"] =
+        static_cast<double>(stats.shedGold);
+    doc.counters["overload.shed_best_effort"] =
+        static_cast<double>(stats.shedBestEffort);
+    doc.counters["overload.admission_sheds"] =
+        static_cast<double>(stats.admissionSheds);
+    doc.counters["overload.brownout_sheds"] =
+        static_cast<double>(stats.brownoutSheds);
+    doc.counters["overload.brownout_transitions"] =
+        static_cast<double>(stats.brownoutTransitions);
+    doc.counters["overload.served_full"] =
+        static_cast<double>(stats.servedFull);
+    doc.counters["overload.served_reduced_candidates"] =
+        static_cast<double>(stats.servedReducedCandidates);
+    doc.counters["overload.served_screener_only"] =
+        static_cast<double>(stats.servedScreenerOnly);
+    doc.counters["overload.queue_depth_hwm"] =
+        static_cast<double>(stats.queueDepthHwm);
+}
+
+void
 benchBreakdown(BaselineDoc &doc)
 {
     // The Fig 8 ladder on one benchmark at smoke scale.
@@ -275,6 +365,7 @@ main(int argc, char **argv)
     benchCache(e2e);
     benchServing(e2e);
     benchRedeploy(e2e);
+    benchOverload(e2e);
     e2e.write(out_dir + "/BENCH_e2e.json");
 
     BaselineDoc breakdown;

@@ -309,6 +309,150 @@ ScaleOutEcssd::runInference(unsigned batches)
 }
 
 void
+RoutingConfig::validate() const
+{
+    if (replicasPerShard == 0)
+        sim::fatal("RoutingConfig: replicasPerShard must be >= 1");
+}
+
+RoutedServeResult
+ScaleOutEcssd::serveRouted(const std::vector<sim::Tick> &arrivals,
+                           const RoutingConfig &routing)
+{
+    routing.validate();
+    RoutedServeResult result;
+    if (arrivals.empty())
+        return result;
+
+    // Calibration probe: one real batch per live shard pins the
+    // per-shard service time the router schedules with (and ages the
+    // shard accordingly — the probe is served work).  The routed run
+    // itself is a scheduling model over those times: replicas of a
+    // shard serve the same partition at the same speed.
+    std::vector<sim::Tick> service(devices(), 0);
+    unsigned live = 0;
+    for (unsigned d = 0; d < devices(); ++d) {
+        if (!health_[d].alive)
+            continue;
+        const accel::RunResult probe = shards_[d]->runInference(1);
+        service[d] = std::max<sim::Tick>(probe.totalTime, 1);
+        health_[d].batchesServed += 1;
+        health_[d].serviceTime += probe.totalTime;
+        ++live;
+    }
+    if (live == 0)
+        sim::fatal("serveRouted: every shard is dead; nothing can "
+                   "serve the partition");
+
+    const unsigned replicas = routing.replicasPerShard;
+    // busyUntil clock per (shard, replica): the router's whole view
+    // of backlog.  Dead shards keep zeroed slots that are never
+    // consulted.
+    std::vector<sim::Tick> busy(
+        static_cast<std::size_t>(devices()) * replicas, 0);
+    const sim::Tick merge = sim::microseconds(5.0) * live;
+
+    double latency_sum_ms = 0.0;
+    sim::Tick previous_arrival = 0;
+    for (const sim::Tick arrival : arrivals) {
+        ECSSD_ASSERT(arrival >= previous_arrival,
+                     "serveRouted arrivals must be non-decreasing");
+        previous_arrival = arrival;
+        sim::Tick completion = 0;
+        for (unsigned d = 0; d < devices(); ++d) {
+            if (!health_[d].alive)
+                continue;
+            // Queue-depth-aware routing: least-busy replica wins,
+            // lowest index on ties, so the schedule is a pure
+            // function of the arrival stream.
+            const std::size_t base =
+                static_cast<std::size_t>(d) * replicas;
+            unsigned primary = 0;
+            for (unsigned r = 1; r < replicas; ++r) {
+                if (busy[base + r] < busy[base + primary])
+                    primary = r;
+            }
+            const sim::Tick backlog_tick =
+                busy[base + primary] > arrival
+                    ? busy[base + primary] - arrival
+                    : 0;
+            const std::uint64_t backlog =
+                (backlog_tick + service[d] - 1) / service[d];
+            result.maxReplicaBacklog =
+                std::max(result.maxReplicaBacklog, backlog);
+            const sim::Tick start =
+                std::max(arrival, busy[base + primary]);
+            sim::Tick done = start + service[d];
+            busy[base + primary] = done;
+            ++result.subRequests;
+
+            // Deadline-triggered hedge: the expected completion is
+            // known at dispatch (the schedule is deterministic), so
+            // the duplicate launches immediately on the
+            // next-least-busy replica; first response wins and the
+            // loser's work is the capacity price of the tail cut.
+            if (routing.hedgeDelay != 0 && replicas > 1
+                && done > arrival + routing.hedgeDelay) {
+                unsigned hedge = primary == 0 ? 1 : 0;
+                for (unsigned r = 0; r < replicas; ++r) {
+                    if (r == primary)
+                        continue;
+                    if (busy[base + r] < busy[base + hedge])
+                        hedge = r;
+                }
+                const sim::Tick hedge_start =
+                    std::max(arrival, busy[base + hedge]);
+                const sim::Tick hedge_done =
+                    hedge_start + service[d];
+                busy[base + hedge] = hedge_done;
+                ++result.hedgesIssued;
+                ++result.subRequests;
+                if (hedge_done < done) {
+                    ++result.hedgeWins;
+                    done = hedge_done;
+                }
+            }
+            completion = std::max(completion, done);
+        }
+        completion += merge;
+        ++result.requests;
+        result.makespan = std::max(result.makespan, completion);
+        const double ms = sim::tickToMs(completion - arrival);
+        latency_sum_ms += ms;
+        result.latencyMs.sample(ms);
+    }
+    result.meanLatencyMs =
+        latency_sum_ms / static_cast<double>(result.requests);
+    return result;
+}
+
+void
+ScaleOutEcssd::publishRoutedMetrics(
+    sim::MetricsRegistry &registry,
+    const RoutedServeResult &result) const
+{
+    registry.gaugeSet("fleet.routed.requests",
+                      static_cast<double>(result.requests));
+    registry.gaugeSet("fleet.routed.sub_requests",
+                      static_cast<double>(result.subRequests));
+    registry.gaugeSet("fleet.routed.hedges_issued",
+                      static_cast<double>(result.hedgesIssued));
+    registry.gaugeSet("fleet.routed.hedge_wins",
+                      static_cast<double>(result.hedgeWins));
+    registry.gaugeSet("fleet.routed.makespan_ms",
+                      sim::tickToMs(result.makespan));
+    registry.gaugeSet("fleet.routed.mean_latency_ms",
+                      result.meanLatencyMs);
+    registry.gaugeSet("fleet.routed.p50_latency_ms",
+                      result.latencyMs.p50());
+    registry.gaugeSet("fleet.routed.p99_latency_ms",
+                      result.latencyMs.p99());
+    registry.gaugeSet(
+        "fleet.routed.max_replica_backlog",
+        static_cast<double>(result.maxReplicaBacklog));
+}
+
+void
 ScaleOutEcssd::publishMetrics(sim::MetricsRegistry &registry,
                               const ScaleOutResult &result) const
 {

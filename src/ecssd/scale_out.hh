@@ -23,6 +23,7 @@
 
 #include "ecssd/redeploy.hh"
 #include "ecssd/system.hh"
+#include "sim/stats.hh"
 
 namespace ecssd
 {
@@ -113,6 +114,56 @@ struct ScaleOutResult
      * the categories.
      */
     double recallLossEstimate = 0.0;
+};
+
+/**
+ * Replica and tail-latency policy of the routed serving front-end
+ * (serveRouted).  A request fans out to every shard (the partition
+ * is row-wise, so every shard must score its category range); within
+ * a shard the router balances reads across replicas by backlog and
+ * hedges sub-requests whose expected completion runs late.
+ */
+struct RoutingConfig
+{
+    /** Read replicas per shard (>= 1).  Replicas serve the same row
+     *  partition, so a hot shard is served from more than one
+     *  device; reads balance across them by backlog. */
+    unsigned replicasPerShard = 1;
+    /**
+     * Deadline-triggered hedging: when a sub-request's expected
+     * completion (on its least-busy replica) exceeds its arrival by
+     * more than this, a duplicate is issued to the next-least-busy
+     * replica and the first response wins — the straggler's work is
+     * wasted capacity, which is the standard hedging trade.  0
+     * disables hedging; so does a single replica (nowhere to hedge).
+     */
+    sim::Tick hedgeDelay = 0;
+
+    /** Die fatally (sim::FatalError) on an inconsistent config. */
+    void validate() const;
+};
+
+/** Outcome of one routed open-loop serving run. */
+struct RoutedServeResult
+{
+    /** Requests served (one per arrival). */
+    std::uint64_t requests = 0;
+    /** Sub-requests executed across shards and replicas, hedges
+     *  included. */
+    std::uint64_t subRequests = 0;
+    /** Hedged duplicates issued. */
+    std::uint64_t hedgesIssued = 0;
+    /** Hedges whose response beat the primary replica's. */
+    std::uint64_t hedgeWins = 0;
+    /** Completion time of the last request. */
+    sim::Tick makespan = 0;
+    /** End-to-end request latency quantiles, milliseconds. */
+    sim::Percentiles latencyMs;
+    double meanLatencyMs = 0.0;
+    /** Peak backlog (queued sub-requests) of any single replica —
+     *  the balance measure replica routing is supposed to keep
+     *  low. */
+    std::uint64_t maxReplicaBacklog = 0;
 };
 
 /** Outcome of one rolling fleet weight redeploy. */
@@ -241,6 +292,27 @@ class ScaleOutEcssd
      * recall loss.  Fatal when no shard serves any batch.
      */
     ScaleOutResult runInference(unsigned batches);
+
+    /**
+     * Serve an open-loop arrival stream through the routed
+     * front-end: every arrival fans out one sub-request per shard,
+     * the router picks the least-backlogged replica (lowest index on
+     * ties, so the schedule is deterministic), and late sub-requests
+     * are hedged per @p routing.  The request completes when its
+     * slowest shard answers plus the host merge; per-shard service
+     * time comes from a one-batch calibration probe against the live
+     * device at the start of the run.
+     *
+     * @param arrivals Non-decreasing request arrival times.
+     * @param routing Replica/hedging policy.
+     */
+    RoutedServeResult serveRouted(
+        const std::vector<sim::Tick> &arrivals,
+        const RoutingConfig &routing = RoutingConfig{});
+
+    /** Snapshot one routed run as "fleet.routed.*" gauges. */
+    void publishRoutedMetrics(sim::MetricsRegistry &registry,
+                              const RoutedServeResult &result) const;
 
     /**
      * Snapshot fleet state and the per-shard outcome of @p result

@@ -10,6 +10,52 @@
 namespace ecssd
 {
 
+const char *
+toString(BrownoutLevel level)
+{
+    switch (level) {
+    case BrownoutLevel::Full:
+        return "full";
+    case BrownoutLevel::ReducedCandidates:
+        return "reduced-candidates";
+    case BrownoutLevel::ScreenerOnly:
+        return "screener-only";
+    case BrownoutLevel::Shed:
+        return "shed";
+    }
+    return "unknown";
+}
+
+void
+BrownoutConfig::validate() const
+{
+    if (!enabled())
+        return;
+    if (exitDelay > enterDelay)
+        sim::fatal("BrownoutConfig: exitDelay (", exitDelay,
+                   ") must not exceed enterDelay (", enterDelay,
+                   "); the hysteresis band would be negative");
+    if (reducedCandidateFraction <= 0.0
+        || reducedCandidateFraction > 1.0)
+        sim::fatal("BrownoutConfig: reducedCandidateFraction must "
+                   "be in (0, 1], got ",
+                   reducedCandidateFraction);
+}
+
+void
+ServerConfig::validate() const
+{
+    if (goldAdmissionMultiplier < 1.0)
+        sim::fatal("ServerConfig: goldAdmissionMultiplier must be "
+                   ">= 1, got ",
+                   goldAdmissionMultiplier);
+    if (retryJitterFraction < 0.0 || retryJitterFraction > 1.0)
+        sim::fatal("ServerConfig: retryJitterFraction must be in "
+                   "[0, 1], got ",
+                   retryJitterFraction);
+    brownout.validate();
+}
+
 InferenceServer::InferenceServer(
     const numeric::FloatMatrix &weights,
     const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
@@ -22,11 +68,13 @@ InferenceServer::InferenceServer(
       classifier_(std::make_unique<xclass::ApproximateClassifier>(
           weights, spec, options.seed, trained_projection,
           threadPool_.get())),
-      system_(std::make_unique<EcssdSystem>(spec, options))
+      system_(std::make_unique<EcssdSystem>(spec, options)),
+      retryJitterRng_(server_config.retryJitterSeed)
 {
     ECSSD_ASSERT(weights.rows() == spec.categories
                      && weights.cols() == spec.hiddenDim,
                  "weights do not match the benchmark spec");
+    config_.validate();
     system_->setDeployVersion(deployEpoch_, weightVersion_);
 }
 
@@ -57,6 +105,38 @@ InferenceServer::publishMetrics(sim::MetricsRegistry &registry) const
     gauge("batch_retries", stats_.batchRetries);
     gauge("exhausted_batches", stats_.exhaustedBatches);
     gauge("degraded_rows", stats_.degradedRows);
+    gauge("queue_depth_hwm", stats_.queueDepthHwm);
+    if (config_.admissionTargetDelay != 0
+        || config_.brownout.enabled()) {
+        // Overload-control gauges appear only when the stack is
+        // configured, so legacy metric dumps stay byte-identical.
+        gauge("shed_gold", stats_.shedGold);
+        gauge("shed_best_effort", stats_.shedBestEffort);
+        gauge("admission_sheds", stats_.admissionSheds);
+        gauge("brownout_sheds", stats_.brownoutSheds);
+        gauge("evicted_best_effort", stats_.evictedBestEffort);
+        gauge("brownout_transitions", stats_.brownoutTransitions);
+        gauge("served_full", stats_.servedFull);
+        gauge("served_reduced_candidates",
+              stats_.servedReducedCandidates);
+        gauge("served_screener_only", stats_.servedScreenerOnly);
+        registry.gaugeSet("server.brownout_level",
+                          static_cast<double>(level_));
+        registry.gaugeSet(
+            "server.brownout_dwell_full_ms",
+            sim::tickToMs(brownoutDwell(BrownoutLevel::Full)));
+        registry.gaugeSet(
+            "server.brownout_dwell_reduced_ms",
+            sim::tickToMs(
+                brownoutDwell(BrownoutLevel::ReducedCandidates)));
+        registry.gaugeSet(
+            "server.brownout_dwell_screener_ms",
+            sim::tickToMs(
+                brownoutDwell(BrownoutLevel::ScreenerOnly)));
+        registry.gaugeSet(
+            "server.brownout_dwell_shed_ms",
+            sim::tickToMs(brownoutDwell(BrownoutLevel::Shed)));
+    }
     registry.gaugeSet("server.device_time_ms",
                       sim::tickToMs(deviceClock_));
     gauge("deploy_epoch", deployEpoch_);
@@ -108,27 +188,111 @@ InferenceServer::enqueue(std::vector<float> feature)
     return enqueueAt(std::move(feature), deviceClock_);
 }
 
+void
+InferenceServer::shedRequest(RequestId id, sim::Tick arrival,
+                             sim::RequestClass cls)
+{
+    ++stats_.shedRequests;
+    if (cls == sim::RequestClass::Gold)
+        ++stats_.shedGold;
+    else
+        ++stats_.shedBestEffort;
+    recordResponse(Response::Status::Shed, -1.0);
+    Response response{id, {}, arrival, Response::Status::Shed};
+    response.cls = cls;
+    unservedResponses_.push_back(std::move(response));
+}
+
+bool
+InferenceServer::evictYoungestBestEffort()
+{
+    for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+        if (it->cls != sim::RequestClass::BestEffort)
+            continue;
+        // The youngest BestEffort pays for the Gold arrival: it has
+        // waited least and its loss never inverts FIFO fairness
+        // within its own class.
+        ++stats_.evictedBestEffort;
+        shedRequest(it->id, it->enqueuedAt,
+                    sim::RequestClass::BestEffort);
+        --stats_.acceptedRequests;
+        pending_.erase(std::next(it).base());
+        return true;
+    }
+    return false;
+}
+
 InferenceServer::RequestId
 InferenceServer::enqueueAt(std::vector<float> feature,
-                           sim::Tick arrival)
+                           sim::Tick arrival, sim::RequestClass cls)
 {
     ECSSD_ASSERT(feature.size() == spec_.hiddenDim,
                  "feature dimension mismatch");
     const RequestId id = nextId_++;
+
+    // Brownout Shed rung: new BestEffort arrivals (and Gold only if
+    // its floor allows it) are rejected outright while the ladder is
+    // at the bottom.
+    if (config_.brownout.enabled() && level_ == BrownoutLevel::Shed
+        && (cls == sim::RequestClass::BestEffort
+            || config_.brownout.goldFloor == BrownoutLevel::Shed)) {
+        ++stats_.brownoutSheds;
+        if (metrics_)
+            metrics_->counterAdd("server.brownout_sheds");
+        shedRequest(id, arrival, cls);
+        return id;
+    }
+
+    // Queue-delay admission (CoDel-flavored): bound the *sojourn* a
+    // new arrival would suffer, not just the queue length.  The
+    // estimate is queue depth times the measured per-request service
+    // EWMA; Gold gets a deeper bound and may evict queued BestEffort
+    // work instead of being rejected.
+    if (config_.admissionTargetDelay != 0 && ewmaServiceTick_ != 0) {
+        const sim::Tick estimated =
+            static_cast<sim::Tick>(pending_.size())
+            * ewmaServiceTick_;
+        const sim::Tick bound = cls == sim::RequestClass::Gold
+            ? static_cast<sim::Tick>(
+                  static_cast<double>(config_.admissionTargetDelay)
+                  * config_.goldAdmissionMultiplier)
+            : config_.admissionTargetDelay;
+        if (estimated > bound) {
+            if (cls == sim::RequestClass::Gold
+                && evictYoungestBestEffort()) {
+                // Fall through to admission: the queue just shrank.
+            } else {
+                ++stats_.admissionSheds;
+                if (metrics_)
+                    metrics_->counterAdd("server.admission_sheds");
+                shedRequest(id, arrival, cls);
+                return id;
+            }
+        }
+    }
+
     if (config_.queueCapacity != 0
         && pending_.size() >= config_.queueCapacity) {
-        // Admission control: shedding at arrival keeps the queue
-        // (and therefore worst-case queueing delay) bounded under
-        // overload.
-        ++stats_.shedRequests;
-        recordResponse(Response::Status::Shed, -1.0);
-        unservedResponses_.push_back(
-            Response{id, {}, arrival, Response::Status::Shed});
-        return id;
+        // Hard bound: shedding at arrival keeps the queue (and
+        // therefore worst-case queueing delay) bounded under
+        // overload.  A Gold arrival first tries to reclaim a queued
+        // BestEffort slot so priority is never inverted at the door.
+        if (!(cls == sim::RequestClass::Gold
+              && evictYoungestBestEffort())) {
+            shedRequest(id, arrival, cls);
+            return id;
+        }
     }
     ++stats_.acceptedRequests;
     pending_.push_back(
-        PendingRequest{id, std::move(feature), arrival});
+        PendingRequest{id, std::move(feature), arrival, cls});
+    if (pending_.size() > stats_.queueDepthHwm) {
+        stats_.queueDepthHwm = pending_.size();
+        if (metrics_)
+            metrics_->gaugeSet(
+                "server.queue_depth_hwm",
+                static_cast<double>(stats_.queueDepthHwm));
+    }
     if (metrics_) {
         metrics_->counterAdd("server.accepted_requests");
         metrics_->gaugeSet(
@@ -165,7 +329,16 @@ InferenceServer::timeBatchWithRetries(
         ++stats_.batchRetries;
         if (metrics_)
             metrics_->counterAdd("server.batch_retries");
-        backoff += sim::microseconds(backoff_us);
+        // Seeded jitter decorrelates fleet-wide retry storms after a
+        // correlated fault; zero fraction draws nothing, so the
+        // fixed progression stays bit-identical.
+        double scaled = backoff_us;
+        if (config_.retryJitterFraction > 0.0) {
+            scaled *= 1.0
+                + config_.retryJitterFraction
+                    * (retryJitterRng_.uniform() - 0.5);
+        }
+        backoff += sim::microseconds(scaled);
         backoff_us *= 2.0;
         system_->ssd().resetTimelines();
         timing = system_->pipeline().runBatch(candidates, 0);
@@ -189,6 +362,29 @@ InferenceServer::timeBatchWithRetries(
     return timing;
 }
 
+BrownoutLevel
+InferenceServer::servingLevelFor(sim::RequestClass cls) const
+{
+    if (!config_.brownout.enabled())
+        return BrownoutLevel::Full;
+    // The Shed rung only rejects at admission; anything already in
+    // the queue is served at the cheapest rung.  That keeps the
+    // service rate at the bottom of the ladder at its maximum, which
+    // is what makes recovery (and the no-metastable-shed guarantee)
+    // structural rather than lucky.
+    BrownoutLevel level = level_ == BrownoutLevel::Shed
+        ? BrownoutLevel::ScreenerOnly
+        : level_;
+    if (cls == sim::RequestClass::Gold) {
+        BrownoutLevel floor = config_.brownout.goldFloor;
+        if (floor == BrownoutLevel::Shed)
+            floor = BrownoutLevel::ScreenerOnly;
+        if (static_cast<int>(level) > static_cast<int>(floor))
+            level = floor;
+    }
+    return level;
+}
+
 std::vector<InferenceServer::Response>
 InferenceServer::serveOneBatch(std::size_t k)
 {
@@ -208,30 +404,91 @@ InferenceServer::serveOneBatch(std::size_t k)
                 metrics_->counterAdd(
                     "server.dropped_before_service");
             recordResponse(Response::Status::TimedOut, -1.0);
-            responses.push_back(Response{request.id,
-                                         {},
-                                         deviceClock_,
-                                         Response::Status::TimedOut});
+            Response response{request.id,
+                              {},
+                              deviceClock_,
+                              Response::Status::TimedOut};
+            response.cls = request.cls;
+            responses.push_back(std::move(response));
             continue;
         }
         batch.push_back(std::move(request));
     }
+    // Dequeue-time gauge sample: the queue_depth trace must show the
+    // drain edges, not just the arrival edges.
+    if (metrics_ && !batch.empty()) {
+        metrics_->gaugeSet(
+            "server.queue_depth",
+            static_cast<double>(pending_.size()));
+    }
     if (batch.empty())
         return responses;
 
-    // Functional pass: screen every query and union the candidate
-    // rows the device must fetch for this batch.
+    // Functional pass: screen every query at its brownout rung and
+    // union the candidate rows the device must fetch.  Degraded
+    // rungs shrink (ReducedCandidates) or empty (ScreenerOnly) each
+    // request's contribution to the union — that is exactly the
+    // flash-traffic relief the ladder buys.
     std::set<std::uint64_t> union_rows;
     std::vector<xclass::ApproximateClassifier::Prediction>
         predictions;
+    std::vector<BrownoutLevel> rungs;
     for (const PendingRequest &request : batch) {
-        const auto prediction =
-            classifier_->predict(request.feature, k);
-        predictions.push_back(prediction);
-        const std::vector<std::uint64_t> rows =
-            classifier_->screener().screen(
-                request.feature, xclass::FilterMode::TopRatio);
-        union_rows.insert(rows.begin(), rows.end());
+        const BrownoutLevel rung = servingLevelFor(request.cls);
+        rungs.push_back(rung);
+        switch (rung) {
+        case BrownoutLevel::Full: {
+            predictions.push_back(
+                classifier_->predict(request.feature, k));
+            const std::vector<std::uint64_t> rows =
+                classifier_->screener().screen(
+                    request.feature, xclass::FilterMode::TopRatio);
+            union_rows.insert(rows.begin(), rows.end());
+            ++stats_.servedFull;
+            break;
+        }
+        case BrownoutLevel::ReducedCandidates: {
+            // Cap the usual candidate set to its top fraction by
+            // screener score, then full-precision re-rank only the
+            // survivors.
+            std::vector<std::uint64_t> rows =
+                classifier_->screener().screen(
+                    request.feature, xclass::FilterMode::TopRatio);
+            const std::size_t budget = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       static_cast<double>(rows.size())
+                       * config_.brownout.reducedCandidateFraction));
+            if (rows.size() > budget) {
+                const numeric::Int4Vector prepared =
+                    classifier_->screener().prepareFeature(
+                        request.feature);
+                const std::vector<double> scores =
+                    classifier_->screener().scores(prepared);
+                std::partial_sort(
+                    rows.begin(), rows.begin() + budget, rows.end(),
+                    [&scores](std::uint64_t a, std::uint64_t b) {
+                        if (scores[a] != scores[b])
+                            return scores[a] > scores[b];
+                        return a < b;
+                    });
+                rows.resize(budget);
+                std::sort(rows.begin(), rows.end());
+            }
+            predictions.push_back(
+                classifier_->predictFrom(request.feature, rows, k));
+            union_rows.insert(rows.begin(), rows.end());
+            ++stats_.servedReducedCandidates;
+            break;
+        }
+        default: {
+            // ScreenerOnly: top-k straight from the INT4 scores —
+            // no FP32 rows fetched for this request at all.
+            predictions.push_back(
+                classifier_->screenerOnly(request.feature, k));
+            ++stats_.servedScreenerOnly;
+            break;
+        }
+        }
         // Remember the feature: the next hot swap warms and
         // validates against the queries this server actually saw.
         if (recentQueries_.size() < 32) {
@@ -245,15 +502,30 @@ InferenceServer::serveOneBatch(std::size_t k)
     // Timing pass: the device fetches the union once per batch; the
     // batch cannot start before its newest member arrived.
     sim::Tick start = deviceClock_;
-    for (const PendingRequest &request : batch)
+    sim::Tick oldest_enqueue = sim::maxTick;
+    for (const PendingRequest &request : batch) {
         start = std::max(start, request.enqueuedAt);
+        oldest_enqueue = std::min(oldest_enqueue, request.enqueuedAt);
+    }
     const std::vector<std::uint64_t> candidates(union_rows.begin(),
                                                 union_rows.end());
     sim::Tick backoff = 0;
     const accel::BatchTiming timing =
         timeBatchWithRetries(candidates, backoff);
-    const sim::Tick finished = start + backoff + timing.latency();
+    const sim::Tick batch_tick = backoff + timing.latency();
+    const sim::Tick finished = start + batch_tick;
     stats_.degradedRows += timing.degradedRows;
+
+    // Service-time EWMAs (3/4 old + 1/4 new): the admission sojourn
+    // estimate and the dynamic-batching slack reserve.
+    const sim::Tick per_request =
+        batch_tick / static_cast<sim::Tick>(batch.size());
+    ewmaBatchTick_ = ewmaBatchTick_ == 0
+        ? batch_tick
+        : (3 * ewmaBatchTick_ + batch_tick) / 4;
+    ewmaServiceTick_ = ewmaServiceTick_ == 0
+        ? per_request
+        : (3 * ewmaServiceTick_ + per_request) / 4;
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const double ms =
@@ -266,7 +538,10 @@ InferenceServer::serveOneBatch(std::size_t k)
                 > batch[i].enqueuedAt + config_.requestDeadline) {
             status = Response::Status::TimedOut;
             ++stats_.timedOutRequests;
-        } else if (timing.degradedRows > 0) {
+        } else if (timing.degradedRows > 0
+                   || rungs[i] == BrownoutLevel::ScreenerOnly) {
+            // ScreenerOnly answers carry screener scores by
+            // construction — same contract as a degraded read.
             status = Response::Status::Degraded;
             ++stats_.degradedResponses;
         } else {
@@ -274,11 +549,14 @@ InferenceServer::serveOneBatch(std::size_t k)
             ++stats_.okResponses;
         }
         recordResponse(status, ms);
-        responses.push_back(Response{batch[i].id,
-                                     std::move(predictions[i]),
-                                     finished, status});
+        Response response{batch[i].id, std::move(predictions[i]),
+                          finished, status};
+        response.cls = batch[i].cls;
+        response.servedAt = rungs[i];
+        responses.push_back(std::move(response));
     }
     deviceClock_ = finished;
+    noteBatchSojourn(oldest_enqueue, finished);
     if (metrics_) {
         metrics_->gaugeSet(
             "server.queue_depth",
@@ -290,6 +568,117 @@ InferenceServer::serveOneBatch(std::size_t k)
     // is in flight across it.
     stepRedeploy();
     return responses;
+}
+
+void
+InferenceServer::setBrownoutLevel(BrownoutLevel level, sim::Tick now)
+{
+    if (level == level_)
+        return;
+    if (now > levelSince_)
+        levelDwell_[static_cast<int>(level_)] += now - levelSince_;
+    level_ = level;
+    levelSince_ = now;
+    ++stats_.brownoutTransitions;
+    if (metrics_) {
+        metrics_->counterAdd("server.brownout_transitions");
+        metrics_->gaugeSet("server.brownout_level",
+                           static_cast<double>(level));
+    }
+}
+
+void
+InferenceServer::noteBatchSojourn(sim::Tick oldest_enqueue,
+                                  sim::Tick finished)
+{
+    if (!config_.brownout.enabled())
+        return;
+    const sim::Tick sojourn = finished > oldest_enqueue
+        ? finished - oldest_enqueue
+        : 0;
+    if (sojourn > config_.brownout.enterDelay) {
+        // Overloaded: degrade one rung, and any healthy streak is
+        // over.
+        healthySince_ = sim::maxTick;
+        if (level_ != BrownoutLevel::Shed)
+            setBrownoutLevel(
+                static_cast<BrownoutLevel>(
+                    static_cast<int>(level_) + 1),
+                finished);
+    } else if (sojourn <= config_.brownout.exitDelay) {
+        // Healthy: recover one rung only after the guard dwell, and
+        // re-arm the guard per rung so a long backlog climbs out
+        // gradually instead of snapping to Full.
+        if (healthySince_ == sim::maxTick)
+            healthySince_ = finished;
+        if (level_ != BrownoutLevel::Full
+            && finished - healthySince_
+                >= config_.brownout.recoveryGuard) {
+            setBrownoutLevel(
+                static_cast<BrownoutLevel>(
+                    static_cast<int>(level_) - 1),
+                finished);
+            healthySince_ = finished;
+        }
+    } else {
+        // Hysteresis band: hold the rung, break the healthy streak.
+        healthySince_ = sim::maxTick;
+    }
+}
+
+void
+InferenceServer::idleRecoverStep()
+{
+    if (!config_.brownout.enabled()
+        || level_ == BrownoutLevel::Full)
+        return;
+    // An empty queue with no arrivals is trivially healthy: dwell
+    // out the recovery guard and climb one rung.  Looping this to
+    // Full is what guarantees every drain terminates in steady
+    // state — the ladder cannot stick below Full without traffic.
+    const sim::Tick guard =
+        std::max<sim::Tick>(config_.brownout.recoveryGuard, 1);
+    deviceClock_ += guard;
+    setBrownoutLevel(
+        static_cast<BrownoutLevel>(static_cast<int>(level_) - 1),
+        deviceClock_);
+    healthySince_ = deviceClock_;
+}
+
+sim::Tick
+InferenceServer::brownoutDwell(BrownoutLevel level) const
+{
+    sim::Tick dwell = levelDwell_[static_cast<int>(level)];
+    if (level == level_ && deviceClock_ > levelSince_)
+        dwell += deviceClock_ - levelSince_;
+    return dwell;
+}
+
+sim::Tick
+InferenceServer::batchCloseAt() const
+{
+    if (pending_.empty())
+        return sim::maxTick;
+    const sim::Tick oldest = pending_.front().enqueuedAt;
+    sim::Tick close = config_.batchMaxWait == 0
+        ? oldest
+        : oldest + config_.batchMaxWait;
+    if (config_.requestDeadline != 0) {
+        // Close early enough that the oldest member still makes its
+        // deadline given the measured batch service time: waiting
+        // for a fuller batch must never spend slack the request does
+        // not have.  The reserve is deliberately conservative (twice
+        // the EWMA: individual batches run long of the average), and
+        // an uncalibrated server does not wait at all.
+        if (ewmaBatchTick_ == 0)
+            return oldest;
+        const sim::Tick deadline = oldest + config_.requestDeadline;
+        const sim::Tick reserve = 2 * ewmaBatchTick_;
+        close = std::min(close, deadline > reserve
+                                    ? deadline - reserve
+                                    : oldest);
+    }
+    return close;
 }
 
 std::vector<InferenceServer::Response>
@@ -305,6 +694,11 @@ InferenceServer::processAll(std::size_t k)
     // the background daemon keeps ticking the state machine.
     while (redeployActive())
         stepRedeploy();
+    // ... and recovers the brownout ladder, so every drain ends in
+    // steady state (Full, empty queue).
+    while (config_.brownout.enabled()
+           && level_ != BrownoutLevel::Full)
+        idleRecoverStep();
     for (Response &response : unservedResponses_)
         responses.push_back(std::move(response));
     unservedResponses_.clear();
@@ -352,6 +746,91 @@ InferenceServer::runOpenLoop(
     }
     while (redeployActive())
         stepRedeploy();
+    while (config_.brownout.enabled()
+           && level_ != BrownoutLevel::Full)
+        idleRecoverStep();
+    for (Response &response : unservedResponses_)
+        responses.push_back(std::move(response));
+    unservedResponses_.clear();
+    return responses;
+}
+
+std::vector<InferenceServer::Response>
+InferenceServer::runTraffic(
+    sim::TrafficEngine &engine, std::uint64_t count,
+    const std::vector<std::vector<float>> &queries, std::size_t k)
+{
+    ECSSD_ASSERT(!queries.empty(),
+                 "traffic serving needs a query pool");
+    std::vector<Response> responses;
+    responses.reserve(count);
+
+    // Arrivals are drawn lazily one ahead: the engine is a pure
+    // function of its config, so the stream is byte-identical per
+    // seed no matter how serving interleaves with it.
+    std::uint64_t drawn = 0;
+    bool have_next = false;
+    sim::Arrival next_arrival;
+    const auto draw = [&]() {
+        if (drawn < count) {
+            next_arrival = engine.next();
+            ++drawn;
+            have_next = true;
+        } else {
+            have_next = false;
+        }
+    };
+    const auto admit = [&](const sim::Arrival &arrival) {
+        enqueueAt(queries[arrival.querySeed % queries.size()],
+                  arrival.at, arrival.cls);
+    };
+    draw();
+
+    while (have_next || !pending_.empty()) {
+        // The device idles forward to the next arrival when nothing
+        // is queued.
+        if (pending_.empty() && have_next
+            && next_arrival.at > deviceClock_)
+            deviceClock_ = next_arrival.at;
+        // Admit everything that has arrived by now.
+        while (have_next && next_arrival.at <= deviceClock_) {
+            admit(next_arrival);
+            draw();
+        }
+        // Deadline-slack dynamic batching: a partial batch may wait
+        // for more arrivals, but only until batchCloseAt() — the
+        // earlier of the batch-wait window and the oldest member's
+        // remaining deadline slack.
+        if (config_.batchMaxWait != 0) {
+            while (have_next && !pending_.empty()
+                   && pending_.size() < spec_.batchSize
+                   && next_arrival.at <= batchCloseAt()) {
+                deviceClock_ =
+                    std::max(deviceClock_, next_arrival.at);
+                admit(next_arrival);
+                draw();
+            }
+            if (!pending_.empty()
+                && pending_.size() < spec_.batchSize) {
+                const sim::Tick close = batchCloseAt();
+                if (close != sim::maxTick && close > deviceClock_)
+                    deviceClock_ = close;
+            }
+        }
+        if (pending_.empty())
+            continue;
+        std::vector<Response> batch = serveOneBatch(k);
+        for (Response &response : batch)
+            responses.push_back(std::move(response));
+    }
+
+    // Terminal drain: finish any in-flight hot swap and recover the
+    // ladder, so the run provably ends at (Full, empty queue).
+    while (redeployActive())
+        stepRedeploy();
+    while (config_.brownout.enabled()
+           && level_ != BrownoutLevel::Full)
+        idleRecoverStep();
     for (Response &response : unservedResponses_)
         responses.push_back(std::move(response));
     unservedResponses_.clear();

@@ -37,10 +37,61 @@
 #include "ecssd/redeploy.hh"
 #include "ecssd/system.hh"
 #include "sim/stats.hh"
+#include "sim/traffic.hh"
 #include "xclass/screening.hh"
 
 namespace ecssd
 {
+
+/**
+ * Brownout ladder rung: how far serving quality is degraded to keep
+ * goodput up under overload.  Ordered from healthy to desperate;
+ * the controller moves one rung at a time with hysteresis.
+ */
+enum class BrownoutLevel
+{
+    /** Normal screen + full-precision re-rank. */
+    Full = 0,
+    /** Candidate set capped to a fraction of the usual TopRatio
+     *  budget: less flash traffic per request, bounded recall
+     *  loss. */
+    ReducedCandidates = 1,
+    /** Serve top-k straight from the INT4 screener scores: no FP32
+     *  fetch at all, screener-level recall. */
+    ScreenerOnly = 2,
+    /** Reject new BestEffort arrivals at admission (Gold is still
+     *  served at its floor level); already-admitted requests are
+     *  served ScreenerOnly, never dropped. */
+    Shed = 3,
+};
+
+const char *toString(BrownoutLevel level);
+
+/** Hysteresis-guarded brownout controller parameters. */
+struct BrownoutConfig
+{
+    /** Worst batch sojourn (queueing + service) above which the
+     *  ladder degrades one level.  0 disables the whole ladder. */
+    sim::Tick enterDelay = 0;
+    /** Sojourn at or below this is "healthy"; between exit and
+     *  enter the level holds (the hysteresis band). */
+    sim::Tick exitDelay = 0;
+    /** Healthy dwell required before recovering one level (the
+     *  guard that prevents enter/exit flapping). */
+    sim::Tick recoveryGuard = 0;
+    /** Candidate budget at ReducedCandidates, as a fraction of the
+     *  normal TopRatio candidate count. */
+    double reducedCandidateFraction = 0.5;
+    /** Deepest degradation Gold traffic may suffer.  The default
+     *  pins Gold's recall floor at screener-level: Gold is never
+     *  shed by the ladder. */
+    BrownoutLevel goldFloor = BrownoutLevel::ScreenerOnly;
+
+    bool enabled() const { return enterDelay != 0; }
+
+    /** Die fatally (sim::FatalError) on inconsistent thresholds. */
+    void validate() const;
+};
 
 /** Serving-policy knobs of the InferenceServer. */
 struct ServerConfig
@@ -58,13 +109,47 @@ struct ServerConfig
     unsigned maxBatchRetries = 2;
     /** First retry backoff; doubles on every further attempt. */
     double retryBackoffUs = 100.0;
+    /**
+     * Queue-delay admission target (CoDel-flavored): a BestEffort
+     * arrival whose estimated sojourn — queue depth times the
+     * measured per-request service EWMA — exceeds this is shed at
+     * admission, bounding queueing delay instead of queue length.
+     * 0 disables delay-based admission.
+     */
+    sim::Tick admissionTargetDelay = 0;
+    /** Gold arrivals shed only past this multiple of the admission
+     *  target (and first try to evict a queued BestEffort). */
+    double goldAdmissionMultiplier = 2.0;
+    /**
+     * Dynamic batching: how long a partial batch may wait for more
+     * arrivals before closing.  The batch also closes early when the
+     * oldest member's deadline slack (deadline minus the estimated
+     * batch service time) would otherwise be exhausted.  0 keeps the
+     * eager closed-loop behaviour: serve whatever has arrived.
+     */
+    sim::Tick batchMaxWait = 0;
+    /** Brownout ladder (disabled by default). */
+    BrownoutConfig brownout;
+    /**
+     * Retry-backoff jitter: each backoff is scaled by a seeded
+     * uniform factor in [1 - f/2, 1 + f/2], decorrelating fleet-wide
+     * retry storms after a correlated fault.  0 draws nothing and is
+     * bit-identical to the fixed progression.
+     */
+    double retryJitterFraction = 0.0;
+    /** Seed of the jitter stream; give every fleet member its own. */
+    std::uint64_t retryJitterSeed = 1;
+
+    /** Die fatally (sim::FatalError) on inconsistent knobs. */
+    void validate() const;
 };
 
 /** Fault/health counters of one server instance. */
 struct ServerStats
 {
     std::uint64_t acceptedRequests = 0;
-    /** Arrivals rejected by the bounded queue. */
+    /** Arrivals rejected at admission (bounded queue, delay target,
+     *  brownout shed, or eviction), by any cause. */
     std::uint64_t shedRequests = 0;
     /** Requests that missed their deadline (dropped or served
      *  late). */
@@ -81,6 +166,27 @@ struct ServerStats
     std::uint64_t exhaustedBatches = 0;
     /** Candidate rows served from the INT4 screener score. */
     std::uint64_t degradedRows = 0;
+
+    // --- Overload control ------------------------------------------
+    /** Shed arrivals by class (shedGold + shedBestEffort ==
+     *  shedRequests). */
+    std::uint64_t shedGold = 0;
+    std::uint64_t shedBestEffort = 0;
+    /** Sheds decided by the queue-delay admission target. */
+    std::uint64_t admissionSheds = 0;
+    /** Sheds decided by the brownout Shed rung. */
+    std::uint64_t brownoutSheds = 0;
+    /** Queued BestEffort requests evicted (shed) to admit a Gold
+     *  arrival at a full queue. */
+    std::uint64_t evictedBestEffort = 0;
+    /** Highest pending-queue depth ever observed. */
+    std::uint64_t queueDepthHwm = 0;
+    /** Brownout ladder transitions (both directions). */
+    std::uint64_t brownoutTransitions = 0;
+    /** Responses served at each ladder rung. */
+    std::uint64_t servedFull = 0;
+    std::uint64_t servedReducedCandidates = 0;
+    std::uint64_t servedScreenerOnly = 0;
 };
 
 /** The batching inference server. */
@@ -112,6 +218,11 @@ class InferenceServer
         /** Device-time completion of the request's batch. */
         sim::Tick completedAt = 0;
         Status status = Status::Ok;
+        /** Priority class the request was admitted under. */
+        sim::RequestClass cls = sim::RequestClass::Gold;
+        /** Brownout rung the request was served at (Full outside
+         *  brownout; meaningless for shed/dropped requests). */
+        BrownoutLevel servedAt = BrownoutLevel::Full;
     };
 
     /**
@@ -134,9 +245,12 @@ class InferenceServer
     /** Queue one query arriving now; returns its request id. */
     RequestId enqueue(std::vector<float> feature);
 
-    /** Queue one query with an explicit arrival time. */
-    RequestId enqueueAt(std::vector<float> feature,
-                        sim::Tick arrival);
+    /** Queue one query with an explicit arrival time.  @p cls is
+     *  the priority class admission control sheds by; the Gold
+     *  default preserves the single-class behaviour. */
+    RequestId enqueueAt(
+        std::vector<float> feature, sim::Tick arrival,
+        sim::RequestClass cls = sim::RequestClass::Gold);
 
     /** Pending (not yet processed) request count. */
     std::size_t pending() const { return pending_.size(); }
@@ -166,6 +280,37 @@ class InferenceServer
         const std::vector<std::vector<float>> &queries,
         double requests_per_second, unsigned request_count,
         std::size_t k, std::uint64_t seed = 1);
+
+    /**
+     * Open-loop serving driven by a TrafficEngine: @p count arrivals
+     * are drawn from @p engine (Poisson / diurnal / bursty, Zipf
+     * user sessions, priority classes) and served under the full
+     * overload-control stack — delay-based admission, class-aware
+     * shedding, deadline-slack dynamic batching, and the brownout
+     * ladder.  After the stream ends the server drains: the queue
+     * empties, any in-flight hot swap terminates, and the brownout
+     * ladder recovers to Full, so every run ends in steady state.
+     *
+     * @param engine Arrival source (consumed; byte-identical per
+     *        seed and thread count).
+     * @param count Arrivals to draw.
+     * @param queries Query pool; each arrival's querySeed selects
+     *        one deterministically.
+     * @param k Top-k per request.
+     * @return One terminal Response per arrival (served, shed, or
+     *         dropped — exactly once each).
+     */
+    std::vector<Response> runTraffic(
+        sim::TrafficEngine &engine, std::uint64_t count,
+        const std::vector<std::vector<float>> &queries,
+        std::size_t k);
+
+    /** Current brownout ladder rung (Full when disabled). */
+    BrownoutLevel brownoutLevel() const { return level_; }
+
+    /** Device time spent at @p level so far (the current rung's
+     *  open interval included). */
+    sim::Tick brownoutDwell(BrownoutLevel level) const;
 
     /** Per-request latency samples (milliseconds; served requests
      *  only). */
@@ -258,10 +403,40 @@ class InferenceServer
         RequestId id;
         std::vector<float> feature;
         sim::Tick enqueuedAt;
+        sim::RequestClass cls = sim::RequestClass::Gold;
     };
 
     /** True when @p request missed its deadline by tick @p at. */
     bool expiredBy(const PendingRequest &request, sim::Tick at) const;
+
+    /** Emit the terminal Shed response for a rejected arrival. */
+    void shedRequest(RequestId id, sim::Tick arrival,
+                     sim::RequestClass cls);
+
+    /** Shed the youngest queued BestEffort request to admit a Gold
+     *  arrival; false when none is queued. */
+    bool evictYoungestBestEffort();
+
+    /** Effective serving rung for one request under the current
+     *  ladder level and the request's class floor. */
+    BrownoutLevel servingLevelFor(sim::RequestClass cls) const;
+
+    /** Feed one served batch's worst sojourn to the brownout
+     *  controller (hysteresis + recovery guard). */
+    void noteBatchSojourn(sim::Tick oldest_enqueue,
+                          sim::Tick finished);
+
+    /** Move the ladder to @p level at @p now, accounting dwell. */
+    void setBrownoutLevel(BrownoutLevel level, sim::Tick now);
+
+    /** One idle recovery step: with an empty queue and no traffic,
+     *  dwell out the guard and climb one rung toward Full. */
+    void idleRecoverStep();
+
+    /** When a partial batch stops waiting for more arrivals:
+     *  bounded by batchMaxWait and the oldest member's deadline
+     *  slack.  maxTick when the queue is empty. */
+    sim::Tick batchCloseAt() const;
 
     /**
      * Run the device-timing pass for one batch, retrying FailBatch
@@ -340,6 +515,24 @@ class InferenceServer
     sim::Distribution latencyMs_;
     sim::Percentiles latencyPercentiles_;
     ServerStats stats_;
+    // --- Overload-control state ------------------------------------
+    /** Current brownout rung. */
+    BrownoutLevel level_ = BrownoutLevel::Full;
+    /** When the ladder entered the current rung. */
+    sim::Tick levelSince_ = 0;
+    /** Closed dwell per rung (current rung's open interval is added
+     *  by brownoutDwell()). */
+    sim::Tick levelDwell_[4] = {0, 0, 0, 0};
+    /** Start of the current healthy streak; maxTick = none. */
+    sim::Tick healthySince_ = sim::maxTick;
+    /** EWMA of per-request device service time (ticks); admission's
+     *  sojourn estimate and the batch slack reserve. */
+    sim::Tick ewmaServiceTick_ = 0;
+    /** EWMA of whole-batch service time (ticks). */
+    sim::Tick ewmaBatchTick_ = 0;
+    /** Seeded retry-backoff jitter stream (never advanced when
+     *  retryJitterFraction == 0). */
+    sim::Rng retryJitterRng_;
     /** Lifetime hot-swap outcome counts. */
     std::uint64_t redeployCommits_ = 0;
     std::uint64_t redeployRollbacks_ = 0;

@@ -1,0 +1,205 @@
+#include "traffic.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+const char *
+toString(ArrivalProcess process)
+{
+    switch (process) {
+    case ArrivalProcess::Poisson:
+        return "poisson";
+    case ArrivalProcess::Diurnal:
+        return "diurnal";
+    case ArrivalProcess::BurstySpike:
+        return "bursty";
+    }
+    return "unknown";
+}
+
+const char *
+toString(RequestClass cls)
+{
+    switch (cls) {
+    case RequestClass::Gold:
+        return "gold";
+    case RequestClass::BestEffort:
+        return "best-effort";
+    }
+    return "unknown";
+}
+
+void
+TrafficConfig::validate() const
+{
+    if (ratePerSecond <= 0.0)
+        fatal("TrafficConfig: ratePerSecond must be positive, got ",
+              ratePerSecond);
+    if (users == 0)
+        fatal("TrafficConfig: at least one user is required");
+    if (goldFraction < 0.0 || goldFraction > 1.0)
+        fatal("TrafficConfig: goldFraction must be in [0, 1], got ",
+              goldFraction);
+    if (userZipfExponent < 0.0)
+        fatal("TrafficConfig: userZipfExponent must be >= 0, got ",
+              userZipfExponent);
+    if (process == ArrivalProcess::Diurnal) {
+        if (diurnalAmplitude < 0.0 || diurnalAmplitude >= 1.0)
+            fatal("TrafficConfig: diurnalAmplitude must be in "
+                  "[0, 1), got ",
+                  diurnalAmplitude);
+        if (diurnalPeriodSeconds <= 0.0)
+            fatal("TrafficConfig: diurnalPeriodSeconds must be "
+                  "positive, got ",
+                  diurnalPeriodSeconds);
+    }
+    if (process == ArrivalProcess::BurstySpike) {
+        if (burstRateMultiplier < 1.0)
+            fatal("TrafficConfig: burstRateMultiplier must be >= 1, "
+                  "got ",
+                  burstRateMultiplier);
+        if (meanBurstSeconds <= 0.0 || meanCalmSeconds <= 0.0)
+            fatal("TrafficConfig: MMPP dwell means must be positive");
+    }
+}
+
+namespace
+{
+
+/** splitmix64 finalizer: the per-user class assignment must be a
+ *  pure function of (seed, user), stable across engines. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Exponential draw with the given rate (events per second). */
+double
+exponential(Rng &rng, double rate)
+{
+    return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+} // namespace
+
+bool
+TrafficEngine::isGold(const TrafficConfig &config, std::uint64_t user)
+{
+    // Top 16 bits of the mix as a fixed-point uniform in [0, 1).
+    const double u =
+        static_cast<double>(mix64(user ^ (config.seed * 0x51ed2701ULL))
+                            >> 48)
+        / 65536.0;
+    return u < config.goldFraction;
+}
+
+TrafficEngine::TrafficEngine(const TrafficConfig &config)
+    : config_(config), rng_(config.seed),
+      sessionRng_(mix64(config.seed) | 1ULL),
+      timeSeconds_(tickToSeconds(config.startAt))
+{
+    config_.validate();
+    userStream_.assign(config_.users, 0);
+    if (config_.process == ArrivalProcess::BurstySpike) {
+        dwellRemainingSeconds_ =
+            exponential(rng_, 1.0 / config_.meanCalmSeconds);
+    }
+}
+
+void
+TrafficEngine::advanceClock()
+{
+    switch (config_.process) {
+    case ArrivalProcess::Poisson:
+        timeSeconds_ += exponential(rng_, config_.ratePerSecond);
+        return;
+    case ArrivalProcess::Diurnal: {
+        // Lewis-Shedler thinning against the peak rate: candidates
+        // arrive at the peak-rate Poisson process and survive with
+        // probability rate(t)/peak, yielding the exact
+        // inhomogeneous process.
+        const double peak = config_.ratePerSecond
+            * (1.0 + config_.diurnalAmplitude);
+        const double omega =
+            2.0 * M_PI / config_.diurnalPeriodSeconds;
+        for (;;) {
+            timeSeconds_ += exponential(rng_, peak);
+            const double rate = config_.ratePerSecond
+                * (1.0
+                   + config_.diurnalAmplitude
+                       * std::sin(omega * timeSeconds_));
+            if (rng_.uniform() * peak <= rate)
+                return;
+        }
+    }
+    case ArrivalProcess::BurstySpike: {
+        // Competing exponentials: within a state the arrivals are
+        // Poisson at the state rate; a draw that overruns the
+        // state's remaining dwell is discarded at the boundary
+        // (memorylessness makes the restart exact) and the state
+        // flips.
+        for (;;) {
+            const double rate = inBurst_
+                ? config_.ratePerSecond * config_.burstRateMultiplier
+                : config_.ratePerSecond;
+            const double gap = exponential(rng_, rate);
+            if (gap <= dwellRemainingSeconds_) {
+                timeSeconds_ += gap;
+                dwellRemainingSeconds_ -= gap;
+                return;
+            }
+            timeSeconds_ += dwellRemainingSeconds_;
+            inBurst_ = !inBurst_;
+            dwellRemainingSeconds_ = exponential(
+                rng_, 1.0
+                    / (inBurst_ ? config_.meanBurstSeconds
+                                : config_.meanCalmSeconds));
+        }
+    }
+    }
+}
+
+Arrival
+TrafficEngine::next()
+{
+    advanceClock();
+    Arrival arrival;
+    arrival.at = seconds(timeSeconds_);
+    arrival.user = config_.userZipfExponent > 0.0
+        ? sessionRng_.zipf(config_.users, config_.userZipfExponent)
+        : sessionRng_.uniformInt(config_.users);
+    // The query selector mixes the user's own stream position so a
+    // user's session replays the same queries in the same order
+    // regardless of how other users' arrivals interleave.
+    arrival.querySeed = mix64(
+        arrival.user * 0x2545f4914f6cdd1dULL + userStream_[arrival.user]);
+    ++userStream_[arrival.user];
+    arrival.cls = isGold(config_, arrival.user)
+        ? RequestClass::Gold
+        : RequestClass::BestEffort;
+    ++generated_;
+    return arrival;
+}
+
+std::vector<Arrival>
+TrafficEngine::generate(std::uint64_t count)
+{
+    std::vector<Arrival> trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        trace.push_back(next());
+    return trace;
+}
+
+} // namespace sim
+} // namespace ecssd

@@ -333,6 +333,43 @@ ApproximateClassifier::predict(
 }
 
 ApproximateClassifier::Prediction
+ApproximateClassifier::predictFrom(
+    std::span<const float> feature,
+    std::span<const std::uint64_t> candidates, std::size_t k,
+    CandidateClassifier::Datapath datapath) const
+{
+    Prediction prediction;
+    prediction.candidateCount = candidates.size();
+    const std::vector<double> scores =
+        classifier_.scores(feature, candidates, datapath);
+    const std::vector<std::uint64_t> best =
+        topKIndices(std::span<const double>(scores), k);
+    for (const std::uint64_t local : best) {
+        prediction.topCategories.push_back(candidates[local]);
+        prediction.topScores.push_back(scores[local]);
+    }
+    return prediction;
+}
+
+ApproximateClassifier::Prediction
+ApproximateClassifier::screenerOnly(std::span<const float> feature,
+                                    std::size_t k) const
+{
+    Prediction prediction;
+    const numeric::Int4Vector prepared =
+        screener_.prepareFeature(feature);
+    const std::vector<double> scores = screener_.scores(prepared);
+    prediction.candidateCount = 0;
+    const std::vector<std::uint64_t> best =
+        topKIndices(std::span<const double>(scores), k);
+    for (const std::uint64_t row : best) {
+        prediction.topCategories.push_back(row);
+        prediction.topScores.push_back(scores[row]);
+    }
+    return prediction;
+}
+
+ApproximateClassifier::Prediction
 ApproximateClassifier::exact(std::span<const float> feature,
                              std::size_t k) const
 {

@@ -231,6 +231,25 @@ class ApproximateClassifier
         CandidateClassifier::Datapath datapath =
             CandidateClassifier::Datapath::Cfp32AlignmentFree) const;
 
+    /**
+     * Full-precision top-k restricted to an explicit candidate set
+     * (the brownout ReducedCandidates path: the caller already
+     * screened — and possibly capped — the candidates).
+     */
+    Prediction predictFrom(
+        std::span<const float> feature,
+        std::span<const std::uint64_t> candidates, std::size_t k,
+        CandidateClassifier::Datapath datapath =
+            CandidateClassifier::Datapath::Cfp32AlignmentFree) const;
+
+    /**
+     * Top-k by INT4 screener score alone, touching no FP32 weights
+     * (the brownout ScreenerOnly path: degraded recall, near-zero
+     * device work).
+     */
+    Prediction screenerOnly(std::span<const float> feature,
+                            std::size_t k) const;
+
     /** Exact full-precision top-k over all L rows (the baseline). */
     Prediction exact(std::span<const float> feature,
                      std::size_t k) const;

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * TrafficEngine tests: deterministic regeneration (a million-arrival
+ * trace is a pure function of the config), arrival-process shape
+ * (Poisson vs diurnal modulation vs MMPP burstiness), Zipf session
+ * structure, per-user class stability, and byte-identical open-loop
+ * serving across host thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "ecssd/server.hh"
+#include "sim/traffic.hh"
+#include "sim/types.hh"
+#include "xclass/metrics.hh"
+
+using namespace ecssd;
+
+namespace
+{
+
+sim::TrafficConfig
+baseConfig()
+{
+    sim::TrafficConfig config;
+    config.ratePerSecond = 5000.0;
+    config.users = 512;
+    config.seed = 7;
+    return config;
+}
+
+/** Per-window arrival counts over @p window seconds. */
+std::vector<std::uint64_t>
+windowCounts(const std::vector<sim::Arrival> &trace, double window)
+{
+    std::vector<std::uint64_t> counts;
+    for (const sim::Arrival &arrival : trace) {
+        const std::size_t w = static_cast<std::size_t>(
+            sim::tickToSeconds(arrival.at) / window);
+        if (w >= counts.size())
+            counts.resize(w + 1, 0);
+        ++counts[w];
+    }
+    return counts;
+}
+
+/** Variance-to-mean ratio (index of dispersion) of window counts. */
+double
+dispersion(const std::vector<std::uint64_t> &counts)
+{
+    double mean = 0.0;
+    for (const std::uint64_t c : counts)
+        mean += static_cast<double>(c);
+    mean /= static_cast<double>(counts.size());
+    double var = 0.0;
+    for (const std::uint64_t c : counts) {
+        const double d = static_cast<double>(c) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(counts.size());
+    return var / mean;
+}
+
+} // namespace
+
+TEST(TrafficEngine, MillionArrivalTraceRegeneratesByteIdentical)
+{
+    for (const sim::ArrivalProcess process :
+         {sim::ArrivalProcess::Poisson, sim::ArrivalProcess::Diurnal,
+          sim::ArrivalProcess::BurstySpike}) {
+        sim::TrafficConfig config = baseConfig();
+        config.process = process;
+        sim::TrafficEngine first(config);
+        sim::TrafficEngine second(config);
+        const auto a = first.generate(1000000);
+        const auto b = second.generate(1000000);
+        ASSERT_EQ(a.size(), b.size());
+        // operator== covers at/user/querySeed/cls per element.
+        EXPECT_TRUE(a == b)
+            << "trace diverged for " << sim::toString(process);
+        EXPECT_EQ(first.generated(), 1000000u);
+    }
+}
+
+TEST(TrafficEngine, DifferentSeedsProduceDifferentTraces)
+{
+    sim::TrafficConfig config = baseConfig();
+    sim::TrafficEngine first(config);
+    config.seed = 8;
+    sim::TrafficEngine second(config);
+    EXPECT_FALSE(first.generate(1000) == second.generate(1000));
+}
+
+TEST(TrafficEngine, ArrivalTimesAreNonDecreasing)
+{
+    for (const sim::ArrivalProcess process :
+         {sim::ArrivalProcess::Poisson, sim::ArrivalProcess::Diurnal,
+          sim::ArrivalProcess::BurstySpike}) {
+        sim::TrafficConfig config = baseConfig();
+        config.process = process;
+        sim::TrafficEngine engine(config);
+        sim::Tick last = 0;
+        for (int i = 0; i < 20000; ++i) {
+            const sim::Arrival arrival = engine.next();
+            EXPECT_GE(arrival.at, last);
+            last = arrival.at;
+        }
+    }
+}
+
+TEST(TrafficEngine, PoissonMatchesTheConfiguredRate)
+{
+    sim::TrafficConfig config = baseConfig();
+    sim::TrafficEngine engine(config);
+    const auto trace = engine.generate(100000);
+    const double elapsed = sim::tickToSeconds(trace.back().at);
+    const double rate = 100000.0 / elapsed;
+    EXPECT_NEAR(rate, config.ratePerSecond,
+                0.05 * config.ratePerSecond);
+    // Memoryless arrivals: window counts are near-Poisson, so the
+    // index of dispersion sits close to 1.
+    const double d = dispersion(windowCounts(trace, 0.01));
+    EXPECT_LT(d, 2.0);
+}
+
+TEST(TrafficEngine, BurstySpikeIsOverdispersed)
+{
+    sim::TrafficConfig config = baseConfig();
+    config.process = sim::ArrivalProcess::BurstySpike;
+    config.burstRateMultiplier = 10.0;
+    sim::TrafficEngine engine(config);
+    const auto trace = engine.generate(100000);
+    // Correlated spike trains: the window counts mix the calm and
+    // burst rates, so the dispersion is far above Poisson's.
+    const double d = dispersion(windowCounts(trace, 0.01));
+    EXPECT_GT(d, 3.0);
+}
+
+TEST(TrafficEngine, DiurnalModulatesTheRateWithinAPeriod)
+{
+    sim::TrafficConfig config = baseConfig();
+    config.process = sim::ArrivalProcess::Diurnal;
+    config.diurnalAmplitude = 0.8;
+    config.diurnalPeriodSeconds = 2.0;
+    sim::TrafficEngine engine(config);
+    const auto trace = engine.generate(200000);
+    // rate(t) = base * (1 + A sin(2*pi*t/P)): the first half-period
+    // runs above base, the second below.
+    std::uint64_t rising = 0;
+    std::uint64_t falling = 0;
+    for (const sim::Arrival &arrival : trace) {
+        const double t = std::fmod(sim::tickToSeconds(arrival.at),
+                                   config.diurnalPeriodSeconds);
+        if (t < config.diurnalPeriodSeconds / 2.0)
+            ++rising;
+        else
+            ++falling;
+    }
+    EXPECT_GT(static_cast<double>(rising),
+              1.5 * static_cast<double>(falling));
+}
+
+TEST(TrafficEngine, SessionsAreZipfSkewedAndClassStable)
+{
+    sim::TrafficConfig config = baseConfig();
+    config.userZipfExponent = 1.1;
+    sim::TrafficEngine engine(config);
+    const auto trace = engine.generate(100000);
+
+    std::map<std::uint64_t, std::uint64_t> per_user;
+    for (const sim::Arrival &arrival : trace) {
+        ASSERT_LT(arrival.user, config.users);
+        ++per_user[arrival.user];
+        // The class is a pure function of (seed, user): every
+        // arrival agrees with the static predicate.
+        EXPECT_EQ(arrival.cls == sim::RequestClass::Gold,
+                  sim::TrafficEngine::isGold(config, arrival.user));
+    }
+    // Heavy-user skew: the top user dominates a uniform share.
+    std::uint64_t top = 0;
+    for (const auto &[user, count] : per_user)
+        top = std::max(top, count);
+    EXPECT_GT(top, 20 * (100000 / config.users));
+}
+
+TEST(TrafficEngine, QuerySeedsReplayPerUserSession)
+{
+    // A user's query stream is indexed by their own session
+    // position, so it replays identically even when another process
+    // interleaves the users completely differently.
+    sim::TrafficConfig config = baseConfig();
+    sim::TrafficConfig bursty = config;
+    bursty.process = sim::ArrivalProcess::BurstySpike;
+
+    sim::TrafficEngine a(config);
+    sim::TrafficEngine b(bursty);
+    std::map<std::uint64_t, std::vector<std::uint64_t>> streams_a;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> streams_b;
+    for (int i = 0; i < 50000; ++i) {
+        const sim::Arrival aa = a.next();
+        streams_a[aa.user].push_back(aa.querySeed);
+        const sim::Arrival bb = b.next();
+        streams_b[bb.user].push_back(bb.querySeed);
+    }
+    for (const auto &[user, stream] : streams_a) {
+        const auto it = streams_b.find(user);
+        if (it == streams_b.end())
+            continue;
+        const std::size_t common =
+            std::min(stream.size(), it->second.size());
+        for (std::size_t i = 0; i < common; ++i)
+            EXPECT_EQ(stream[i], it->second[i])
+                << "user " << user << " position " << i;
+    }
+}
+
+TEST(TrafficEngine, ServingIsByteIdenticalAcrossThreadCounts)
+{
+    // The whole open-loop stack — engine, admission, brownout,
+    // batching — must be a pure function of the config: host
+    // threads are a wall-clock knob, never a results knob.
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 512);
+    spec.hiddenDim = 128;
+    spec.batchSize = 4;
+    const xclass::SyntheticModel model(spec, 1);
+    std::vector<std::vector<float>> queries;
+    sim::Rng qrng(11);
+    for (int q = 0; q < 32; ++q)
+        queries.push_back(model.sampleQuery(qrng));
+
+    ServerConfig server_config;
+    server_config.admissionTargetDelay = sim::microseconds(400.0);
+    server_config.brownout.enterDelay = sim::microseconds(300.0);
+    server_config.brownout.exitDelay = sim::microseconds(150.0);
+    server_config.brownout.recoveryGuard = sim::microseconds(100.0);
+
+    sim::TrafficConfig traffic = baseConfig();
+    traffic.process = sim::ArrivalProcess::BurstySpike;
+    traffic.ratePerSecond = 20000.0;
+
+    std::vector<std::vector<InferenceServer::Response>> runs;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        EcssdOptions options = EcssdOptions::full();
+        options.threads = threads;
+        InferenceServer server(model.weights(), spec, options,
+                               &model.basis(), server_config);
+        sim::TrafficEngine engine(traffic);
+        runs.push_back(server.runTraffic(engine, 2000, queries, 5));
+    }
+    ASSERT_EQ(runs[0].size(), 2000u);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i) {
+            const InferenceServer::Response &base = runs[0][i];
+            const InferenceServer::Response &other = runs[r][i];
+            ASSERT_EQ(base.id, other.id);
+            ASSERT_EQ(base.status, other.status);
+            ASSERT_EQ(base.completedAt, other.completedAt);
+            ASSERT_EQ(base.cls, other.cls);
+            ASSERT_EQ(base.servedAt, other.servedAt);
+            ASSERT_EQ(base.prediction.topCategories,
+                      other.prediction.topCategories);
+        }
+    }
+}

@@ -59,6 +59,30 @@
  *                         live traffic (requires --serve-requests)
  *   --redeploy-io-budget F  background staging IO budget as a
  *                         fraction of device bandwidth (default 0.25)
+ *
+ * Open-loop traffic + overload control (MODELING.md Section 13):
+ *   --traffic KIND        drive the serving pass open-loop from a
+ *                         deterministic TrafficEngine instead of the
+ *                         closed-loop request list; KIND is poisson,
+ *                         diurnal, or bursty (requires
+ *                         --serve-requests N = arrival count)
+ *   --traffic-rate R      base arrival rate, requests/second (1000)
+ *   --traffic-burst-mult M  bursty-state rate multiple (8)
+ *   --traffic-users N     distinct Zipf-skewed user sessions (1024)
+ *   --traffic-gold-fraction F  fraction of users in the Gold class
+ *   --traffic-seed N      arrival-process seed (default --seed)
+ *   --admission-target-us U  CoDel-style queue-delay admission
+ *                         target; estimated sojourn beyond U sheds
+ *                         BestEffort arrivals (0 = off)
+ *   --brownout-enter-us U    batch sojourn that degrades the ladder
+ *                         one rung (0 = ladder off)
+ *   --brownout-exit-us U     sojourn at or below this is healthy
+ *   --brownout-guard-us U    healthy dwell before recovering a rung
+ *   --brownout-reduced-fraction F  candidate budget at the
+ *                         ReducedCandidates rung (default 0.5)
+ *   --batch-max-wait-us U    dynamic batching: partial batches wait
+ *                         up to U for more arrivals (0 = eager)
+ *   --retry-jitter F      seeded retry-backoff jitter fraction
  */
 
 #include <cstdio>
@@ -74,6 +98,7 @@
 #include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/trace.hh"
+#include "sim/traffic.hh"
 
 using namespace ecssd;
 
@@ -95,6 +120,10 @@ struct CliOptions
     unsigned serveRequests = 0;
     unsigned redeployAt = 0;
     double redeployIoBudget = 0.25;
+    std::string traffic;
+    sim::TrafficConfig trafficConfig;
+    bool trafficSeedSet = false;
+    ServerConfig serverConfig;
     EcssdOptions device = EcssdOptions::full();
 
     bool
@@ -126,7 +155,15 @@ usage(const char *argv0, int code)
                 "  [--wear-level-bound N] [--health]\n"
                 "  [--metrics-json FILE] [--metrics-prom FILE]\n"
                 "  [--span-log FILE] [--serve-requests N]\n"
-                "  [--redeploy-at N] [--redeploy-io-budget F]\n",
+                "  [--redeploy-at N] [--redeploy-io-budget F]\n"
+                "  [--traffic poisson|diurnal|bursty] "
+                "[--traffic-rate R]\n"
+                "  [--traffic-burst-mult M] [--traffic-users N]\n"
+                "  [--traffic-gold-fraction F] [--traffic-seed N]\n"
+                "  [--admission-target-us U] [--brownout-enter-us U]\n"
+                "  [--brownout-exit-us U] [--brownout-guard-us U]\n"
+                "  [--brownout-reduced-fraction F]\n"
+                "  [--batch-max-wait-us U] [--retry-jitter F]\n",
                 argv0);
     std::exit(code);
 }
@@ -156,6 +193,19 @@ parseLayout(const std::string &value)
     if (value == "learning")
         return layout::LayoutKind::LearningAdaptive;
     sim::fatal("unknown layout '", value, "'");
+}
+
+sim::ArrivalProcess
+parseTrafficProcess(const std::string &value)
+{
+    if (value == "poisson")
+        return sim::ArrivalProcess::Poisson;
+    if (value == "diurnal")
+        return sim::ArrivalProcess::Diurnal;
+    if (value == "bursty")
+        return sim::ArrivalProcess::BurstySpike;
+    sim::fatal("unknown traffic process '", value,
+               "' (poisson|diurnal|bursty)");
 }
 
 circuit::FpMacKind
@@ -243,6 +293,62 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
 }
 
 /**
+ * Open-loop traffic pass: drive the server from a deterministic
+ * TrafficEngine under the full overload-control stack, then print
+ * the goodput / shed / brownout summary.
+ */
+void
+runTrafficPass(InferenceServer &server, const CliOptions &cli,
+               const xclass::SyntheticModel &model)
+{
+    // A small deterministic query pool; each arrival's querySeed
+    // picks one, so user sessions replay identical sequences.
+    std::vector<std::vector<float>> queries;
+    sim::Rng qrng(cli.device.seed);
+    for (int q = 0; q < 32; ++q)
+        queries.push_back(model.sampleQuery(qrng));
+
+    sim::TrafficEngine engine(cli.trafficConfig);
+    const auto responses =
+        server.runTraffic(engine, cli.serveRequests, queries, 5);
+
+    const ServerStats &stats = server.serverStats();
+    std::uint64_t served = 0;
+    for (const auto &response : responses)
+        if (response.status != InferenceServer::Response::Status::Shed)
+            ++served;
+    const double elapsed = sim::tickToSeconds(server.deviceTime());
+    const double goodput =
+        elapsed > 0.0 ? static_cast<double>(stats.okResponses
+                                            + stats.degradedResponses)
+                / elapsed
+                      : 0.0;
+    std::printf(
+        "  traffic: %s  %.0f req/s offered  %llu arrivals  "
+        "%llu served  %llu shed (gold %llu, best-effort %llu)\n"
+        "  overload: goodput %.0f req/s  latency p50/p99 "
+        "%.3f/%.3f ms  brownout transitions %llu\n"
+        "  brownout dwell ms: full %.2f  reduced %.2f  screener "
+        "%.2f  shed %.2f\n",
+        sim::toString(cli.trafficConfig.process),
+        cli.trafficConfig.ratePerSecond,
+        (unsigned long long)responses.size(),
+        (unsigned long long)served,
+        (unsigned long long)stats.shedRequests,
+        (unsigned long long)stats.shedGold,
+        (unsigned long long)stats.shedBestEffort, goodput,
+        server.latencyPercentiles().p50(),
+        server.latencyPercentiles().p99(),
+        (unsigned long long)stats.brownoutTransitions,
+        sim::tickToMs(server.brownoutDwell(BrownoutLevel::Full)),
+        sim::tickToMs(
+            server.brownoutDwell(BrownoutLevel::ReducedCandidates)),
+        sim::tickToMs(
+            server.brownoutDwell(BrownoutLevel::ScreenerOnly)),
+        sim::tickToMs(server.brownoutDwell(BrownoutLevel::Shed)));
+}
+
+/**
  * Functional-tier serving pass: synthesize in-memory weights, push
  * @p requests queries through an InferenceServer, and record the
  * "server.*" metrics.  Skipped (with a warning) when the weights
@@ -250,11 +356,13 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
  */
 void
 runServingPass(const xclass::BenchmarkSpec &spec,
-               const EcssdOptions &options, unsigned requests,
-               unsigned redeploy_at, double redeploy_io_budget,
-               sim::MetricsRegistry *metrics,
+               const CliOptions &cli, sim::MetricsRegistry *metrics,
                sim::SpanTracer *spans)
 {
+    const EcssdOptions &options = cli.device;
+    const unsigned requests = cli.serveRequests;
+    const unsigned redeploy_at = cli.redeployAt;
+    const double redeploy_io_budget = cli.redeployIoBudget;
     constexpr std::uint64_t kMaxWeightBytes = 256ULL << 20;
     if (spec.fp32WeightBytes() > kMaxWeightBytes) {
         sim::warn("--serve-requests skipped: ", spec.name,
@@ -264,9 +372,47 @@ runServingPass(const xclass::BenchmarkSpec &spec,
         return;
     }
     xclass::SyntheticModel model(spec, options.seed);
-    InferenceServer server(model.weights(), spec, options);
+    // serverConfig defaults are all-off, so a plain closed-loop pass
+    // is byte-identical to the pre-overload-control behaviour.
+    InferenceServer server(model.weights(), spec, options, nullptr,
+                           cli.serverConfig);
     server.attachObservability(metrics, spans);
     sim::Rng rng(options.seed);
+
+    if (!cli.traffic.empty()) {
+        // Open-loop mode: an optional hot swap is begun up front (a
+        // short closed-loop warm-up fills the validation replay
+        // ring), then the traffic stream steps it through staging.
+        std::unique_ptr<xclass::SyntheticModel> next_model;
+        if (redeploy_at > 0) {
+            for (unsigned r = 0; r < std::min(redeploy_at, 16u); ++r)
+                server.enqueue(model.sampleQuery(rng));
+            server.processAll(5);
+            next_model = std::make_unique<xclass::SyntheticModel>(
+                spec, options.seed + 1);
+            RedeployConfig config;
+            config.ioBudgetFraction = redeploy_io_budget;
+            config.minValidationRecall = 0.0;
+            const Status begun = server.beginRedeploy(
+                next_model->weights(), spec, config);
+            if (begun != Status::Ok)
+                sim::warn("--redeploy-at: beginRedeploy returned ",
+                          toString(begun));
+        }
+        runTrafficPass(server, cli, model);
+        if (redeploy_at > 0) {
+            const RedeployStatus status = server.redeployStatus();
+            std::printf("  redeploy: %s  staged %llu/%llu bytes  "
+                        "version %llu\n",
+                        toString(status.phase),
+                        (unsigned long long)status.stagedBytes,
+                        (unsigned long long)status.totalBytes,
+                        (unsigned long long)server.weightVersion());
+        }
+        if (metrics)
+            server.publishMetrics(*metrics);
+        return;
+    }
 
     // Optional hot swap: serve the first --redeploy-at requests on
     // the initial version, begin the staged swap to a fresh weight
@@ -443,6 +589,54 @@ main(int argc, char **argv)
         } else if (arg == "--redeploy-io-budget") {
             cli.redeployIoBudget = std::strtod(
                 next("--redeploy-io-budget").c_str(), nullptr);
+        } else if (arg == "--traffic") {
+            cli.traffic = next("--traffic");
+            cli.trafficConfig.process =
+                parseTrafficProcess(cli.traffic);
+        } else if (arg == "--traffic-rate") {
+            cli.trafficConfig.ratePerSecond = std::strtod(
+                next("--traffic-rate").c_str(), nullptr);
+        } else if (arg == "--traffic-burst-mult") {
+            cli.trafficConfig.burstRateMultiplier = std::strtod(
+                next("--traffic-burst-mult").c_str(), nullptr);
+        } else if (arg == "--traffic-users") {
+            cli.trafficConfig.users = std::strtoull(
+                next("--traffic-users").c_str(), nullptr, 10);
+        } else if (arg == "--traffic-gold-fraction") {
+            cli.trafficConfig.goldFraction = std::strtod(
+                next("--traffic-gold-fraction").c_str(), nullptr);
+        } else if (arg == "--traffic-seed") {
+            cli.trafficConfig.seed = std::strtoull(
+                next("--traffic-seed").c_str(), nullptr, 10);
+            cli.trafficSeedSet = true;
+        } else if (arg == "--admission-target-us") {
+            cli.serverConfig.admissionTargetDelay =
+                sim::microseconds(std::strtod(
+                    next("--admission-target-us").c_str(), nullptr));
+        } else if (arg == "--brownout-enter-us") {
+            cli.serverConfig.brownout.enterDelay =
+                sim::microseconds(std::strtod(
+                    next("--brownout-enter-us").c_str(), nullptr));
+        } else if (arg == "--brownout-exit-us") {
+            cli.serverConfig.brownout.exitDelay =
+                sim::microseconds(std::strtod(
+                    next("--brownout-exit-us").c_str(), nullptr));
+        } else if (arg == "--brownout-guard-us") {
+            cli.serverConfig.brownout.recoveryGuard =
+                sim::microseconds(std::strtod(
+                    next("--brownout-guard-us").c_str(), nullptr));
+        } else if (arg == "--brownout-reduced-fraction") {
+            cli.serverConfig.brownout.reducedCandidateFraction =
+                std::strtod(
+                    next("--brownout-reduced-fraction").c_str(),
+                    nullptr);
+        } else if (arg == "--batch-max-wait-us") {
+            cli.serverConfig.batchMaxWait =
+                sim::microseconds(std::strtod(
+                    next("--batch-max-wait-us").c_str(), nullptr));
+        } else if (arg == "--retry-jitter") {
+            cli.serverConfig.retryJitterFraction = std::strtod(
+                next("--retry-jitter").c_str(), nullptr);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -454,9 +648,18 @@ main(int argc, char **argv)
     // any benchmark state is built (the spec-dependent capacity
     // checks rerun inside EcssdSystem).
     cli.device.validate();
+    cli.serverConfig.validate();
     if (cli.redeployAt > 0 && cli.serveRequests == 0)
         sim::fatal("--redeploy-at needs a serving pass; add "
                    "--serve-requests N");
+    if (!cli.traffic.empty()) {
+        if (cli.serveRequests == 0)
+            sim::fatal("--traffic needs a serving pass; add "
+                       "--serve-requests N (the arrival count)");
+        if (!cli.trafficSeedSet)
+            cli.trafficConfig.seed = cli.device.seed;
+        cli.trafficConfig.validate();
+    }
 
     xclass::BenchmarkSpec spec =
         xclass::benchmarkByName(cli.benchmark);
@@ -507,9 +710,7 @@ main(int argc, char **argv)
         report(spec, cli.device, cli.batches, cli.energy,
                cli.health, &registry, &tracer, quiet);
         if (cli.serveRequests > 0)
-            runServingPass(spec, cli.device, cli.serveRequests,
-                           cli.redeployAt, cli.redeployIoBudget,
-                           &registry, &tracer);
+            runServingPass(spec, cli, &registry, &tracer);
         if (!cli.metricsJson.empty())
             writeDump(cli.metricsJson, [&](std::ostream &os) {
                 registry.writeJson(os);
