@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "numeric/kernels.hh"
 #include "sim/logging.hh"
 #include "xclass/metrics.hh"
 
@@ -266,6 +267,9 @@ InferenceSession::results(
 
 EcssdApi::EcssdApi(const EcssdOptions &options) : options_(options)
 {
+    // Pin the host-compute ISA up front so a bad request (option or
+    // ECSSD_ISA) dies at construction, not mid-deploy.
+    numeric::applyIsaRequest(options_.isa);
 }
 
 EcssdApi::~EcssdApi() = default;
@@ -368,6 +372,10 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
         }
     }
     draining_.reset();
+
+    // Re-resolve the ISA request (ECSSD_ISA may have changed since
+    // construction) before the screener captures its kernel plan.
+    numeric::applyIsaRequest(options_.isa);
 
     DeployedVersion version;
     version.weights = &weights;
@@ -817,6 +825,25 @@ EcssdApi::publishRedeployMetrics(sim::MetricsRegistry &registry)
                       static_cast<double>(redeployCommits_));
     registry.gaugeSet("redeploy.rolled_back",
                       static_cast<double>(redeployRollbacks_));
+}
+
+void
+EcssdApi::publishKernelMetrics(sim::MetricsRegistry &registry)
+{
+    if (!live_.deployed())
+        return;
+    const numeric::KernelPlan &plan = live_.screener->kernelPlan();
+    registry.gaugeSet("kernel.isa",
+                      static_cast<double>(static_cast<int>(plan.isa)));
+    registry.gaugeSet("kernel.rows", static_cast<double>(plan.rows));
+    registry.gaugeSet("kernel.cols", static_cast<double>(plan.cols));
+    registry.gaugeSet("kernel.row_chunk",
+                      static_cast<double>(plan.rowChunk));
+    registry.gaugeSet("kernel.query_tile",
+                      static_cast<double>(plan.queryTile));
+    registry.gaugeSet("kernel.ns_per_row", plan.nsPerRow);
+    registry.gaugeSet("kernel.candidates",
+                      static_cast<double>(plan.candidates.size()));
 }
 
 // --- Table 1 wrappers ------------------------------------------------

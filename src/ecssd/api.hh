@@ -366,6 +366,16 @@ class EcssdApi
      *  metrics of never-redeploying runs byte-identical. */
     void publishRedeployMetrics(sim::MetricsRegistry &registry);
 
+    /**
+     * Snapshot the live screener's tuned kernel plan ("kernel.*"
+     * gauges: ISA level, row chunk, query tile, measured ns/row)
+     * into @p registry; no-op before the first weightDeploy().
+     * Explicit — never part of publishMetrics() — because the
+     * ns/row gauge is wall-clock and would break byte-identical
+     * metric goldens across machines and ISA levels.
+     */
+    void publishKernelMetrics(sim::MetricsRegistry &registry);
+
     /** Cumulative service time of this API (classify latencies plus
      *  background redeploy work); the clock drain deadlines are
      *  measured against. */

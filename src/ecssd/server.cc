@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "numeric/kernels.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -56,12 +57,27 @@ ServerConfig::validate() const
     brownout.validate();
 }
 
+namespace
+{
+
+/** Apply the host-ISA request before any functional model (the
+ *  classifier's screener) captures its kernel plan. */
+const EcssdOptions &
+withIsaApplied(const EcssdOptions &options)
+{
+    numeric::applyIsaRequest(options.isa);
+    return options;
+}
+
+} // namespace
+
 InferenceServer::InferenceServer(
     const numeric::FloatMatrix &weights,
     const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
     const numeric::FloatMatrix *trained_projection,
     const ServerConfig &server_config)
-    : weights_(&weights), spec_(spec), options_(options),
+    : weights_(&weights), spec_(spec),
+      options_(withIsaApplied(options)),
       config_(server_config),
       threadPool_(
           std::make_unique<sim::ThreadPool>(options.threads)),

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "numeric/kernels.hh"
 #include "sim/logging.hh"
 
 namespace ecssd
@@ -21,6 +23,13 @@ EcssdOptions::validate(const xclass::BenchmarkSpec *spec) const
                    predictorNoise);
     if (cache.associativity == 0)
         sim::fatal("EcssdOptions: cache associativity must be >= 1");
+    if (!numeric::isValidIsaRequest(isa))
+        sim::fatal("EcssdOptions: unknown isa '", isa,
+                   "' (want scalar|vector|avx2|avx512|auto)");
+    if (const char *env = std::getenv("ECSSD_ISA");
+        env != nullptr && !numeric::isValidIsaRequest(env))
+        sim::fatal("EcssdOptions: unknown ECSSD_ISA '", env,
+                   "' (want scalar|vector|avx2|avx512|auto)");
     ssd.validate();
     if (spec != nullptr) {
         // DRAM residency: the INT4 screener claims its bytes first;
@@ -55,6 +64,8 @@ describe(const EcssdOptions &options)
                : "flash")
        << " overlap=" << (options.overlapStages ? "on" : "off")
        << " screening=" << (options.screening ? "on" : "off");
+    if (options.isa != "auto" && !options.isa.empty())
+        os << " isa=" << options.isa;
     if (options.ssd.uncorrectableReadRate > 0.0)
         os << " degraded-policy="
            << accel::toString(options.degradedPolicy);
@@ -88,6 +99,11 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
       trace_(std::make_unique<accel::TraceSource>(
           spec, options.seed, options.predictorNoise))
 {
+    // Pin the host-compute ISA before any functional-tier component
+    // (screener, classifier) captures it.  ECSSD_ISA, when set, wins
+    // over the option so goldens can be replayed pinned.
+    numeric::applyIsaRequest(options_.isa);
+
     // Build the weight placement at page-group granularity (rows
     // narrower than a flash page share a page).  The learning-based
     // layout consumes the hot-degree predictions (here: the trace's
@@ -123,6 +139,7 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
     accel_config.weightPrecision = options.weightPrecision;
     accel_config.degradedPolicy = options.degradedPolicy;
     accel_config.threads = options.threads;
+    accel_config.hostIsa = options.isa;
     accel_config.cache = options.cache;
     pipeline_ = std::make_unique<accel::InferencePipeline>(
         spec_, accel_config, *ssd_, *strategy_,

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic kernel autotuner for the INT4 screener.
+ *
+ * At deploy time the screener asks for a KernelPlan: which ISA level
+ * to run, how many rows one parallel chunk should cover (the L2
+ * tiling of the packed matrix), and how many queries the batch
+ * kernel blocks together (the register tiling).
+ *
+ * Selection is a pure function of (matrix shape, ISA level): the
+ * candidate chunk sizes ARE benchmarked, but only to report ns/row
+ * in the plan and the metrics dump — wall-clock never feeds back
+ * into the choice, so the same shape always yields the same plan and
+ * golden runs stay reproducible on any machine (see
+ * docs/MODELING.md §14).
+ */
+
+#ifndef ECSSD_NUMERIC_AUTOTUNE_HH
+#define ECSSD_NUMERIC_AUTOTUNE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/kernels.hh"
+
+namespace ecssd
+{
+namespace numeric
+{
+
+class Int4Matrix;
+
+/** One benchmarked row-chunk candidate (observability only). */
+struct KernelCandidate
+{
+    std::size_t rowChunk = 0;
+    /** Measured single-thread ns per row, 0 when not measured. */
+    double nsPerRow = 0.0;
+    bool selected = false;
+};
+
+/** The screener's tuned kernel configuration. */
+struct KernelPlan
+{
+    IsaLevel isa = IsaLevel::Scalar;
+    /** Matrix shape the plan was tuned for. */
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t bytesPerRow = 0;
+    /** Rows per parallel chunk (also the single-query row tile). */
+    std::size_t rowChunk = 0;
+    /** Queries the batch kernel blocks per decoded row. */
+    std::size_t queryTile = 0;
+    /** Measured ns/row of the selected chunk (0 if unmeasured). */
+    double nsPerRow = 0.0;
+    /** True when the candidate timings below were taken. */
+    bool measured = false;
+    std::vector<KernelCandidate> candidates;
+};
+
+/** Candidate row-chunk sizes for @p bytes_per_row (deterministic). */
+std::vector<std::size_t>
+rowChunkCandidates(std::size_t bytes_per_row);
+
+/**
+ * Tune the screener kernels for @p matrix at @p isa.  With
+ * @p measure, each candidate chunk is timed over a bounded row
+ * sample (recorded in the plan; never used for selection).
+ */
+KernelPlan autotuneScreenerKernels(const Int4Matrix &matrix,
+                                   IsaLevel isa, bool measure);
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_AUTOTUNE_HH

@@ -56,39 +56,6 @@ rescale(std::int64_t acc, float row_scale, float feature_scale)
     return static_cast<double>(acc) * row_scale * feature_scale;
 }
 
-/** Quantize one value given a precomputed scale. */
-int
-quantizeValue(float v, float scale)
-{
-    if (scale == 0.0f)
-        return 0;
-    const int q = static_cast<int>(std::lround(v / scale));
-    return std::clamp(q, int4Min, int4Max);
-}
-
-/** Largest |v| in the span. */
-float
-maxAbs(std::span<const float> values)
-{
-    float m = 0.0f;
-    for (const float v : values)
-        m = std::max(m, std::fabs(v));
-    return m;
-}
-
-/** Pack a signed nibble into the packed array. */
-void
-packNibble(std::vector<std::uint8_t> &packed, std::size_t i, int q)
-{
-    const auto nibble = static_cast<std::uint8_t>(q & 0xf);
-    if (i % 2 == 0)
-        packed[i / 2] = (packed[i / 2] & 0xf0) | nibble;
-    else
-        packed[i / 2] =
-            (packed[i / 2] & 0x0f)
-            | static_cast<std::uint8_t>(nibble << 4);
-}
-
 /** Unpack a signed nibble (sign-extend 4 -> 32 bits). */
 int
 unpackNibble(const std::vector<std::uint8_t> &packed, std::size_t i)
@@ -98,30 +65,6 @@ unpackNibble(const std::vector<std::uint8_t> &packed, std::size_t i)
         (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
     return (nibble & 0x8) ? static_cast<int>(nibble) - 16
                           : static_cast<int>(nibble);
-}
-
-/** Quantize one row straight into its packed bytes (no staging). */
-void
-packRow(std::span<const float> row, float scale, std::uint8_t *out,
-        std::size_t bytes_per_row)
-{
-    std::fill(out, out + bytes_per_row, std::uint8_t{0});
-    const std::size_t pairs = row.size() / 2;
-    for (std::size_t b = 0; b < pairs; ++b) {
-        const unsigned lo = static_cast<unsigned>(
-                                quantizeValue(row[2 * b], scale))
-            & 0xf;
-        const unsigned hi = static_cast<unsigned>(
-                                quantizeValue(row[2 * b + 1], scale))
-            & 0xf;
-        out[b] = static_cast<std::uint8_t>(lo | (hi << 4));
-    }
-    if (row.size() % 2 != 0) {
-        out[pairs] = static_cast<std::uint8_t>(
-            static_cast<unsigned>(
-                quantizeValue(row[row.size() - 1], scale))
-            & 0xf);
-    }
 }
 
 } // namespace
@@ -137,11 +80,12 @@ quantizeVector(std::span<const float> values)
 void
 quantizeVectorInto(std::span<const float> values, Int4Vector &out)
 {
+    const IsaLevel isa = activeIsa();
     out.size = values.size();
-    out.scale = maxAbs(values) / static_cast<float>(int4Max);
-    out.packed.assign((values.size() + 1) / 2, 0);
-    for (std::size_t i = 0; i < values.size(); ++i)
-        packNibble(out.packed, i, quantizeValue(values[i], out.scale));
+    out.scale =
+        maxAbsSpan(values, isa) / static_cast<float>(int4Max);
+    out.packed.resize((values.size() + 1) / 2);
+    quantizePackSpan(values, out.scale, out.packed.data(), isa);
 }
 
 int
@@ -165,15 +109,19 @@ Int4Matrix::Int4Matrix(const FloatMatrix &source,
       bytesPerRow_((source.cols() + 1) / 2),
       packed_(rows_ * bytesPerRow_, 0), scales_(rows_, 0.0f)
 {
-    const auto quantize_rows = [&](std::size_t row_begin,
-                                   std::size_t row_end) {
+    // The ISA level is captured once so every pool worker quantizes
+    // with the same kernel (and the result is reproducible even if
+    // the active level changes mid-build).
+    const IsaLevel isa = activeIsa();
+    const auto quantize_rows = [&, isa](std::size_t row_begin,
+                                        std::size_t row_end) {
         for (std::size_t r = row_begin; r < row_end; ++r) {
             const std::span<const float> row = source.row(r);
             const float scale =
-                maxAbs(row) / static_cast<float>(int4Max);
+                maxAbsSpan(row, isa) / static_cast<float>(int4Max);
             scales_[r] = scale;
-            packRow(row, scale, packed_.data() + r * bytesPerRow_,
-                    bytesPerRow_);
+            quantizePackSpan(row, scale,
+                             packed_.data() + r * bytesPerRow_, isa);
         }
     };
     if (pool)
@@ -261,33 +209,62 @@ accumulateRow(const std::uint8_t *row, const std::int16_t *feature,
 
 std::int64_t
 Int4Matrix::rawDotRowLut(std::size_t r,
-                         std::span<const std::int16_t> feature) const
+                         std::span<const std::int16_t> feature,
+                         IsaLevel isa) const
 {
     ECSSD_ASSERT(r < rows_ && feature.size() == 2 * bytesPerRow_,
                  "int4 widened feature mismatch");
     const std::uint8_t *row = packed_.data() + r * bytesPerRow_;
-    if (cols_ <= kInt32SafeCols)
+    // Past the int32-safe column bound every level shares the exact
+    // scalar int64 loop (the SIMD bodies keep int32 accumulators).
+    if (cols_ > kInt32SafeCols)
+        return accumulateRow<std::int64_t>(row, feature.data(),
+                                           bytesPerRow_);
+    if (isa == IsaLevel::Scalar)
         return accumulateRow<std::int32_t>(row, feature.data(),
                                            bytesPerRow_);
-    return accumulateRow<std::int64_t>(row, feature.data(),
-                                       bytesPerRow_);
+    return rowDotWidened(row, feature.data(), bytesPerRow_, isa);
 }
 
 void
 Int4Matrix::dotRowsLut(std::size_t row_begin, std::size_t row_end,
                        std::span<const std::int16_t> feature,
-                       float feature_scale, double *out) const
+                       float feature_scale, double *out,
+                       IsaLevel isa) const
 {
     ECSSD_ASSERT(row_begin <= row_end && row_end <= rows_
                      && feature.size() == 2 * bytesPerRow_,
                  "int4 row-range kernel misuse");
     const std::int16_t *widened = feature.data();
-    for (std::size_t r = row_begin; r < row_end; ++r) {
-        const std::uint8_t *row = packed_.data() + r * bytesPerRow_;
-        const std::int64_t acc = cols_ <= kInt32SafeCols
-            ? accumulateRow<std::int32_t>(row, widened, bytesPerRow_)
-            : accumulateRow<std::int64_t>(row, widened, bytesPerRow_);
-        out[r - row_begin] = rescale(acc, scales_[r], feature_scale);
+    if (isa == IsaLevel::Scalar || cols_ > kInt32SafeCols) {
+        // The original LUT loop, kept inline so the pinned-scalar
+        // path stays byte-for-byte the pre-dispatch code.
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+            const std::uint8_t *row =
+                packed_.data() + r * bytesPerRow_;
+            const std::int64_t acc = cols_ <= kInt32SafeCols
+                ? accumulateRow<std::int32_t>(row, widened,
+                                              bytesPerRow_)
+                : accumulateRow<std::int64_t>(row, widened,
+                                              bytesPerRow_);
+            out[r - row_begin] =
+                rescale(acc, scales_[r], feature_scale);
+        }
+        return;
+    }
+    // Range kernel + stack staging: one dispatch per block of rows,
+    // and the raw int64 accumulators rescale in a separate tight
+    // loop (same rescale expression, so same bits).
+    std::array<std::int64_t, 256> acc;
+    for (std::size_t r0 = row_begin; r0 < row_end; r0 += acc.size()) {
+        const std::size_t n =
+            std::min(acc.size(), row_end - r0);
+        rowDotWidenedRange(packed_.data() + r0 * bytesPerRow_,
+                           bytesPerRow_, n, widened, bytesPerRow_,
+                           acc.data(), isa);
+        for (std::size_t i = 0; i < n; ++i)
+            out[r0 - row_begin + i] =
+                rescale(acc[i], scales_[r0 + i], feature_scale);
     }
 }
 
@@ -298,30 +275,44 @@ Int4Matrix::dotRowsBatchLut(std::size_t row_begin,
                             std::size_t query_count,
                             std::size_t feature_stride,
                             const float *feature_scales, double *out,
-                            std::size_t out_stride) const
+                            std::size_t out_stride, IsaLevel isa,
+                            std::size_t query_tile) const
 {
     ECSSD_ASSERT(row_begin <= row_end && row_end <= rows_
                      && feature_stride >= 2 * bytesPerRow_,
                  "int4 batch kernel misuse");
     // Tile over queries so each decoded weight row is reused across
     // the whole query block while it is still hot; int32 accumulator
-    // tiles, one rescale per (row, query) at the end.
-    constexpr std::size_t kQueryTile = 8;
-    std::array<std::int64_t, kQueryTile> acc;
-    for (std::size_t q0 = 0; q0 < query_count; q0 += kQueryTile) {
+    // tiles, one rescale per (row, query) at the end.  The tile
+    // width only changes grouping — every (row, query) cell is an
+    // independent exact integer, so any tile yields the same bits.
+    constexpr std::size_t kMaxQueryTile = 16;
+    const std::size_t tile_width =
+        std::clamp<std::size_t>(query_tile, 1, kMaxQueryTile);
+    const bool simd = isa != IsaLevel::Scalar
+        && cols_ <= kInt32SafeCols;
+    std::array<std::int64_t, kMaxQueryTile> acc;
+    for (std::size_t q0 = 0; q0 < query_count; q0 += tile_width) {
         const std::size_t tile =
-            std::min(kQueryTile, query_count - q0);
+            std::min(tile_width, query_count - q0);
         for (std::size_t r = row_begin; r < row_end; ++r) {
             const std::uint8_t *row =
                 packed_.data() + r * bytesPerRow_;
-            for (std::size_t q = 0; q < tile; ++q) {
-                const std::int16_t *widened =
-                    features + (q0 + q) * feature_stride;
-                acc[q] = cols_ <= kInt32SafeCols
-                    ? accumulateRow<std::int32_t>(row, widened,
-                                                  bytesPerRow_)
-                    : accumulateRow<std::int64_t>(row, widened,
-                                                  bytesPerRow_);
+            if (simd) {
+                rowDotWidenedBatch(row,
+                                   features + q0 * feature_stride,
+                                   tile, feature_stride, bytesPerRow_,
+                                   acc.data(), isa);
+            } else {
+                for (std::size_t q = 0; q < tile; ++q) {
+                    const std::int16_t *widened =
+                        features + (q0 + q) * feature_stride;
+                    acc[q] = cols_ <= kInt32SafeCols
+                        ? accumulateRow<std::int32_t>(row, widened,
+                                                      bytesPerRow_)
+                        : accumulateRow<std::int64_t>(row, widened,
+                                                      bytesPerRow_);
+                }
             }
             for (std::size_t q = 0; q < tile; ++q) {
                 out[(q0 + q) * out_stride + (r - row_begin)] =

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "numeric/kernels.hh"
 #include "numeric/matrix.hh"
 
 namespace ecssd
@@ -109,6 +110,12 @@ class Int4Matrix
     // dotRow() uses — so their results are bit-identical to the
     // scalar reference (integer accumulation has no rounding, and
     // the final rescale is the same double product).
+    //
+    // Each row-range kernel takes an IsaLevel (default: the
+    // process-wide activeIsa()) selecting the SIMD body from
+    // numeric/kernels.hh.  Integer accumulation is associative, so
+    // every level returns the same bits; IsaLevel::Scalar runs the
+    // original LUT loops unchanged.
 
     /** Widen @p feature to the int16 layout the kernels consume: one
      *  value per nibble slot, zero-padded to 2 * bytes-per-row. */
@@ -119,8 +126,9 @@ class Int4Matrix
      * LUT dot product of row @p r with a widened feature (no
      * rescale).  @p feature must come from widenFeature().
      */
-    std::int64_t rawDotRowLut(
-        std::size_t r, std::span<const std::int16_t> feature) const;
+    std::int64_t rawDotRowLut(std::size_t r,
+                              std::span<const std::int16_t> feature,
+                              IsaLevel isa = activeIsa()) const;
 
     /**
      * Score rows [row_begin, row_end) against one widened feature
@@ -130,7 +138,11 @@ class Int4Matrix
      */
     void dotRowsLut(std::size_t row_begin, std::size_t row_end,
                     std::span<const std::int16_t> feature,
-                    float feature_scale, double *out) const;
+                    float feature_scale, double *out,
+                    IsaLevel isa = activeIsa()) const;
+
+    /** Default query-block width of dotRowsBatchLut. */
+    static constexpr std::size_t kDefaultQueryTile = 8;
 
     /**
      * Multi-query blocked kernel: score rows [row_begin, row_end)
@@ -139,14 +151,19 @@ class Int4Matrix
      * out[q * out_stride + (r - row_begin)].  Each weight row is
      * decoded once and reused across every query in the block
      * (GEMM-style reuse); int32 accumulators, one rescale at the
-     * end.  Bit-identical to per-query dotRowsLut.
+     * end.  Bit-identical to per-query dotRowsLut for any
+     * @p query_tile in [1, 16] (each (row, query) cell is an
+     * independent exact integer).
      */
     void dotRowsBatchLut(std::size_t row_begin, std::size_t row_end,
                          const std::int16_t *features,
                          std::size_t query_count,
                          std::size_t feature_stride,
                          const float *feature_scales, double *out,
-                         std::size_t out_stride) const;
+                         std::size_t out_stride,
+                         IsaLevel isa = activeIsa(),
+                         std::size_t query_tile =
+                             kDefaultQueryTile) const;
 
     /** Packed bytes of one row (two nibbles per byte). */
     std::span<const std::uint8_t>

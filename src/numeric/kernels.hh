@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD host kernels.
+ *
+ * Every hot host-compute kernel (INT4 LUT screening, quantization,
+ * the projection GEMV, the FP32 pairwise-tree dot) exists at up to
+ * four ISA levels:
+ *
+ *   scalar  — the original reference loops (byte-for-byte the PR 7
+ *             code paths).
+ *   vector  — portable GCC vector-extension lanes, compiled against
+ *             the baseline ISA (SSE2 on x86-64).  The correctness
+ *             fallback on hosts without AVX.
+ *   avx2    — 256-bit integer (pmaddwd) and FP paths.
+ *   avx512  — 512-bit paths (requires AVX-512 F/BW/VL).
+ *
+ * Dispatch contract: *every* level computes bit-identical results.
+ * Integer kernels accumulate exactly (associativity is free); the
+ * FP32 kernels are vectorized across independent outputs or along
+ * the data-independent pairwise-tree structure, so no floating-point
+ * operation is reassociated relative to the scalar reference.  This
+ * file is compiled with -ffp-contract=off so no level silently gains
+ * an FMA the others lack.  The golden-tolerance contract for any
+ * future reassociating FP32 kernel lives in
+ * tests/test_kernels_differential.cc (see docs/MODELING.md §14).
+ *
+ * The active level is process-global: the ECSSD_ISA environment
+ * variable pins it (tests/CI), the --isa CLI flag or
+ * EcssdOptions::isa requests it, and auto-detection picks the best
+ * supported level otherwise.
+ */
+
+#ifndef ECSSD_NUMERIC_KERNELS_HH
+#define ECSSD_NUMERIC_KERNELS_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ecssd
+{
+namespace numeric
+{
+
+/** One host-kernel implementation level, worst to best. */
+enum class IsaLevel : int
+{
+    Scalar = 0,
+    /** GCC vector extensions against the baseline ISA. */
+    VecExt = 1,
+    Avx2 = 2,
+    Avx512 = 3,
+};
+
+/** Canonical lowercase name ("scalar", "vector", "avx2", "avx512"). */
+const char *toString(IsaLevel level);
+
+/** Parse a level name; nullopt on anything unknown ("auto" included). */
+std::optional<IsaLevel> parseIsaLevel(std::string_view name);
+
+/** True when @p request names a level or the "auto" sentinel — the
+ *  validity check EcssdOptions::validate() applies to --isa and to
+ *  the ECSSD_ISA environment variable. */
+bool isValidIsaRequest(std::string_view request);
+
+/** True when this CPU can execute @p level. */
+bool isaSupported(IsaLevel level);
+
+/** Best level this CPU supports (never worse than VecExt). */
+IsaLevel detectBestIsa();
+
+/** Every level this CPU supports, worst to best (Scalar included). */
+std::vector<IsaLevel> supportedIsaLevels();
+
+/**
+ * The process-global active level all implicit-dispatch kernel entry
+ * points use.  Lazily initialized from ECSSD_ISA (fatal on an
+ * unknown or unsupported value) or detectBestIsa().
+ */
+IsaLevel activeIsa();
+
+/**
+ * Re-resolve the active level from @p request ("auto" or a level
+ * name).  ECSSD_ISA, when set, always wins — that is what lets tests
+ * and CI pin the path under any configuration.  Fatal (named error)
+ * on an unknown request, on an unknown ECSSD_ISA value, or on a
+ * pinned level this CPU cannot execute.  Returns the resolved level.
+ */
+IsaLevel applyIsaRequest(const std::string &request);
+
+/** Pin the active level directly (tests).  Fatal if unsupported. */
+void setActiveIsa(IsaLevel level);
+
+// --- FP32 kernels (bit-stable across levels) ----------------------
+
+/**
+ * Dot product of @p a and @p b evaluated as binary32 products fed
+ * into the binary32 pairwise adder tree — the exact value
+ * NaiveFpMac::dot() produces, at every ISA level (the tree's
+ * pairings are data-independent, so lanes can compute them without
+ * reassociating anything).
+ */
+double pairwiseDotF32(std::span<const float> a,
+                      std::span<const float> b, IsaLevel level);
+
+/** Implicit-dispatch overload (activeIsa()). */
+double pairwiseDotF32(std::span<const float> a,
+                      std::span<const float> b);
+
+/**
+ * Row-blocked projection GEMV: out[k] = sum_d basisT[d * k_count + k]
+ * * vec[d], accumulated in double in ascending-d order per output —
+ * the same operation sequence per output as the scalar reference, so
+ * every level produces identical bits.  @p basisT is the transposed
+ * (D x K) projection basis.
+ */
+void projectGemv(std::span<const float> basisT, std::size_t full_dim,
+                 std::size_t shrunk_dim, std::span<const float> vec,
+                 float *out, IsaLevel level);
+
+// --- Quantization kernels (bit-stable across levels) --------------
+
+/**
+ * Quantize @p values with @p scale to signed INT4 and pack two
+ * nibbles per byte (low nibble first) into @p out, which must hold
+ * (values.size() + 1) / 2 bytes.  Replicates
+ * clamp(lround(v / scale), -7, 7) exactly (round half away from
+ * zero), zero when @p scale is zero.
+ */
+void quantizePackSpan(std::span<const float> values, float scale,
+                      std::uint8_t *out, IsaLevel level);
+
+/** max |v| over the span (order-free, hence exact at any level). */
+float maxAbsSpan(std::span<const float> values, IsaLevel level);
+
+// --- INT4 LUT kernels (exact integer accumulation) ----------------
+
+/**
+ * Raw integer dot product of one packed row against a widened int16
+ * feature (see Int4Matrix::widenFeature), int32 accumulation.  The
+ * caller guarantees cols <= kInt32SafeCols (Int4Matrix dispatches to
+ * its scalar int64 loop beyond that).
+ */
+std::int64_t rowDotWidened(const std::uint8_t *row,
+                           const std::int16_t *feature,
+                           std::size_t bytes, IsaLevel level);
+
+/**
+ * Row-range variant: raw dots of @p row_count packed rows (row i at
+ * rows + i * row_stride) against one widened feature into out[i].
+ * Same contract as rowDotWidened; the ISA dispatch runs once for
+ * the whole range instead of once per row — the hot single-query
+ * screener path.
+ */
+void rowDotWidenedRange(const std::uint8_t *rows,
+                        std::size_t row_stride,
+                        std::size_t row_count,
+                        const std::int16_t *feature,
+                        std::size_t bytes, std::int64_t *out,
+                        IsaLevel level);
+
+/**
+ * Multi-query row block: for each query q in [0, query_count), raw
+ * int32 dot of @p row against features + q * feature_stride into
+ * acc[q].  One row decode shared by the whole query block.
+ */
+void rowDotWidenedBatch(const std::uint8_t *row,
+                        const std::int16_t *features,
+                        std::size_t query_count,
+                        std::size_t feature_stride, std::size_t bytes,
+                        std::int64_t *acc, IsaLevel level);
+
+} // namespace numeric
+} // namespace ecssd
+
+#endif // ECSSD_NUMERIC_KERNELS_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "numeric/kernels.hh"
 #include "sim/logging.hh"
 
 namespace ecssd
@@ -29,36 +30,26 @@ NaiveFpMac::dot(std::span<const float> a, std::span<const float> b)
     ECSSD_ASSERT(a.size() == b.size(), "dot operand size mismatch");
     MacResult result;
 
-    // Multiply stage: one mantissa multiply + exponent add per
-    // element; products stay in binary32, which is exactly where a
-    // conventional FP32 multiplier rounds.
-    std::vector<float> products(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        products[i] = a[i] * b[i];
-        result.ops.mantissaMultiplies += 1;
-        result.ops.exponentAdds += 1;
-        result.ops.normalizations += 1;
-    }
+    // The value comes from the runtime-dispatched pairwise kernel,
+    // which evaluates exactly this datapath — binary32 products fed
+    // into the binary32 pairwise adder tree — at any ISA level with
+    // identical bits (the tree's pairings are data-independent, so
+    // SIMD lanes reassociate nothing; see numeric/kernels.hh).
+    result.value = pairwiseDotF32(a, b);
 
-    // Pairwise binary32 adder tree.  Every two-input FP adder does an
-    // exponent compare, one mantissa shift, a mantissa add, and a
-    // normalize.
-    while (products.size() > 1) {
-        std::vector<float> next;
-        next.reserve((products.size() + 1) / 2);
-        for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
-            next.push_back(products[i] + products[i + 1]);
-            result.ops.exponentCompares += 1;
-            result.ops.mantissaShifts += 1;
-            result.ops.mantissaAdds += 1;
-            result.ops.normalizations += 1;
-        }
-        if (products.size() % 2 == 1)
-            next.push_back(products.back());
-        products.swap(next);
-    }
-
-    result.value = products.empty() ? 0.0 : products[0];
+    // Micro-op counts in closed form.  Multiply stage: one mantissa
+    // multiply, exponent add, and normalize per element.  Adder
+    // tree: each two-input FP add (a tree with n leaves performs
+    // n - 1 of them, carries included) does an exponent compare, one
+    // mantissa shift, a mantissa add, and a normalize.
+    const std::uint64_t n = a.size();
+    const std::uint64_t adds = n > 0 ? n - 1 : 0;
+    result.ops.mantissaMultiplies = n;
+    result.ops.exponentAdds = n;
+    result.ops.normalizations = n + adds;
+    result.ops.exponentCompares = adds;
+    result.ops.mantissaShifts = adds;
+    result.ops.mantissaAdds = adds;
     return result;
 }
 

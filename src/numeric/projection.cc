@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numeric/kernels.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -24,6 +25,7 @@ Projector::Projector(std::size_t full_dim, std::size_t shrunk_dim,
         for (std::size_t d = 0; d < full_dim; ++d)
             projection_.at(k, d) =
                 static_cast<float>(rng.gaussian(0.0, stddev));
+    buildTransposed();
 }
 
 Projector::Projector(FloatMatrix projection)
@@ -32,6 +34,18 @@ Projector::Projector(FloatMatrix projection)
 {
     ECSSD_ASSERT(shrunkDim_ > 0 && shrunkDim_ <= fullDim_,
                  "projection must shrink the hidden dimension");
+    buildTransposed();
+}
+
+void
+Projector::buildTransposed()
+{
+    basisT_.resize(fullDim_ * shrunkDim_);
+    for (std::size_t k = 0; k < shrunkDim_; ++k) {
+        const std::span<const float> prow = projection_.row(k);
+        for (std::size_t d = 0; d < fullDim_; ++d)
+            basisT_[d * shrunkDim_ + k] = prow[d];
+    }
 }
 
 std::vector<float>
@@ -49,13 +63,22 @@ Projector::projectInto(std::span<const float> vec,
     ECSSD_ASSERT(vec.size() == fullDim_,
                  "projection input length mismatch");
     out.resize(shrunkDim_);
-    for (std::size_t k = 0; k < shrunkDim_; ++k) {
-        const std::span<const float> prow = projection_.row(k);
-        double acc = 0.0;
-        for (std::size_t d = 0; d < fullDim_; ++d)
-            acc += static_cast<double>(prow[d]) * vec[d];
-        out[k] = static_cast<float>(acc);
+    const IsaLevel isa = activeIsa();
+    if (isa == IsaLevel::Scalar) {
+        // The original row-major loop; the SIMD GEMV below runs the
+        // identical per-output operation sequence over the
+        // transposed basis, so both paths produce the same bits.
+        for (std::size_t k = 0; k < shrunkDim_; ++k) {
+            const std::span<const float> prow = projection_.row(k);
+            double acc = 0.0;
+            for (std::size_t d = 0; d < fullDim_; ++d)
+                acc += static_cast<double>(prow[d]) * vec[d];
+            out[k] = static_cast<float>(acc);
+        }
+        return;
     }
+    projectGemv(std::span<const float>(basisT_), fullDim_,
+                shrunkDim_, vec, out.data(), isa);
 }
 
 FloatMatrix

@@ -76,9 +76,18 @@ class Projector
                             sim::ThreadPool *pool = nullptr) const;
 
   private:
+    void buildTransposed();
+
     std::size_t fullDim_;
     std::size_t shrunkDim_;
     FloatMatrix projection_; // K x D
+    /**
+     * The same basis transposed (D x K, row-major): the SIMD GEMV
+     * runs lanes across output rows k, so it wants the k values of
+     * one input dimension contiguous.  Built eagerly — projectInto()
+     * is called from pool workers, and a lazy build would race.
+     */
+    std::vector<float> basisT_;
 };
 
 } // namespace numeric

@@ -20,7 +20,9 @@ Screener::Screener(const numeric::FloatMatrix &weights,
                      ? numeric::Projector(*trained_projection)
                      : numeric::Projector(weights.cols(),
                                           spec.shrunkDim(), seed)),
-      screener_(projector_.projectRows(weights, pool), pool)
+      screener_(projector_.projectRows(weights, pool), pool),
+      plan_(numeric::autotuneScreenerKernels(
+          screener_, numeric::activeIsa(), /*measure=*/true))
 {
     ECSSD_ASSERT(weights.rows() == spec.categories,
                  "weights/spec category mismatch");
@@ -56,10 +58,6 @@ Screener::scores(const numeric::Int4Vector &feature) const
     return out;
 }
 
-/** Rows per parallel chunk: big enough to amortize dispatch, small
- *  enough to balance the tail. */
-static constexpr std::size_t kScoreGrain = 2048;
-
 void
 Screener::scoresInto(const numeric::Int4Vector &feature,
                      std::vector<double> &out) const
@@ -67,13 +65,18 @@ Screener::scoresInto(const numeric::Int4Vector &feature,
     screener_.widenFeature(feature, widenedScratch_);
     out.resize(screener_.rows());
     const std::span<const std::int16_t> widened(widenedScratch_);
+    // The tuned row chunk is the parallel grain: each pool task
+    // streams one L2-resident slice of the packed matrix.  The
+    // chunking (like the ISA level) only regroups exact integer
+    // dot products, so the scores are bit-identical for any plan.
     const auto score_rows = [&](std::size_t row_begin,
                                 std::size_t row_end) {
         screener_.dotRowsLut(row_begin, row_end, widened,
-                             feature.scale, out.data() + row_begin);
+                             feature.scale, out.data() + row_begin,
+                             plan_.isa);
     };
     if (pool_)
-        pool_->parallelFor(0, screener_.rows(), kScoreGrain,
+        pool_->parallelFor(0, screener_.rows(), plan_.rowChunk,
                            score_rows);
     else
         score_rows(0, screener_.rows());
@@ -116,7 +119,8 @@ Screener::scoresBatch(
         std::vector<double> block(queries * rows);
         screener_.dotRowsBatchLut(row_begin, row_end, widened.data(),
                                   queries, stride, scales.data(),
-                                  block.data(), rows);
+                                  block.data(), rows, plan_.isa,
+                                  plan_.queryTile);
         for (std::size_t q = 0; q < queries; ++q)
             std::copy(block.begin()
                           + static_cast<std::ptrdiff_t>(q * rows),
@@ -127,7 +131,7 @@ Screener::scoresBatch(
                           + static_cast<std::ptrdiff_t>(row_begin));
     };
     if (pool_)
-        pool_->parallelFor(0, screener_.rows(), kScoreGrain,
+        pool_->parallelFor(0, screener_.rows(), plan_.rowChunk,
                            score_rows_blocked);
     else
         score_rows_blocked(0, screener_.rows());
@@ -195,7 +199,7 @@ Screener::rowAbsMasses() const
 
 CandidateClassifier::CandidateClassifier(
     const numeric::FloatMatrix &weights, sim::ThreadPool *pool)
-    : weights_(weights), pool_(pool)
+    : weights_(weights), pool_(pool), isa_(numeric::activeIsa())
 {
 }
 
@@ -269,10 +273,13 @@ CandidateClassifier::scores(std::span<const float> feature,
     };
 
     if (datapath == Datapath::Fp32) {
+        // Same binary32 pairwise-tree datapath NaiveFpMac models,
+        // minus the micro-op bookkeeping: the SIMD kernel computes
+        // the identical tree at every ISA level, so the re-rank
+        // scores match the scalar reference bit for bit.
         run([&](std::uint64_t row) {
-            return numeric::NaiveFpMac::dot(weights_.row(row),
-                                            feature)
-                .value;
+            return numeric::pairwiseDotF32(weights_.row(row),
+                                           feature, isa_);
         });
         return out;
     }

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "numeric/autotune.hh"
 #include "numeric/cfp16.hh"
 #include "numeric/cfp32.hh"
 #include "numeric/int4.hh"
@@ -76,6 +77,14 @@ class Screener
     }
 
     const numeric::Projector &projector() const { return projector_; }
+
+    /**
+     * The kernel plan tuned at construction: ISA level, row chunk
+     * (the parallel grain of scoresInto/scoresBatch), query tile,
+     * and the observability-only candidate timings.  Deterministic
+     * for a given (shape, active ISA) — see numeric/autotune.hh.
+     */
+    const numeric::KernelPlan &kernelPlan() const { return plan_; }
 
     /** Project + quantize one full-dimension feature. */
     numeric::Int4Vector prepareFeature(
@@ -138,6 +147,9 @@ class Screener
     sim::ThreadPool *pool_ = nullptr;
     numeric::Projector projector_;
     numeric::Int4Matrix screener_;
+    // Tuned after screener_ exists (declaration order is the init
+    // order); pins the ISA level every score call runs at.
+    numeric::KernelPlan plan_;
     double threshold_ = 0.0;
     // Per-query scratch (projection output, quantized feature,
     // widened int16 feature): reused across queries so the hot path
@@ -189,6 +201,9 @@ class CandidateClassifier
   private:
     const numeric::FloatMatrix &weights_;
     sim::ThreadPool *pool_ = nullptr;
+    // ISA level captured at construction so every re-rank in this
+    // classifier's lifetime runs the same FP32 kernel.
+    numeric::IsaLevel isa_ = numeric::IsaLevel::Scalar;
     // Per-row pre-aligned weights, built lazily on first
     // alignment-free use (the offline Pre_align() of the weights).
     mutable std::vector<numeric::Cfp32Vector> alignedRows_;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Autotuner determinism tests: the kernel plan must be a pure
+ * function of (matrix shape, ISA level).  Candidate chunks are
+ * benchmarked for observability, but wall-clock must never leak into
+ * the selection — the same shape yields the same plan on every run,
+ * the plan survives weightDeploy() and is visible in the metrics
+ * dump, and an unknown --isa / ECSSD_ISA request dies with a named
+ * error before any system is built.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "ecssd/api.hh"
+#include "ecssd/system.hh"
+#include "numeric/autotune.hh"
+#include "numeric/int4.hh"
+#include "numeric/kernels.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
+#include "xclass/screening.hh"
+#include "xclass/workload.hh"
+
+using namespace ecssd;
+using namespace ecssd::numeric;
+
+namespace
+{
+
+Int4Matrix
+smallMatrix(std::size_t rows, std::size_t cols)
+{
+    FloatMatrix m(rows, cols);
+    sim::Rng rng(5);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return Int4Matrix(m);
+}
+
+/** Restores the auto-detected active ISA on scope exit. */
+struct IsaGuard
+{
+    ~IsaGuard() { applyIsaRequest("auto"); }
+};
+
+} // namespace
+
+TEST(Autotune, RowChunkCandidatesAreDeterministicPow2)
+{
+    for (const std::size_t bytes : {0ull, 1ull, 32ull, 100ull,
+                                    512ull, 4096ull}) {
+        const auto first = rowChunkCandidates(bytes);
+        EXPECT_EQ(rowChunkCandidates(bytes), first) << bytes;
+        ASSERT_FALSE(first.empty()) << bytes;
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            EXPECT_GE(first[i], 512u) << bytes;
+            EXPECT_LE(first[i], 4096u) << bytes;
+            // Powers of two, strictly increasing.
+            EXPECT_EQ(first[i] & (first[i] - 1), 0u) << bytes;
+            if (i > 0) {
+                EXPECT_EQ(first[i], 2 * first[i - 1]) << bytes;
+            }
+        }
+    }
+}
+
+TEST(Autotune, PlanIsPureFunctionOfShapeAndIsa)
+{
+    const Int4Matrix matrix = smallMatrix(3000, 40);
+    for (const IsaLevel isa : supportedIsaLevels()) {
+        SCOPED_TRACE(toString(isa));
+        // Measured and unmeasured plans pick identically — timings
+        // are observability only.
+        const KernelPlan cold =
+            autotuneScreenerKernels(matrix, isa, false);
+        EXPECT_FALSE(cold.measured);
+        EXPECT_EQ(cold.nsPerRow, 0.0);
+        for (int run = 0; run < 3; ++run) {
+            const KernelPlan plan =
+                autotuneScreenerKernels(matrix, isa, true);
+            EXPECT_TRUE(plan.measured);
+            EXPECT_EQ(plan.isa, isa);
+            EXPECT_EQ(plan.rows, matrix.rows());
+            EXPECT_EQ(plan.cols, matrix.cols());
+            EXPECT_EQ(plan.bytesPerRow, matrix.bytesPerRow());
+            EXPECT_EQ(plan.rowChunk, cold.rowChunk) << run;
+            EXPECT_EQ(plan.queryTile, cold.queryTile) << run;
+            // The selected candidate is flagged and is the chunk the
+            // plan carries.
+            ASSERT_FALSE(plan.candidates.empty());
+            for (const KernelCandidate &candidate : plan.candidates)
+                EXPECT_EQ(candidate.selected,
+                          candidate.rowChunk == plan.rowChunk);
+        }
+    }
+}
+
+TEST(Autotune, ScreenerPlanDeterministicAcrossConstructions)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 4096);
+    const xclass::SyntheticModel model(spec, 1);
+    const xclass::Screener first(model.weights(), spec, 2);
+    const xclass::Screener second(model.weights(), spec, 2);
+    const KernelPlan &a = first.kernelPlan();
+    const KernelPlan &b = second.kernelPlan();
+    EXPECT_EQ(b.isa, a.isa);
+    EXPECT_EQ(b.rowChunk, a.rowChunk);
+    EXPECT_EQ(b.queryTile, a.queryTile);
+    EXPECT_EQ(b.rows, a.rows);
+    EXPECT_EQ(b.cols, a.cols);
+    EXPECT_EQ(a.isa, activeIsa());
+    EXPECT_GT(a.rowChunk, 0u);
+    EXPECT_GT(a.queryTile, 0u);
+}
+
+TEST(Autotune, PlanSurvivesWeightDeployAndReachesMetrics)
+{
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 4096);
+    const xclass::SyntheticModel model(spec, 1);
+
+    EcssdApi api;
+    sim::MetricsRegistry before;
+    api.publishKernelMetrics(before);
+    EXPECT_EQ(before.size(), 0u) << "no-op before first deploy";
+
+    api.ecssdEnable();
+    api.weightDeploy(model.weights(), spec);
+    sim::MetricsRegistry registry;
+    api.publishKernelMetrics(registry);
+    ASSERT_TRUE(registry.has("kernel.isa"));
+    ASSERT_TRUE(registry.has("kernel.row_chunk"));
+    ASSERT_TRUE(registry.has("kernel.query_tile"));
+    const double isa = registry.gauge("kernel.isa").value();
+    const double chunk = registry.gauge("kernel.row_chunk").value();
+    const double tile = registry.gauge("kernel.query_tile").value();
+    EXPECT_EQ(isa, static_cast<double>(
+                       static_cast<int>(activeIsa())));
+    EXPECT_GT(chunk, 0.0);
+    EXPECT_GT(tile, 0.0);
+    EXPECT_EQ(registry.gauge("kernel.rows").value(),
+              static_cast<double>(spec.categories));
+
+    // Redeploying the same shape re-tunes to the identical choice.
+    api.weightDeploy(model.weights(), spec);
+    sim::MetricsRegistry after;
+    api.publishKernelMetrics(after);
+    EXPECT_EQ(after.gauge("kernel.isa").value(), isa);
+    EXPECT_EQ(after.gauge("kernel.row_chunk").value(), chunk);
+    EXPECT_EQ(after.gauge("kernel.query_tile").value(), tile);
+}
+
+TEST(Autotune, ValidateRejectsUnknownIsaOption)
+{
+    EcssdOptions options = EcssdOptions::full();
+    options.isa = "neon";
+    EXPECT_THROW(options.validate(), sim::FatalError);
+    options.isa = "avx1024";
+    EXPECT_THROW(options.validate(), sim::FatalError);
+    for (const char *good :
+         {"auto", "scalar", "vector", "avx2", "avx512"}) {
+        options.isa = good;
+        EXPECT_NO_THROW(options.validate()) << good;
+    }
+}
+
+TEST(Autotune, ValidateRejectsUnknownIsaEnvironment)
+{
+    IsaGuard guard;
+    EcssdOptions options = EcssdOptions::full();
+    ASSERT_EQ(setenv("ECSSD_ISA", "bogus", 1), 0);
+    EXPECT_THROW(options.validate(), sim::FatalError);
+    ASSERT_EQ(setenv("ECSSD_ISA", "scalar", 1), 0);
+    EXPECT_NO_THROW(options.validate());
+    // A pinned env level overrides any option request.
+    EXPECT_EQ(applyIsaRequest("auto"), IsaLevel::Scalar);
+    ASSERT_EQ(unsetenv("ECSSD_ISA"), 0);
+    EXPECT_NO_THROW(options.validate());
+}
+
+TEST(Autotune, SetActiveIsaPinsScreenerPlan)
+{
+    IsaGuard guard;
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 4096);
+    const xclass::SyntheticModel model(spec, 1);
+    for (const IsaLevel isa : supportedIsaLevels()) {
+        setActiveIsa(isa);
+        const xclass::Screener screener(model.weights(), spec, 2);
+        EXPECT_EQ(screener.kernelPlan().isa, isa) << toString(isa);
+    }
+}

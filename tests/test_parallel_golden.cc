@@ -17,6 +17,7 @@
 #include "ecssd/scale_out.hh"
 #include "ecssd/server.hh"
 #include "ecssd/system.hh"
+#include "numeric/kernels.hh"
 #include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/thread_pool.hh"
@@ -45,12 +46,14 @@ sampleQueries(const xclass::SyntheticModel &model, unsigned count)
     return queries;
 }
 
-/** Metrics JSON of one instrumented system run at @p threads. */
+/** Metrics JSON of one instrumented system run at @p threads,
+ *  optionally pinned to one host-kernel ISA level. */
 std::string
-systemRunMetrics(unsigned threads)
+systemRunMetrics(unsigned threads, const std::string &isa = "auto")
 {
     EcssdOptions options = EcssdOptions::full();
     options.threads = threads;
+    options.isa = isa;
     sim::MetricsRegistry registry;
     EcssdSystem system(smallSpec(), options);
     system.attachObservability(&registry, nullptr);
@@ -59,6 +62,17 @@ systemRunMetrics(unsigned threads)
     std::ostringstream os;
     registry.writeJson(os);
     return os.str();
+}
+
+/** Names of every ISA level this host supports ("scalar" first). */
+std::vector<std::string>
+supportedIsaNames()
+{
+    std::vector<std::string> names;
+    for (const numeric::IsaLevel level :
+         numeric::supportedIsaLevels())
+        names.emplace_back(numeric::toString(level));
+    return names;
 }
 
 } // namespace
@@ -192,5 +206,98 @@ TEST(ParallelGolden, ScaleOutFleetMatchesSerialFanOut)
             << threads << " threads";
         EXPECT_EQ(parallel.second, reference.second)
             << threads << " threads";
+    }
+}
+
+// --- ISA-level golden replays ---------------------------------------
+//
+// The SIMD dispatch must be as invisible as the thread pool: a full
+// system run, a serving run, and a fleet run replayed with the host
+// kernels pinned to "scalar" (byte-for-byte the pre-dispatch code
+// paths) must match every better ISA level this machine supports,
+// byte for byte in the metrics JSON and bit for bit in every
+// prediction.  When CI pins ECSSD_ISA the environment wins over the
+// per-run option and both sides run the pinned level — the equality
+// still must hold.
+
+namespace
+{
+
+/** Restores auto ISA detection when a pinned-ISA test exits. */
+struct IsaAutoGuard
+{
+    ~IsaAutoGuard() { numeric::applyIsaRequest("auto"); }
+};
+
+} // namespace
+
+TEST(ParallelGolden, SystemMetricsJsonByteIdenticalAcrossIsaLevels)
+{
+    IsaAutoGuard guard;
+    const std::string reference = systemRunMetrics(2, "scalar");
+    EXPECT_FALSE(reference.empty());
+    for (const std::string &isa : supportedIsaNames())
+        EXPECT_EQ(systemRunMetrics(2, isa), reference) << isa;
+}
+
+TEST(ParallelGolden, ServerResponsesMatchAcrossIsaLevels)
+{
+    IsaAutoGuard guard;
+    const xclass::BenchmarkSpec spec = smallSpec();
+    const auto serve = [&](const std::string &isa) {
+        EcssdOptions options = EcssdOptions::full();
+        options.threads = 2;
+        options.isa = isa;
+        xclass::SyntheticModel model(spec, options.seed);
+        InferenceServer server(model.weights(), spec, options);
+        sim::Rng rng(options.seed);
+        for (unsigned r = 0; r < 12; ++r)
+            server.enqueue(model.sampleQuery(rng));
+        return server.processAll(5);
+    };
+
+    const auto reference = serve("scalar");
+    ASSERT_FALSE(reference.empty());
+    for (const std::string &isa : supportedIsaNames()) {
+        const auto responses = serve(isa);
+        ASSERT_EQ(responses.size(), reference.size()) << isa;
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(responses[i].id, reference[i].id);
+            EXPECT_EQ(responses[i].status, reference[i].status);
+            EXPECT_EQ(responses[i].completedAt,
+                      reference[i].completedAt);
+            EXPECT_EQ(responses[i].prediction.topCategories,
+                      reference[i].prediction.topCategories)
+                << isa << " response " << i;
+            EXPECT_EQ(responses[i].prediction.topScores,
+                      reference[i].prediction.topScores)
+                << isa << " response " << i;
+        }
+    }
+}
+
+TEST(ParallelGolden, ScaleOutFleetMatchesAcrossIsaLevels)
+{
+    IsaAutoGuard guard;
+    const xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("XMLCNN-S10M"), 32768);
+    const auto run = [&](const std::string &isa) {
+        EcssdOptions options = EcssdOptions::full();
+        options.threads = 2;
+        options.isa = isa;
+        ScaleOutEcssd fleet(spec, 4, options);
+        const ScaleOutResult result = fleet.runInference(2);
+        sim::MetricsRegistry registry;
+        fleet.publishMetrics(registry, result);
+        std::ostringstream os;
+        registry.writeJson(os);
+        return std::make_pair(result.totalEnergyUj, os.str());
+    };
+
+    const auto reference = run("scalar");
+    for (const std::string &isa : supportedIsaNames()) {
+        const auto replay = run(isa);
+        EXPECT_EQ(replay.first, reference.first) << isa;
+        EXPECT_EQ(replay.second, reference.second) << isa;
     }
 }

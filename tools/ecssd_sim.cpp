@@ -24,6 +24,9 @@
  *   --seed N              trace/workload seed
  *   --threads N           host-compute worker threads (wall-clock
  *                         only: output is bit-identical for any N)
+ *   --isa LEVEL           host-compute SIMD level: auto | scalar |
+ *                         vector | avx2 | avx512 (wall-clock only,
+ *                         like --threads; ECSSD_ISA overrides)
  *   --cache-mb N          SSD-DRAM hot-row candidate cache capacity
  *                         in MiB (0 = disabled, the default)
  *   --list                list benchmarks and architectures
@@ -146,6 +149,7 @@ usage(const char *argv0, int code)
                 "[--no-overlap]\n"
                 "  [--arch NAME] [--sweep-layouts] [--energy]\n"
                 "  [--trace CATS] [--seed N] [--threads N]\n"
+                "  [--isa auto|scalar|vector|avx2|avx512]\n"
                 "  [--cache-mb N] [--list]\n"
                 "  [--uncorrectable-read-rate P] "
                 "[--read-retry-rate P]\n"
@@ -539,6 +543,8 @@ main(int argc, char **argv)
             cli.device.threads = static_cast<unsigned>(
                 std::strtoul(next("--threads").c_str(), nullptr,
                              10));
+        } else if (arg == "--isa") {
+            cli.device.isa = next("--isa");
         } else if (arg == "--cache-mb") {
             cli.device.cache.capacityBytes =
                 std::strtoull(next("--cache-mb").c_str(), nullptr,
