@@ -31,7 +31,9 @@
 #include <map>
 #include <string>
 
+#include "accel/candidate_source.hh"
 #include "ecssd/server.hh"
+#include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -307,6 +309,111 @@ benchOverload(BaselineDoc &doc)
 }
 
 void
+benchStreamingDeploy(BaselineDoc &doc)
+{
+    // Out-of-core streaming deploy at a scale whose hotness vector
+    // would not fit the budget: 200k synthetic rows under a 2 MiB
+    // transient-host ceiling, forcing external sorting through the
+    // simulated flash.  Deploy time is simulated (gated as latency);
+    // the peak and spill volume are deterministic accounting.
+    const SyntheticRowSource source(200000, 32, 1);
+    const ssdsim::SsdConfig ssd;
+    StreamingDeployConfig config;
+    config.hostBudgetBytes = 2ULL << 20;
+    config.rowBytes = 32 * sizeof(float);
+    const StreamingDeployResult result = streamingWeightDeploy(
+        source, 16, ssd.channels, ssd, config);
+    if (result.hostPeakBytes > config.hostBudgetBytes)
+        sim::fatal("streaming deploy smoke exceeded its budget");
+    if (result.runsSpilled < 2)
+        sim::fatal("streaming deploy smoke did not spill");
+    doc.latency["deploy.streaming_ms"] =
+        sim::tickToMs(result.deployTime);
+    doc.counters["deploy.host_peak_bytes"] =
+        static_cast<double>(result.hostPeakBytes);
+    doc.counters["deploy.runs_spilled"] =
+        static_cast<double>(result.runsSpilled);
+    doc.counters["deploy.spill_pages_written"] =
+        static_cast<double>(result.spillPagesWritten);
+    doc.counters["deploy.rows_placed"] =
+        static_cast<double>(result.rowsPlaced);
+}
+
+/** Replays the same candidate rows every batch (drifted hot set). */
+class FixedSource : public accel::CandidateSource
+{
+  public:
+    FixedSource(std::uint64_t rows, std::vector<std::uint64_t> batch)
+        : rows_(rows), batch_(std::move(batch))
+    {
+    }
+
+    std::uint64_t rows() const override { return rows_; }
+    std::vector<std::uint64_t> nextBatch() override
+    {
+        return batch_;
+    }
+
+  private:
+    std::uint64_t rows_;
+    std::vector<std::uint64_t> batch_;
+};
+
+void
+benchRelayout(BaselineDoc &doc)
+{
+    // Induced hot-set drift followed by one background re-layout
+    // pass.  Traffic concentrated on one channel's page groups
+    // opens a channel-utilization gap; the migration pass must
+    // recover at least 80% of it (the acceptance bar, enforced here
+    // — a regression fails the bench run itself, not just the
+    // baseline diff).
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 4096);
+    spec.hiddenDim = 64;
+    EcssdOptions options = EcssdOptions::full();
+    options.cache.capacityBytes = 8ULL << 20;
+    options.relayout.enabled = true;
+    options.relayout.divergenceThreshold = 0.2;
+    options.relayout.pageBudget = 4096;
+    EcssdSystem system(spec, options);
+
+    const std::uint64_t rows_per_page = std::max<std::uint64_t>(
+        1, options.ssd.pageBytes / spec.rowBytes());
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t g = 0;
+         g < system.strategy().rows() && batch.size() < 32; ++g)
+        if (system.strategy().channelOf(g) == 0)
+            batch.push_back(g * rows_per_page);
+
+    FixedSource drift(spec.categories, batch);
+    const accel::RunResult drifted =
+        system.runInferenceWith(drift, 4);
+    const sim::Tick end = system.relayoutStep(drifted.totalTime);
+    const RelayoutStats &stats = system.relayoutStats();
+
+    const double before = 1.0 - stats.lastDivergence;
+    const double recovered_gap =
+        1.0 - before > 0.0
+        ? (stats.recoveredBalance - before) / (1.0 - before)
+        : 1.0;
+    if (recovered_gap < 0.8)
+        sim::fatal("re-layout smoke recovered only ",
+                   recovered_gap * 100.0,
+                   "% of the drifted balance gap");
+
+    doc.latency["relayout.pass_ms"] =
+        sim::tickToMs(end - drifted.totalTime);
+    doc.counters["relayout.recovered_balance"] =
+        stats.recoveredBalance;
+    doc.counters["relayout.rows_migrated"] =
+        static_cast<double>(stats.rowsMigrated);
+    doc.counters["relayout.pages_moved"] =
+        static_cast<double>(stats.pagesMoved);
+    doc.trend["relayout.drift_divergence"] = stats.lastDivergence;
+}
+
+void
 benchBreakdown(BaselineDoc &doc)
 {
     // The Fig 8 ladder on one benchmark at smoke scale.
@@ -366,6 +473,8 @@ main(int argc, char **argv)
     benchServing(e2e);
     benchRedeploy(e2e);
     benchOverload(e2e);
+    benchStreamingDeploy(e2e);
+    benchRelayout(e2e);
     e2e.write(out_dir + "/BENCH_e2e.json");
 
     BaselineDoc breakdown;

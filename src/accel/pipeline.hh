@@ -176,6 +176,10 @@ class InferencePipeline
     /** Number of flash page groups holding the weight rows. */
     std::uint64_t pageGroupCount() const;
 
+    /** Flash pages read per page group (>= 1): what a re-layout
+     *  migration of one group must move. */
+    unsigned pagesPerGroup() const { return pagesPerRow_; }
+
     /** Number of tiles per batch sweep. */
     std::uint64_t tileCount() const;
 

@@ -202,6 +202,20 @@ class RowCache
      *  after a successful admit from a warming pass). */
     void noteWarmInsertion() { ++stats_.warmInsertions; }
 
+    /**
+     * The decayed observed candidate-frequency counters
+     * (page group -> count): the background re-layout task's
+     * divergence feed — what the layer's traffic *actually* touched,
+     * versus what the layout's hot-degree predictor promised.
+     * Iteration order is unspecified (hash map); consumers that need
+     * determinism must sort by group id.
+     */
+    const std::unordered_map<std::uint64_t, std::uint32_t> &
+    observedFrequencies() const
+    {
+        return frequency_;
+    }
+
     const RowCacheStats &stats() const { return stats_; }
 
     /**

@@ -417,6 +417,79 @@ EcssdApi::weightDeploy(const numeric::FloatMatrix &weights,
     return live_.system->deployTimeEstimate();
 }
 
+sim::Tick
+EcssdApi::weightDeployStreaming(
+    const numeric::FloatMatrix &weights,
+    const xclass::BenchmarkSpec &spec,
+    const numeric::FloatMatrix *trained_projection)
+{
+    requireAccelerator("weightDeployStreaming");
+    ECSSD_ASSERT(weights.rows() == spec.categories
+                     && weights.cols() == spec.hiddenDim,
+                 "weights do not match the benchmark spec");
+
+    // Layouts without a hotness sort have nothing to stream: the
+    // classic path already builds them in O(1) transient host bytes.
+    if (options_.layoutKind != layout::LayoutKind::LearningAdaptive)
+        return weightDeploy(weights, spec, trained_projection);
+
+    // Stop the world, exactly like weightDeploy().
+    if (redeploy_ && redeploy_->machine.active()) {
+        if (redeploy_->machine.preFlip()) {
+            rollbackRedeploy(RollbackReason::Aborted);
+        } else {
+            redeploy_->machine.rollback(RollbackReason::Aborted,
+                                        serviceClock_);
+            ++redeployRollbacks_;
+        }
+    }
+    draining_.reset();
+
+    numeric::applyIsaRequest(options_.isa);
+
+    DeployedVersion version;
+    version.weights = &weights;
+    version.spec = spec;
+    version.screener = std::make_unique<xclass::Screener>(
+        weights, spec, options_.seed, trained_projection);
+    version.classifier =
+        std::make_unique<xclass::CandidateClassifier>(weights);
+
+    // The timed system comes up *before* the layout this time: the
+    // streaming build's run spills and merge reads go through its
+    // live FTL, so staging GC and wear are real, not assumed.
+    version.system = std::make_unique<EcssdSystem>(spec, options_);
+
+    StreamingDeployConfig stream_config;
+    stream_config.hostBudgetBytes = options_.deployHostBudgetBytes;
+    stream_config.rowBytes =
+        options_.weightPrecision == accel::WeightPrecision::Cfp16
+        ? spec.hiddenDim * 2ULL
+        : spec.rowBytes();
+    stream_config.seed = options_.seed;
+    stream_config.trainedProjection = trained_projection;
+
+    const MatrixRowSource source(weights);
+    StreamingDeployResult outcome = streamingWeightDeploy(
+        source, spec.shrunkDim(), options_.ssd.channels,
+        options_.ssd, stream_config, &version.system->ssd());
+    version.functionalLayout = std::move(outcome.layout);
+
+    version.epoch = ++epochCounter_;
+    version.versionId = ++versionCounter_;
+    deployEpoch_ = version.epoch;
+    implicit_.reset();
+
+    version.system->setDeployVersion(version.epoch,
+                                     version.versionId);
+    version.system->attachObservability(metrics_, spans_);
+    live_ = std::move(version);
+
+    lastStreaming_ = std::move(outcome);
+    streamingDeployed_ = true;
+    return lastStreaming_.deployTime;
+}
+
 void
 EcssdApi::filterThreshold(double threshold)
 {
@@ -825,6 +898,33 @@ EcssdApi::publishRedeployMetrics(sim::MetricsRegistry &registry)
                       static_cast<double>(redeployCommits_));
     registry.gaugeSet("redeploy.rolled_back",
                       static_cast<double>(redeployRollbacks_));
+}
+
+void
+EcssdApi::publishDeployMetrics(sim::MetricsRegistry &registry)
+{
+    if (!streamingDeployed_)
+        return;
+    registry.gaugeSet("deploy.streaming_ms",
+                      sim::tickToMs(lastStreaming_.deployTime));
+    registry.gaugeSet(
+        "deploy.host_peak_bytes",
+        static_cast<double>(lastStreaming_.hostPeakBytes));
+    registry.gaugeSet(
+        "deploy.host_budget_bytes",
+        static_cast<double>(lastStreaming_.hostBudgetBytes));
+    registry.gaugeSet(
+        "deploy.runs_spilled",
+        static_cast<double>(lastStreaming_.runsSpilled));
+    registry.gaugeSet(
+        "deploy.spill_pages_written",
+        static_cast<double>(lastStreaming_.spillPagesWritten));
+    registry.gaugeSet(
+        "deploy.spill_pages_read",
+        static_cast<double>(lastStreaming_.spillPagesRead));
+    registry.gaugeSet(
+        "deploy.rows_placed",
+        static_cast<double>(lastStreaming_.rowsPlaced));
 }
 
 void

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ecssd/redeploy.hh"
+#include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
 #include "numeric/cfp32.hh"
 #include "xclass/screening.hh"
@@ -212,6 +213,33 @@ class EcssdApi
         const xclass::BenchmarkSpec &spec,
         const numeric::FloatMatrix *trained_projection = nullptr);
 
+    /**
+     * Deploy like weightDeploy(), but build the learning-adaptive
+     * placement out of core: rows stream through quantize ->
+     * hot-degree score -> budget-sized sorted runs spilled through
+     * the device's flash -> k-way merge, so peak transient host
+     * bytes stay under EcssdOptions::deployHostBudgetBytes (enforced
+     * — E_DEPLOY_BUDGET on overdraft) instead of O(rows).  The
+     * placement is bit-identical to weightDeploy()'s; the returned
+     * deploy time uses the streaming overlap model (spill +
+     * max(merge, channel programs)).  Falls back to weightDeploy()
+     * for non-learning-adaptive layouts, which have no hotness sort
+     * to stream.  Outcome details: streamingDeploy().
+     */
+    sim::Tick weightDeployStreaming(
+        const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /** The most recent weightDeployStreaming() outcome (its layout
+     *  pointer is consumed by the deploy); nullptr before the
+     *  first streaming deploy. */
+    const StreamingDeployResult *
+    streamingDeploy() const
+    {
+        return streamingDeployed_ ? &lastStreaming_ : nullptr;
+    }
+
     /** Set the screening threshold (Filter_threshold). */
     void filterThreshold(double threshold);
 
@@ -366,6 +394,13 @@ class EcssdApi
      *  metrics of never-redeploying runs byte-identical. */
     void publishRedeployMetrics(sim::MetricsRegistry &registry);
 
+    /** Snapshot the most recent streaming deploy ("deploy.*"
+     *  gauges: wall-time, peak/budget host bytes, spill volume)
+     *  into @p registry; no-op before the first
+     *  weightDeployStreaming(), keeping metrics of classic-deploy
+     *  runs byte-identical. */
+    void publishDeployMetrics(sim::MetricsRegistry &registry);
+
     /**
      * Snapshot the live screener's tuned kernel plan ("kernel.*"
      * gauges: ISA level, row chunk, query tile, measured ns/row)
@@ -517,6 +552,9 @@ class EcssdApi
     /** Optional observability sinks (null = uninstrumented). */
     sim::MetricsRegistry *metrics_ = nullptr;
     sim::SpanTracer *spans_ = nullptr;
+    /** Most recent streaming-deploy outcome (layout consumed). */
+    StreamingDeployResult lastStreaming_;
+    bool streamingDeployed_ = false;
     /**
      * The Table 1 wrappers' session (reset on weightDeploy).
      * Declared last: its destructor notifies sessionClosed(), which

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <numeric>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "numeric/kernels.hh"
 #include "sim/logging.hh"
@@ -26,6 +29,23 @@ EcssdOptions::validate(const xclass::BenchmarkSpec *spec) const
     if (!numeric::isValidIsaRequest(isa))
         sim::fatal("EcssdOptions: unknown isa '", isa,
                    "' (want scalar|vector|avx2|avx512|auto)");
+    if (relayout.enabled) {
+        if (!std::isfinite(relayout.divergenceThreshold)
+            || relayout.divergenceThreshold < 0.0
+            || relayout.divergenceThreshold > 1.0)
+            sim::fatal("EcssdOptions: relayout divergence threshold "
+                       "must be in [0, 1], got ",
+                       relayout.divergenceThreshold);
+        if (relayout.pageBudget == 0)
+            sim::fatal(
+                "EcssdOptions: relayout pageBudget must be >= 1");
+        if (!std::isfinite(relayout.ioBudgetFraction)
+            || relayout.ioBudgetFraction <= 0.0
+            || relayout.ioBudgetFraction > 1.0)
+            sim::fatal("EcssdOptions: relayout IO-budget fraction "
+                       "must be in (0, 1], got ",
+                       relayout.ioBudgetFraction);
+    }
     if (const char *env = std::getenv("ECSSD_ISA");
         env != nullptr && !numeric::isValidIsaRequest(env))
         sim::fatal("EcssdOptions: unknown ECSSD_ISA '", env,
@@ -132,6 +152,11 @@ EcssdSystem::EcssdSystem(const xclass::BenchmarkSpec &spec,
                     std::max(hottest, trace.hotness(row));
             return hottest;
         });
+    // The background re-layout task mutates placement in place; only
+    // the learning-adaptive strategy supports that, so the downcast
+    // doubles as the feature gate.
+    adaptive_ = dynamic_cast<layout::LearningAdaptiveLayout *>(
+        strategy_.get());
 
     accel::AccelConfig accel_config;
     accel_config.fpKind = options.fpKind;
@@ -185,6 +210,166 @@ EcssdSystem::runInferenceWith(accel::CandidateSource &source,
         return pipeline_->run(all, batches);
     }
     return pipeline_->run(source, batches);
+}
+
+sim::Tick
+EcssdSystem::relayoutStep(sim::Tick now)
+{
+    const RelayoutConfig &cfg = options_.relayout;
+    const accel::RowCache *cache = pipeline_->rowCache();
+    if (!cfg.enabled || adaptive_ == nullptr || cache == nullptr)
+        return now;
+
+    ++relayoutStats_.passes;
+
+    // Deterministic snapshot of the decayed observed-frequency
+    // counters: hash-map iteration order is unspecified, so sort by
+    // group id before anything depends on the order.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> observed(
+        cache->observedFrequencies().begin(),
+        cache->observedFrequencies().end());
+    std::sort(observed.begin(), observed.end());
+
+    const unsigned channels = strategy_->channels();
+    std::vector<double> mass(channels, 0.0);
+    for (const auto &[group, count] : observed)
+        mass[strategy_->channelOf(group)] +=
+            static_cast<double>(count);
+
+    const auto balance_of = [&]() {
+        double total = 0.0;
+        double peak = 0.0;
+        for (double m : mass) {
+            total += m;
+            peak = std::max(peak, m);
+        }
+        if (peak <= 0.0)
+            return 1.0;
+        return total / channels / peak;
+    };
+
+    double balance = balance_of();
+    relayoutStats_.lastDivergence = 1.0 - balance;
+    if (relayoutStats_.lastDivergence <= cfg.divergenceThreshold) {
+        relayoutStats_.recoveredBalance = balance;
+        return now;
+    }
+
+    // The observed traffic has drifted from the hot-degree
+    // prediction the placement was built on: re-home the hottest
+    // groups of the most-loaded channel onto the least-loaded one,
+    // page budget permitting.  Candidates hottest-first (frequency
+    // descending, group ascending — build()'s tie order).
+    ++relayoutStats_.migrationPasses;
+    std::vector<std::size_t> order(observed.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&observed](std::size_t a, std::size_t b) {
+                  if (observed[a].second != observed[b].second)
+                      return observed[a].second > observed[b].second;
+                  return observed[a].first < observed[b].first;
+              });
+
+    const unsigned pages_per_group = pipeline_->pagesPerGroup();
+    ssdsim::Ftl &ftl = ssd_->ftl();
+    std::vector<bool> moved(observed.size(), false);
+    unsigned budget = cfg.pageBudget;
+    sim::Tick busy_until = now;
+
+    while (budget >= pages_per_group) {
+        unsigned donor = 0;
+        unsigned receiver = 0;
+        for (unsigned c = 1; c < channels; ++c) {
+            if (mass[c] > mass[donor])
+                donor = c;
+            if (mass[c] < mass[receiver])
+                receiver = c;
+        }
+        const double gap = mass[donor] - mass[receiver];
+        if (gap <= 0.0)
+            break;
+
+        // Hottest unmoved donor-resident group whose weight still
+        // narrows the gap after the move (weight < gap).
+        std::size_t pick = observed.size();
+        for (std::size_t idx : order) {
+            if (moved[idx])
+                continue;
+            const auto &[group, count] = observed[idx];
+            if (count == 0
+                || static_cast<double>(count) >= gap)
+                continue;
+            if (strategy_->channelOf(group) != donor)
+                continue;
+            pick = idx;
+            break;
+        }
+        if (pick == observed.size())
+            break;
+
+        const auto &[group, count] = observed[pick];
+        // Source pages under the *current* placement, then mutate,
+        // then destination pages under the new one.  The FTL fires
+        // the relocation listener on each source page, so the DRAM
+        // row cache drops its now-stale copy.
+        std::vector<ssdsim::PhysicalPage> srcs;
+        srcs.reserve(pages_per_group);
+        for (unsigned p = 0; p < pages_per_group; ++p)
+            srcs.push_back(layout::pageOfRow(*strategy_,
+                                             options_.ssd, group,
+                                             p));
+        adaptive_->relocateRow(group, receiver);
+        for (unsigned p = 0; p < pages_per_group; ++p) {
+            const ssdsim::PhysicalPage dst = layout::pageOfRow(
+                *strategy_, options_.ssd, group, p);
+            busy_until = ftl.migrateComputedPage(srcs[p], dst,
+                                                 busy_until);
+        }
+
+        mass[donor] -= static_cast<double>(count);
+        mass[receiver] += static_cast<double>(count);
+        moved[pick] = true;
+        budget -= pages_per_group;
+        ++relayoutStats_.rowsMigrated;
+        relayoutStats_.pagesMoved += pages_per_group;
+    }
+
+    balance = balance_of();
+    relayoutStats_.recoveredBalance = balance;
+
+    // IO-budget share: the flash time the pass consumed is spread
+    // over 1/fraction of wall-time, like the patrol scrub.
+    const sim::Tick flash_busy = busy_until - now;
+    return now
+        + static_cast<sim::Tick>(
+               static_cast<double>(flash_busy)
+                   / cfg.ioBudgetFraction
+               + 0.5);
+}
+
+void
+EcssdSystem::publishRelayoutMetrics(
+    sim::MetricsRegistry &registry) const
+{
+    // Gauges only once a pass ran: configs that never call (or never
+    // enable) re-layout keep their metrics JSON byte-identical.
+    if (relayoutStats_.passes == 0)
+        return;
+    registry.gaugeSet("relayout.passes",
+                      static_cast<double>(relayoutStats_.passes));
+    registry.gaugeSet(
+        "relayout.migration_passes",
+        static_cast<double>(relayoutStats_.migrationPasses));
+    registry.gaugeSet(
+        "relayout.rows_migrated",
+        static_cast<double>(relayoutStats_.rowsMigrated));
+    registry.gaugeSet(
+        "relayout.pages_moved",
+        static_cast<double>(relayoutStats_.pagesMoved));
+    registry.gaugeSet("relayout.divergence",
+                      relayoutStats_.lastDivergence);
+    registry.gaugeSet("relayout.recovered_balance",
+                      relayoutStats_.recoveredBalance);
 }
 
 void

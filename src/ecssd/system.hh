@@ -23,6 +23,47 @@
 namespace ecssd
 {
 
+/**
+ * Background re-layout policy: when the DRAM row cache's decayed
+ * observed-frequency counters show the channel traffic diverging
+ * from what the layout's hot-degree predictor promised, an FTL-level
+ * migration task re-homes the hottest mis-placed page groups onto
+ * the under-loaded channels, under an IO-budget share (the patrol
+ * scrub's pattern).  Disabled by default: a disabled config is
+ * byte-identical to a build without the subsystem.
+ */
+struct RelayoutConfig
+{
+    bool enabled = false;
+    /** Divergence (1 - observed channel balance) that triggers a
+     *  migration pass; below it relayoutStep() only measures. */
+    double divergenceThreshold = 0.25;
+    /** Max flash pages migrated per relayoutStep() call. */
+    unsigned pageBudget = 64;
+    /** Device-time share the migration task may consume: its flash
+     *  busy time is stretched by 1/fraction, exactly like the staged
+     *  redeploy's StagingLedger. */
+    double ioBudgetFraction = 0.2;
+};
+
+/** Lifetime counters of the background re-layout task. */
+struct RelayoutStats
+{
+    /** relayoutStep() calls that ran the divergence check. */
+    std::uint64_t passes = 0;
+    /** Passes that crossed the threshold and migrated. */
+    std::uint64_t migrationPasses = 0;
+    /** Page groups re-homed onto another channel. */
+    std::uint64_t rowsMigrated = 0;
+    /** Flash pages moved for those groups. */
+    std::uint64_t pagesMoved = 0;
+    /** Divergence measured by the most recent pass. */
+    double lastDivergence = 0.0;
+    /** Observed channel balance after the most recent pass
+     *  (mean/max, 1.0 = perfectly balanced). */
+    double recoveredBalance = 1.0;
+};
+
 /** Architecture knobs of one ECSSD configuration. */
 struct EcssdOptions
 {
@@ -60,6 +101,15 @@ struct EcssdOptions
     /** DRAM hot-row candidate cache (capacityBytes = 0: disabled,
      *  bit-identical to a cache-less build). */
     accel::CacheConfig cache;
+    /**
+     * Hard ceiling on transient host bytes during a *streaming*
+     * weight deploy (EcssdApi::weightDeployStreaming): enforced by
+     * an accounting allocator, fatal (E_DEPLOY_BUDGET) on overdraft.
+     * 0 = unlimited.  The stop-the-world weightDeploy() ignores it.
+     */
+    std::uint64_t deployHostBudgetBytes = 0;
+    /** Background re-layout policy (disabled by default). */
+    RelayoutConfig relayout;
 
     /**
      * Validate the option set, dying fatally (sim::FatalError) on an
@@ -190,6 +240,34 @@ class EcssdSystem
     std::uint64_t weightVersion() const { return weightVersion_; }
 
     /**
+     * One background re-layout pass at tick @p now: measure how far
+     * the DRAM row cache's observed channel traffic has diverged
+     * from the layout's balanced prediction, and — past the
+     * configured threshold — migrate the hottest mis-placed page
+     * groups from over- to under-loaded channels through the FTL
+     * (cache coherence via the relocation listener), at most
+     * pageBudget pages, time-stretched by the IO-budget share.
+     *
+     * No-op (returns @p now) when re-layout is disabled, the layout
+     * is not learning-adaptive, or the cache is absent.
+     *
+     * @return Completion tick of the budgeted pass.
+     */
+    sim::Tick relayoutStep(sim::Tick now);
+
+    const RelayoutStats &relayoutStats() const
+    {
+        return relayoutStats_;
+    }
+
+    /**
+     * Snapshot re-layout state ("relayout.*" gauges) into
+     * @p registry; no-op until a first relayoutStep() actually ran,
+     * so never-relayouting runs keep their metrics byte-identical.
+     */
+    void publishRelayoutMetrics(sim::MetricsRegistry &registry) const;
+
+    /**
      * Attach (or detach, with nullptr) observability sinks to the
      * pipeline and device.  The tracer sees pipeline phase spans with
      * nested flash busy intervals; the registry sees live
@@ -215,7 +293,11 @@ class EcssdSystem
     std::unique_ptr<ssdsim::SsdDevice> ssd_;
     std::unique_ptr<accel::TraceSource> trace_;
     std::unique_ptr<layout::LayoutStrategy> strategy_;
+    /** The strategy downcast when it is mutable (learning-adaptive):
+     *  the re-layout task's mutation handle; null otherwise. */
+    layout::LearningAdaptiveLayout *adaptive_ = nullptr;
     std::unique_ptr<accel::InferencePipeline> pipeline_;
+    RelayoutStats relayoutStats_;
     /** Serving identity (0/0 until a versioned layer stamps it). */
     std::uint64_t deployEpoch_ = 0;
     std::uint64_t weightVersion_ = 0;

@@ -108,6 +108,15 @@ LearningAdaptiveLayout::dieSlotOf(std::uint64_t row) const
     return dieSlots_[row];
 }
 
+void
+LearningAdaptiveLayout::relocateRow(std::uint64_t row,
+                                    unsigned channel)
+{
+    ECSSD_ASSERT(row < placement_.size(), "row out of range");
+    ECSSD_ASSERT(channel < channels_, "channel out of range");
+    placement_[row] = static_cast<std::uint8_t>(channel);
+}
+
 std::unique_ptr<LearningAdaptiveLayout>
 LearningAdaptiveLayout::build(std::span<const double> hotness,
                               unsigned channels)
@@ -163,6 +172,68 @@ LearningAdaptiveLayout::build(std::span<const double> hotness,
         new LearningAdaptiveLayout(
             std::move(placement), std::move(die_slots),
             std::move(hot_grades), channels));
+}
+
+SortedStreamLayoutBuilder::SortedStreamLayoutBuilder(
+    std::uint64_t rows, unsigned channels)
+    : rows_(rows), channels_(channels),
+      writeCursor_(channels, 0),
+      placement_(rows, 0), dieSlots_(rows, 0), hotGrades_(rows, 0)
+{
+    ECSSD_ASSERT(rows > 0 && channels > 0, "empty layout");
+    ECSSD_ASSERT(channels <= 256, "placement stores 8-bit channels");
+    // Seed the load heap exactly like build(): with identical seeds
+    // and an identical pop/push sequence, the heap's internal array
+    // — and therefore every tie-break among equally-loaded channels
+    // — evolves identically.
+    for (unsigned c = 0; c < channels; ++c)
+        loads_.push({0.0, c});
+}
+
+void
+SortedStreamLayoutBuilder::append(std::uint64_t row, double hotness)
+{
+    ECSSD_ASSERT(appended_ < rows_, "more rows than declared");
+    ECSSD_ASSERT(row < rows_, "row out of range");
+    if (appended_ == 0) {
+        peak_ = hotness;
+    } else {
+        // Exactly build()'s sort key, as a streaming precondition.
+        ECSSD_ASSERT(hotness < lastHotness_
+                         || (hotness == lastHotness_
+                             && row > lastRow_),
+                     "sorted-stream builder fed out of order");
+    }
+    lastHotness_ = hotness;
+    lastRow_ = row;
+    ++appended_;
+
+    const auto [mass, channel] = loads_.top();
+    loads_.pop();
+    placement_[row] = static_cast<std::uint8_t>(channel);
+    dieSlots_[row] = static_cast<std::uint8_t>(
+        writeCursor_[channel]++ & 0xff);
+    loads_.push({mass + hotness, channel});
+
+    // build() grades every row against the global peak after the
+    // loop; here the peak is simply the first (hottest) record, so
+    // the same quantization runs inline.
+    if (peak_ > 0.0) {
+        const double h = std::clamp(hotness / peak_, 0.0, 1.0);
+        hotGrades_[row] =
+            static_cast<std::uint8_t>(h * 255.0 + 0.5);
+    }
+}
+
+std::unique_ptr<LearningAdaptiveLayout>
+SortedStreamLayoutBuilder::finish()
+{
+    ECSSD_ASSERT(appended_ == rows_,
+                 "sorted-stream builder finished short of its rows");
+    return std::unique_ptr<LearningAdaptiveLayout>(
+        new LearningAdaptiveLayout(
+            std::move(placement_), std::move(dieSlots_),
+            std::move(hotGrades_), channels_));
 }
 
 std::unique_ptr<LearningAdaptiveLayout>

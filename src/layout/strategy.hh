@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ssdsim/address.hh"
@@ -141,6 +143,14 @@ class LearningAdaptiveLayout : public LayoutStrategy
     double hotDegreeOf(std::uint64_t row) const override;
 
     /**
+     * Re-home @p row on @p channel: the background re-layout task's
+     * mutation hook.  Only the channel changes — the die slot keeps
+     * its deterministic stripe so repeated migrations cannot collapse
+     * a channel's rows onto one die.
+     */
+    void relocateRow(std::uint64_t row, unsigned channel);
+
+    /**
      * Precise builder for in-memory hotness vectors: greedy balanced
      * partition (descending hotness to the least-loaded channel).
      *
@@ -170,6 +180,8 @@ class LearningAdaptiveLayout : public LayoutStrategy
         std::uint64_t sample_size = 65536);
 
   private:
+    friend class SortedStreamLayoutBuilder;
+
     LearningAdaptiveLayout(std::vector<std::uint8_t> placement,
                            std::vector<std::uint8_t> die_slots,
                            std::vector<std::uint8_t> hot_grades,
@@ -183,6 +195,56 @@ class LearningAdaptiveLayout : public LayoutStrategy
      *  per row buys the cross-layer predictor export. */
     std::vector<std::uint8_t> hotGrades_;
     unsigned channels_;
+};
+
+/**
+ * Incremental twin of LearningAdaptiveLayout::build() for rows that
+ * arrive as a *sorted stream* instead of an in-memory hotness vector:
+ * the streaming weight deploy's external merge sort feeds rows in
+ * globally sorted order (hotness descending, row ascending — exactly
+ * build()'s sort key) and this builder replays the same greedy
+ * least-loaded-channel loop one record at a time.  Because the greedy
+ * loop's decisions depend only on the visit order and the hotness
+ * values — both identical by construction — the finished layout is
+ * bit-for-bit the one build() would have produced, at O(channels)
+ * transient state plus the three byte-per-row output arrays.
+ *
+ * append() asserts the sort order, so a broken merge fails loudly
+ * instead of silently skewing the placement.
+ */
+class SortedStreamLayoutBuilder
+{
+  public:
+    SortedStreamLayoutBuilder(std::uint64_t rows, unsigned channels);
+
+    /** Feed the next row of the sorted stream. */
+    void append(std::uint64_t row, double hotness);
+
+    /** Rows appended so far. */
+    std::uint64_t appended() const { return appended_; }
+
+    /** Finish (all rows must have been appended) and hand over the
+     *  layout; the builder is spent afterwards. */
+    std::unique_ptr<LearningAdaptiveLayout> finish();
+
+  private:
+    std::uint64_t rows_;
+    unsigned channels_;
+    std::uint64_t appended_ = 0;
+    /** Hotness of the hottest (first) record: the hot-grade scale. */
+    double peak_ = 0.0;
+    /** Sort-order guard: the previous record's key. */
+    double lastHotness_ = 0.0;
+    std::uint64_t lastRow_ = 0;
+    /** (mass, channel) min-heap, seeded exactly like build(). */
+    std::priority_queue<std::pair<double, unsigned>,
+                        std::vector<std::pair<double, unsigned>>,
+                        std::greater<>>
+        loads_;
+    std::vector<std::uint64_t> writeCursor_;
+    std::vector<std::uint8_t> placement_;
+    std::vector<std::uint8_t> dieSlots_;
+    std::vector<std::uint8_t> hotGrades_;
 };
 
 /** Construct the strategy of the given kind with default builders. */

@@ -79,6 +79,39 @@ rowChunkCandidates(std::size_t bytes_per_row)
     return candidates;
 }
 
+std::size_t
+batchQueryTile(std::size_t rows, std::size_t bytes_per_row,
+               IsaLevel isa)
+{
+    // rows keeps the signature the full (shape, ISA) tuple the plan
+    // is a pure function of; the current heuristic needs only the
+    // row width and the register file.
+    (void)rows;
+
+    // Register budget: the batch kernel keeps one accumulator per
+    // query plus the decoded row live, so AVX-512's 32 zmm afford a
+    // 16-wide tile while AVX2's 16 ymm top out at 8.  The portable
+    // levels run a per-query loop (no register tiling); they keep
+    // the 8-wide blocking for feature locality.
+    const std::size_t register_cap =
+        isa == IsaLevel::Avx512 ? 16 : 8;
+
+    // L1 share: each query contributes a widened feature of
+    // 2 * bytes_per_row int16 values (4 * bytes_per_row bytes), and
+    // the whole tile streams it again for every row — the tile must
+    // stay within half a typical 32KB L1 next to the packed rows.
+    constexpr std::size_t kTileFeatureBudget = 16 * 1024;
+    const std::size_t feature_bytes =
+        std::max<std::size_t>(1, 4 * bytes_per_row);
+    const std::size_t l1_cap =
+        std::max<std::size_t>(1, kTileFeatureBudget / feature_bytes);
+
+    std::size_t tile = 1;
+    while (tile * 2 <= std::min(register_cap, l1_cap))
+        tile *= 2;
+    return tile;
+}
+
 KernelPlan
 autotuneScreenerKernels(const Int4Matrix &matrix, IsaLevel isa,
                         bool measure)
@@ -93,14 +126,14 @@ autotuneScreenerKernels(const Int4Matrix &matrix, IsaLevel isa,
     // the same deploy always runs the same plan on every machine:
     //  * rowChunk: the largest candidate (deepest L2 tile) — fewer
     //    dispatches while the packed chunk still fits the budget.
-    //  * queryTile: the register budget of the batch kernel; every
-    //    level keeps 8 query accumulators plus the decoded row live
-    //    (16 ymm/zmm registers).
+    //  * queryTile: the shape heuristic above (register file vs the
+    //    widened-feature L1 share).
     const std::vector<std::size_t> candidates =
         rowChunkCandidates(plan.bytesPerRow);
     ECSSD_ASSERT(!candidates.empty(), "no row-chunk candidates");
     plan.rowChunk = candidates.back();
-    plan.queryTile = 8;
+    plan.queryTile =
+        batchQueryTile(plan.rows, plan.bytesPerRow, isa);
 
     for (const std::size_t chunk : candidates) {
         KernelCandidate candidate;

@@ -63,6 +63,16 @@ std::vector<std::size_t>
 rowChunkCandidates(std::size_t bytes_per_row);
 
 /**
+ * Closed-form batch query tile for a (rows, bytes_per_row) screener
+ * shape at @p isa — a pure function of (shape, ISA) like the rest of
+ * the plan (docs/MODELING.md §14).  Power of two in [1, 16]: the
+ * narrower of the level's accumulator-register budget and the number
+ * of widened query features that fit the per-tile L1 share.
+ */
+std::size_t batchQueryTile(std::size_t rows,
+                           std::size_t bytes_per_row, IsaLevel isa);
+
+/**
  * Tune the screener kernels for @p matrix at @p isa.  With
  * @p measure, each candidate chunk is timed over a bounded row
  * sample (recorded in the plan; never used for selection).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -11,75 +12,40 @@ namespace ecssd
 namespace numeric
 {
 
+// The align kernel writes interleaved (sign, significand) uint16
+// pairs straight into the element array.
+static_assert(sizeof(Cfp16Element) == 2 * sizeof(std::uint16_t)
+                  && offsetof(Cfp16Element, sign) == 0
+                  && offsetof(Cfp16Element, significand)
+                      == sizeof(std::uint16_t),
+              "Cfp16Element must match the kernel pair layout");
+
 Cfp16Vector
-Cfp16Vector::preAlign(std::span<const float> values)
+Cfp16Vector::preAlign(std::span<const float> values, IsaLevel level)
 {
     Cfp16Vector out;
-    out.elements_.reserve(values.size());
+    out.elements_.resize(values.size());
 
     // Pass 1: round every significand to 11 bits (hidden one + 10
     // mantissa bits); a rounding carry renormalizes into the
     // exponent.  The shared exponent is the post-rounding maximum so
-    // every element fits the 15-bit field.
-    struct Rounded
-    {
-        std::uint16_t sign = 0;
-        std::uint32_t m11 = 0;
-        std::uint32_t exponent = 0;
-        bool lossy = false;
-    };
-    std::vector<Rounded> rounded;
-    rounded.reserve(values.size());
-    std::uint32_t emax = 0;
-    constexpr std::uint32_t drop_bits =
-        fp32MantissaBits - cfp16MantissaBits; // 13
-    for (const float v : values) {
-        if (isNanOrInf(v))
-            sim::fatal("CFP16 pre-alignment rejects NaN/Inf input");
-        const Fp32Fields f = decompose(v);
-        Rounded r;
-        r.sign = static_cast<std::uint16_t>(f.sign);
-        const std::uint32_t m24 = significand24(f);
-        if (m24 != 0) {
-            r.m11 = (m24 + (1u << (drop_bits - 1))) >> drop_bits;
-            r.lossy = (m24 & ((1u << drop_bits) - 1)) != 0;
-            r.exponent = f.exponent;
-            if (r.m11 >> (cfp16MantissaBits + 1)) {
-                r.m11 >>= 1;
-                ++r.exponent;
-            }
-            emax = std::max(emax, r.exponent);
-        }
-        rounded.push_back(r);
-    }
-    out.sharedExponent_ = emax;
+    // every element fits the 15-bit field.  Fatal on NaN/Inf.
+    out.sharedExponent_ = cfp16MaxExponent(values, level);
 
-    // Pass 2: align to the shared exponent.
-    for (const Rounded &r : rounded) {
-        Cfp16Element elem{r.sign, 0};
-        bool lossy = r.lossy;
-        if (r.m11 != 0) {
-            const std::uint32_t gap = emax - r.exponent;
-            const std::uint64_t promoted =
-                static_cast<std::uint64_t>(r.m11)
-                << cfp16CompensationBits;
-            if (gap >= 31) {
-                elem.significand = 0;
-                lossy = true;
-            } else {
-                elem.significand = static_cast<std::uint16_t>(
-                    promoted >> gap);
-                lossy = lossy
-                    || (promoted
-                        & ((std::uint64_t(1) << gap) - 1))
-                        != 0;
-            }
-        }
-        if (lossy)
-            ++out.lossyElements_;
-        out.elements_.push_back(elem);
-    }
+    // Pass 2: recompute the rounding and align to the shared
+    // exponent; the kernel counts each lossy element once whether
+    // the loss came from rounding, the alignment shift, or both.
+    out.lossyElements_ = cfp16AlignSpan(
+        values, out.sharedExponent_,
+        reinterpret_cast<std::uint16_t *>(out.elements_.data()),
+        level);
     return out;
+}
+
+Cfp16Vector
+Cfp16Vector::preAlign(std::span<const float> values)
+{
+    return preAlign(values, activeIsa());
 }
 
 float

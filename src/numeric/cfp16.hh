@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "numeric/fp32.hh"
+#include "numeric/kernels.hh"
 
 namespace ecssd
 {
@@ -76,8 +77,13 @@ class Cfp16Vector
         return elements_.size() * sizeof(std::uint16_t) + 1;
     }
 
-    /** Pre-align (and round to FP16-class mantissa) a float vector. */
+    /** Pre-align (and round to FP16-class mantissa) a float vector,
+     *  through the runtime-dispatched kernels at activeIsa(). */
     static Cfp16Vector preAlign(std::span<const float> values);
+
+    /** ISA-pinned overload (differential tests). */
+    static Cfp16Vector preAlign(std::span<const float> values,
+                                IsaLevel level);
 
   private:
     std::uint32_t sharedExponent_ = 0;

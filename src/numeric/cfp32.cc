@@ -1,6 +1,7 @@
 #include "cfp32.hh"
 
 #include <cmath>
+#include <cstddef>
 
 #include "sim/logging.hh"
 
@@ -9,48 +10,37 @@ namespace ecssd
 namespace numeric
 {
 
+// The align kernel writes interleaved (sign, significand) uint32
+// pairs straight into the element array.
+static_assert(sizeof(Cfp32Element) == 2 * sizeof(std::uint32_t)
+                  && offsetof(Cfp32Element, sign) == 0
+                  && offsetof(Cfp32Element, significand)
+                      == sizeof(std::uint32_t),
+              "Cfp32Element must match the kernel pair layout");
+
 Cfp32Vector
-Cfp32Vector::preAlign(std::span<const float> values)
+Cfp32Vector::preAlign(std::span<const float> values, IsaLevel level)
 {
     Cfp32Vector out;
-    out.elements_.reserve(values.size());
+    out.elements_.resize(values.size());
 
-    // Pass 1: the vector-wise maximum exponent.
-    std::uint32_t emax = 0;
-    for (const float v : values) {
-        if (isNanOrInf(v))
-            sim::fatal("CFP32 pre-alignment rejects NaN/Inf input");
-        emax = std::max(emax, decompose(v).exponent);
-    }
-    out.sharedExponent_ = emax;
+    // Pass 1: the vector-wise maximum exponent (fatal on NaN/Inf).
+    out.sharedExponent_ = cfp32MaxExponent(values, level);
 
     // Pass 2: shift every significand so it shares emax.  The 24-bit
     // significand is first promoted into the 31-bit field (left by the
     // 7 compensation bits), then shifted right by the exponent gap.
-    for (const float v : values) {
-        const Fp32Fields f = decompose(v);
-        const std::uint32_t m24 = significand24(f);
-        Cfp32Element elem{f.sign, 0};
-        if (m24 != 0) {
-            const std::uint32_t gap = emax - f.exponent;
-            const std::uint64_t promoted =
-                static_cast<std::uint64_t>(m24)
-                << cfp32CompensationBits;
-            if (gap >= 63) {
-                elem.significand = 0;
-                ++out.lossyElements_;
-            } else {
-                elem.significand =
-                    static_cast<std::uint32_t>(promoted >> gap);
-                const std::uint64_t dropped =
-                    promoted & ((std::uint64_t(1) << gap) - 1);
-                if (dropped != 0)
-                    ++out.lossyElements_;
-            }
-        }
-        out.elements_.push_back(elem);
-    }
+    out.lossyElements_ = cfp32AlignSpan(
+        values, out.sharedExponent_,
+        reinterpret_cast<std::uint32_t *>(out.elements_.data()),
+        level);
     return out;
+}
+
+Cfp32Vector
+Cfp32Vector::preAlign(std::span<const float> values)
+{
+    return preAlign(values, activeIsa());
 }
 
 float

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "numeric/fp32.hh"
+#include "numeric/kernels.hh"
 
 namespace ecssd
 {
@@ -91,12 +92,17 @@ class Cfp32Vector
     }
 
     /**
-     * Pre-align @p values into CFP32 (the host-side Pre_align() step).
+     * Pre-align @p values into CFP32 (the host-side Pre_align() step),
+     * through the runtime-dispatched kernels at activeIsa().
      *
      * NaN/Inf inputs are rejected with sim::fatal, matching the API
      * contract that only finite activations/weights reach the device.
      */
     static Cfp32Vector preAlign(std::span<const float> values);
+
+    /** ISA-pinned overload (differential tests). */
+    static Cfp32Vector preAlign(std::span<const float> values,
+                                IsaLevel level);
 
   private:
     std::uint32_t sharedExponent_ = 0;

@@ -706,6 +706,518 @@ maxAbsSpan(std::span<const float> values, IsaLevel level)
 }
 
 // ==================================================================
+// CFP pre-alignment
+// ==================================================================
+//
+// Both preAlign passes are pure integer manipulation of the float
+// bit patterns (field extraction, shifts, compares), so every level
+// produces identical bits with no rounding caveats.  The scalar
+// bodies are the original cfp32.cc / cfp16.cc loops verbatim; the
+// vector bodies compute the same per-lane values with well-defined
+// shifts (counts masked to [0, 31] and the >= 32 case selected to
+// zero explicitly, matching the scalar semantics).  One generic
+// vector-extension body per kernel is instantiated at the VecExt,
+// AVX2 and AVX-512 levels via target attributes, like the pairwise
+// block-sum body above.
+
+namespace
+{
+
+inline std::uint32_t
+f32Bits(float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+constexpr std::uint32_t kF32ExpLanes = 0xffu;
+constexpr std::uint32_t kF32FracMask = 0x7fffffu;
+constexpr std::uint32_t kF32HiddenOne = 1u << 23;
+/** Mirrors of the cfp32.hh / cfp16.hh format constants (kernels.cc
+ *  stays header-independent of the formats it serves). */
+constexpr std::uint32_t kCfp32CompBits = 7;
+constexpr std::uint32_t kCfp16CompBits = 4;
+constexpr std::uint32_t kCfp16MantBits = 10;
+/** FP32 mantissa bits dropped by the CFP16 11-bit rounding. */
+constexpr std::uint32_t kCfp16DropBits = 13;
+
+std::uint32_t
+cfp32MaxExponentScalar(const float *values, std::size_t n,
+                       std::size_t begin, std::uint32_t emax)
+{
+    for (std::size_t i = begin; i < n; ++i) {
+        const std::uint32_t exp = (f32Bits(values[i]) >> 23)
+            & kF32ExpLanes;
+        if (exp == kF32ExpLanes)
+            sim::fatal("CFP32 pre-alignment rejects NaN/Inf input");
+        emax = std::max(emax, exp);
+    }
+    return emax;
+}
+
+std::uint64_t
+cfp32AlignScalar(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint32_t *out,
+                 std::size_t begin)
+{
+    std::uint64_t lossy = 0;
+    for (std::size_t i = begin; i < n; ++i) {
+        const std::uint32_t bits = f32Bits(values[i]);
+        const std::uint32_t exp = (bits >> 23) & kF32ExpLanes;
+        const std::uint32_t m24 =
+            exp == 0 ? 0 : (kF32HiddenOne | (bits & kF32FracMask));
+        std::uint32_t significand = 0;
+        if (m24 != 0) {
+            const std::uint32_t gap = emax - exp;
+            const std::uint64_t promoted =
+                static_cast<std::uint64_t>(m24)
+                << kCfp32CompBits;
+            if (gap >= 63) {
+                ++lossy;
+            } else {
+                significand =
+                    static_cast<std::uint32_t>(promoted >> gap);
+                if ((promoted & ((std::uint64_t(1) << gap) - 1)) != 0)
+                    ++lossy;
+            }
+        }
+        out[2 * i] = bits >> 31;
+        out[2 * i + 1] = significand;
+    }
+    return lossy;
+}
+
+std::uint32_t
+cfp16MaxExponentScalar(const float *values, std::size_t n,
+                       std::size_t begin, std::uint32_t emax)
+{
+    for (std::size_t i = begin; i < n; ++i) {
+        const std::uint32_t bits = f32Bits(values[i]);
+        const std::uint32_t exp = (bits >> 23) & kF32ExpLanes;
+        if (exp == kF32ExpLanes)
+            sim::fatal("CFP16 pre-alignment rejects NaN/Inf input");
+        if (exp == 0)
+            continue;
+        const std::uint32_t m24 = kF32HiddenOne | (bits & kF32FracMask);
+        std::uint32_t m11 =
+            (m24 + (1u << (kCfp16DropBits - 1))) >> kCfp16DropBits;
+        std::uint32_t rexp = exp;
+        if (m11 >> (kCfp16MantBits + 1)) {
+            m11 >>= 1;
+            ++rexp;
+        }
+        emax = std::max(emax, rexp);
+    }
+    return emax;
+}
+
+std::uint64_t
+cfp16AlignScalar(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint16_t *out,
+                 std::size_t begin)
+{
+    std::uint64_t lossy_count = 0;
+    for (std::size_t i = begin; i < n; ++i) {
+        const std::uint32_t bits = f32Bits(values[i]);
+        const std::uint32_t exp = (bits >> 23) & kF32ExpLanes;
+        std::uint16_t significand = 0;
+        bool lossy = false;
+        if (exp != 0) {
+            const std::uint32_t m24 =
+                kF32HiddenOne | (bits & kF32FracMask);
+            std::uint32_t m11 =
+                (m24 + (1u << (kCfp16DropBits - 1))) >> kCfp16DropBits;
+            std::uint32_t rexp = exp;
+            if (m11 >> (kCfp16MantBits + 1)) {
+                m11 >>= 1;
+                ++rexp;
+            }
+            lossy = (m24 & ((1u << kCfp16DropBits) - 1)) != 0;
+            const std::uint32_t gap = emax - rexp;
+            const std::uint64_t promoted =
+                static_cast<std::uint64_t>(m11)
+                << kCfp16CompBits;
+            if (gap >= 31) {
+                lossy = true;
+            } else {
+                significand = static_cast<std::uint16_t>(
+                    promoted >> gap);
+                lossy = lossy
+                    || (promoted & ((std::uint64_t(1) << gap) - 1))
+                        != 0;
+            }
+        }
+        if (lossy)
+            ++lossy_count;
+        out[2 * i] = static_cast<std::uint16_t>(bits >> 31);
+        out[2 * i + 1] = significand;
+    }
+    return lossy_count;
+}
+
+/**
+ * 8-lane pass-1 body shared by the CFP32 and CFP16 variants: extract
+ * the biased exponents, trap NaN/Inf, and lane-max either the raw
+ * exponents (kCfp16 == 0) or the post-rounding exponents
+ * (kCfp16 == 1, where a significand rounding carry bumps the lane).
+ * Lanes with a zero exponent contribute 0, exactly like the scalar
+ * loop skipping them.
+ */
+#define ECSSD_CFP_EMAX_BODY(kCfp16, kWhat)                             \
+    do {                                                               \
+        typedef std::uint32_t v8u32 __attribute__((vector_size(32)));  \
+        typedef std::int32_t v8i32 __attribute__((vector_size(32)));   \
+        v8u32 vmax = {};                                               \
+        v8i32 bad = {};                                                \
+        std::size_t i = 0;                                             \
+        for (; i + 8 <= n; i += 8) {                                   \
+            v8u32 bits;                                                \
+            std::memcpy(&bits, values + i, 32);                        \
+            const v8u32 exp = (bits >> 23) & kF32ExpLanes;             \
+            bad |= (exp == kF32ExpLanes);                              \
+            v8u32 cand = exp;                                          \
+            if (kCfp16) {                                              \
+                const v8u32 m24 =                                      \
+                    kF32HiddenOne | (bits & kF32FracMask);             \
+                const v8u32 m11 =                                      \
+                    (m24 + (1u << (kCfp16DropBits - 1)))               \
+                    >> kCfp16DropBits;                                 \
+                const v8u32 carry =                                    \
+                    m11 >> (kCfp16MantBits + 1);                    \
+                cand = (exp + carry)                                   \
+                    & reinterpret_cast<v8u32>(exp != 0);               \
+            }                                                          \
+            const v8u32 gt = reinterpret_cast<v8u32>(cand > vmax);     \
+            vmax = vmax ^ ((vmax ^ cand) & gt);                        \
+        }                                                              \
+        std::int32_t any_bad = 0;                                      \
+        for (int j = 0; j < 8; ++j) {                                  \
+            any_bad |= bad[j];                                         \
+            emax = std::max(emax, vmax[j]);                            \
+        }                                                              \
+        if (any_bad != 0)                                              \
+            sim::fatal(kWhat                                           \
+                       " pre-alignment rejects NaN/Inf input");        \
+        return kCfp16                                                  \
+            ? cfp16MaxExponentScalar(values, n, i, emax)               \
+            : cfp32MaxExponentScalar(values, n, i, emax);              \
+    } while (0)
+
+std::uint32_t
+cfp32MaxExponentVecExt(const float *values, std::size_t n,
+                       std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(0, "CFP32");
+}
+
+std::uint32_t
+cfp16MaxExponentVecExt(const float *values, std::size_t n,
+                       std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(1, "CFP16");
+}
+
+#if ECSSD_KERNELS_X86
+
+__attribute__((target("avx2"))) std::uint32_t
+cfp32MaxExponentAvx2(const float *values, std::size_t n,
+                     std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(0, "CFP32");
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::uint32_t
+cfp32MaxExponentAvx512(const float *values, std::size_t n,
+                       std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(0, "CFP32");
+}
+
+__attribute__((target("avx2"))) std::uint32_t
+cfp16MaxExponentAvx2(const float *values, std::size_t n,
+                     std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(1, "CFP16");
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::uint32_t
+cfp16MaxExponentAvx512(const float *values, std::size_t n,
+                       std::uint32_t emax)
+{
+    ECSSD_CFP_EMAX_BODY(1, "CFP16");
+}
+
+#endif // ECSSD_KERNELS_X86
+
+#undef ECSSD_CFP_EMAX_BODY
+
+/**
+ * 8-lane CFP32 pass-2 body.  The scalar branch structure collapses
+ * to one straight-line select chain: since the promoted significand
+ * occupies 31 bits, every gap >= 31 shifts it to zero and drops all
+ * of it, so the gap >= 63 special case and the in-range path agree
+ * on (zero, lossy) for the whole [31, inf) range.  Shift counts are
+ * masked to [0, 31] and the >= 32 case is selected to zero to keep
+ * the C shifts well-defined.
+ */
+#define ECSSD_CFP32_ALIGN_BODY                                         \
+    do {                                                               \
+        typedef std::uint32_t v8u32 __attribute__((vector_size(32)));  \
+        v8u32 lossy_acc = {};                                          \
+        std::size_t i = 0;                                             \
+        const v8u32 vemax = emax - (v8u32){};                          \
+        for (; i + 8 <= n; i += 8) {                                   \
+            v8u32 bits;                                                \
+            std::memcpy(&bits, values + i, 32);                        \
+            const v8u32 sign = bits >> 31;                             \
+            const v8u32 exp = (bits >> 23) & kF32ExpLanes;             \
+            const v8u32 nonzero =                                      \
+                reinterpret_cast<v8u32>(exp != 0);                     \
+            const v8u32 m24 =                                          \
+                (kF32HiddenOne | (bits & kF32FracMask)) & nonzero;     \
+            const v8u32 gap = (vemax - exp) & nonzero;                 \
+            const v8u32 promoted = m24 << kCfp32CompBits;       \
+            const v8u32 in_range =                                     \
+                reinterpret_cast<v8u32>(gap < 32);                     \
+            const v8u32 gsh = gap & 31;                                \
+            const v8u32 sig = (promoted >> gsh) & in_range;            \
+            const v8u32 back = (sig << gsh) & in_range;                \
+            const v8u32 lossy =                                        \
+                reinterpret_cast<v8u32>(back != promoted);             \
+            lossy_acc += lossy & 1;                                    \
+            const v8u32 lo = __builtin_shufflevector(                  \
+                sign, sig, 0, 8, 1, 9, 2, 10, 3, 11);                  \
+            const v8u32 hi = __builtin_shufflevector(                  \
+                sign, sig, 4, 12, 5, 13, 6, 14, 7, 15);                \
+            std::memcpy(out + 2 * i, &lo, 32);                         \
+            std::memcpy(out + 2 * i + 8, &hi, 32);                     \
+        }                                                              \
+        std::uint64_t total = 0;                                       \
+        for (int j = 0; j < 8; ++j)                                    \
+            total += lossy_acc[j];                                     \
+        return total + cfp32AlignScalar(values, n, emax, out, i);      \
+    } while (0)
+
+std::uint64_t
+cfp32AlignVecExt(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint32_t *out)
+{
+    ECSSD_CFP32_ALIGN_BODY;
+}
+
+#if ECSSD_KERNELS_X86
+
+__attribute__((target("avx2"))) std::uint64_t
+cfp32AlignAvx2(const float *values, std::size_t n, std::uint32_t emax,
+               std::uint32_t *out)
+{
+    ECSSD_CFP32_ALIGN_BODY;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::uint64_t
+cfp32AlignAvx512(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint32_t *out)
+{
+    ECSSD_CFP32_ALIGN_BODY;
+}
+
+#endif // ECSSD_KERNELS_X86
+
+#undef ECSSD_CFP32_ALIGN_BODY
+
+/**
+ * 8-lane CFP16 pass-2 body: recomputes the pass-1 rounding (cheap
+ * integer ops) instead of carrying per-element state, then aligns
+ * like the CFP32 body.  The promoted significand is 15 bits, so
+ * every gap >= 15 zeroes it and the scalar gap >= 31 special case
+ * again agrees with the straight-line select chain.
+ */
+#define ECSSD_CFP16_ALIGN_BODY                                         \
+    do {                                                               \
+        typedef std::uint32_t v8u32 __attribute__((vector_size(32)));  \
+        typedef std::uint16_t v8u16 __attribute__((vector_size(16)));  \
+        typedef std::uint16_t v16u16 __attribute__((vector_size(32))); \
+        v8u32 lossy_acc = {};                                          \
+        std::size_t i = 0;                                             \
+        const v8u32 vemax = emax - (v8u32){};                          \
+        for (; i + 8 <= n; i += 8) {                                   \
+            v8u32 bits;                                                \
+            std::memcpy(&bits, values + i, 32);                        \
+            const v8u32 sign = bits >> 31;                             \
+            const v8u32 exp = (bits >> 23) & kF32ExpLanes;             \
+            const v8u32 nonzero =                                      \
+                reinterpret_cast<v8u32>(exp != 0);                     \
+            const v8u32 m24 =                                          \
+                (kF32HiddenOne | (bits & kF32FracMask)) & nonzero;     \
+            const v8u32 m11r =                                         \
+                (m24 + (1u << (kCfp16DropBits - 1)))                   \
+                >> kCfp16DropBits;                                     \
+            const v8u32 carry = m11r >> (kCfp16MantBits + 1);       \
+            const v8u32 m11 = (m11r >> carry) & nonzero;               \
+            const v8u32 rexp = (exp + carry) & nonzero;                \
+            const v8u32 round_lossy = reinterpret_cast<v8u32>(         \
+                (m24 & ((1u << kCfp16DropBits) - 1)) != 0);            \
+            const v8u32 gap = (vemax - rexp) & nonzero;                \
+            const v8u32 promoted = m11 << kCfp16CompBits;       \
+            const v8u32 in_range =                                     \
+                reinterpret_cast<v8u32>(gap < 32);                     \
+            const v8u32 gsh = gap & 31;                                \
+            const v8u32 sig = (promoted >> gsh) & in_range;            \
+            const v8u32 back = (sig << gsh) & in_range;                \
+            const v8u32 shift_lossy =                                  \
+                reinterpret_cast<v8u32>(back != promoted);             \
+            lossy_acc += (round_lossy | shift_lossy) & 1;              \
+            const v8u16 sign16 =                                       \
+                __builtin_convertvector(sign, v8u16);                  \
+            const v8u16 sig16 = __builtin_convertvector(sig, v8u16);   \
+            const v16u16 pairs = __builtin_shufflevector(              \
+                sign16, sig16, 0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5,     \
+                13, 6, 14, 7, 15);                                     \
+            std::memcpy(out + 2 * i, &pairs, 32);                      \
+        }                                                              \
+        std::uint64_t total = 0;                                       \
+        for (int j = 0; j < 8; ++j)                                    \
+            total += lossy_acc[j];                                     \
+        return total + cfp16AlignScalar(values, n, emax, out, i);      \
+    } while (0)
+
+std::uint64_t
+cfp16AlignVecExt(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint16_t *out)
+{
+    ECSSD_CFP16_ALIGN_BODY;
+}
+
+#if ECSSD_KERNELS_X86
+
+__attribute__((target("avx2"))) std::uint64_t
+cfp16AlignAvx2(const float *values, std::size_t n, std::uint32_t emax,
+               std::uint16_t *out)
+{
+    ECSSD_CFP16_ALIGN_BODY;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::uint64_t
+cfp16AlignAvx512(const float *values, std::size_t n,
+                 std::uint32_t emax, std::uint16_t *out)
+{
+    ECSSD_CFP16_ALIGN_BODY;
+}
+
+#endif // ECSSD_KERNELS_X86
+
+#undef ECSSD_CFP16_ALIGN_BODY
+
+} // namespace
+
+std::uint32_t
+cfp32MaxExponent(std::span<const float> values, IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar:
+        return cfp32MaxExponentScalar(values.data(), values.size(), 0,
+                                      0);
+    case IsaLevel::VecExt:
+        return cfp32MaxExponentVecExt(values.data(), values.size(),
+                                      0);
+#if ECSSD_KERNELS_X86
+    case IsaLevel::Avx2:
+        return cfp32MaxExponentAvx2(values.data(), values.size(), 0);
+    case IsaLevel::Avx512:
+        return cfp32MaxExponentAvx512(values.data(), values.size(),
+                                      0);
+#else
+    default:
+        return cfp32MaxExponentVecExt(values.data(), values.size(),
+                                      0);
+#endif
+    }
+    return cfp32MaxExponentScalar(values.data(), values.size(), 0, 0);
+}
+
+std::uint64_t
+cfp32AlignSpan(std::span<const float> values, std::uint32_t emax,
+               std::uint32_t *out, IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar:
+        return cfp32AlignScalar(values.data(), values.size(), emax,
+                                out, 0);
+    case IsaLevel::VecExt:
+        return cfp32AlignVecExt(values.data(), values.size(), emax,
+                                out);
+#if ECSSD_KERNELS_X86
+    case IsaLevel::Avx2:
+        return cfp32AlignAvx2(values.data(), values.size(), emax,
+                              out);
+    case IsaLevel::Avx512:
+        return cfp32AlignAvx512(values.data(), values.size(), emax,
+                                out);
+#else
+    default:
+        return cfp32AlignVecExt(values.data(), values.size(), emax,
+                                out);
+#endif
+    }
+    return cfp32AlignScalar(values.data(), values.size(), emax, out,
+                            0);
+}
+
+std::uint32_t
+cfp16MaxExponent(std::span<const float> values, IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar:
+        return cfp16MaxExponentScalar(values.data(), values.size(), 0,
+                                      0);
+    case IsaLevel::VecExt:
+        return cfp16MaxExponentVecExt(values.data(), values.size(),
+                                      0);
+#if ECSSD_KERNELS_X86
+    case IsaLevel::Avx2:
+        return cfp16MaxExponentAvx2(values.data(), values.size(), 0);
+    case IsaLevel::Avx512:
+        return cfp16MaxExponentAvx512(values.data(), values.size(),
+                                      0);
+#else
+    default:
+        return cfp16MaxExponentVecExt(values.data(), values.size(),
+                                      0);
+#endif
+    }
+    return cfp16MaxExponentScalar(values.data(), values.size(), 0, 0);
+}
+
+std::uint64_t
+cfp16AlignSpan(std::span<const float> values, std::uint32_t emax,
+               std::uint16_t *out, IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar:
+        return cfp16AlignScalar(values.data(), values.size(), emax,
+                                out, 0);
+    case IsaLevel::VecExt:
+        return cfp16AlignVecExt(values.data(), values.size(), emax,
+                                out);
+#if ECSSD_KERNELS_X86
+    case IsaLevel::Avx2:
+        return cfp16AlignAvx2(values.data(), values.size(), emax,
+                              out);
+    case IsaLevel::Avx512:
+        return cfp16AlignAvx512(values.data(), values.size(), emax,
+                                out);
+#else
+    default:
+        return cfp16AlignVecExt(values.data(), values.size(), emax,
+                                out);
+#endif
+    }
+    return cfp16AlignScalar(values.data(), values.size(), emax, out,
+                            0);
+}
+
+// ==================================================================
 // INT4 LUT kernels
 // ==================================================================
 

@@ -37,10 +37,14 @@ compareBaselines(const std::map<std::string, double> &baseline,
             // A key the baseline gates on has disappeared from the
             // current run — the regression this most often means is
             // a silently-dropped instrument, so the message says
-            // which side lost it.
-            failures.push_back("missing metric '" + key
-                               + "': present in baseline, absent "
-                                 "from current run");
+            // which side lost it and what value went missing (a bare
+            // key name makes triage start with a baseline-file dig).
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "missing metric '%s': present in baseline "
+                          "(%.6g), absent from current run",
+                          key.c_str(), expected);
+            failures.push_back(buf);
             continue;
         }
         const double actual = it->second;

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Accounting allocator for host-bounded pipelines.
+ *
+ * The streaming weight deploy promises a hard ceiling on peak host
+ * bytes (EcssdOptions::deployHostBudgetBytes).  Every transient host
+ * allocation the pipeline makes — row scratch, the run buffer, the
+ * merge read-ahead blocks, the tournament tree — charges a
+ * MemoryBudget before it exists and releases when it dies, so the
+ * ceiling is *enforced* (fatal on overdraft), not sampled.  The
+ * high-water mark is what the boundedness tests assert against and
+ * what deploy publishes as deploy.host_peak_bytes.
+ */
+
+#ifndef ECSSD_SIM_BUDGET_HH
+#define ECSSD_SIM_BUDGET_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace ecssd
+{
+namespace sim
+{
+
+/** A byte budget with overdraft enforcement and a high-water mark. */
+class MemoryBudget
+{
+  public:
+    /** @param limit_bytes Hard ceiling; 0 means unlimited (the
+     *  accounting still runs so the high-water mark stays honest). */
+    explicit MemoryBudget(std::uint64_t limit_bytes)
+        : limit_(limit_bytes)
+    {
+    }
+
+    std::uint64_t limit() const { return limit_; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t highWater() const { return highWater_; }
+
+    /** Charge @p bytes; fatal (named error) on overdraft. */
+    void
+    charge(std::uint64_t bytes)
+    {
+        used_ += bytes;
+        if (limit_ != 0 && used_ > limit_) {
+            fatal("E_DEPLOY_BUDGET: streaming deploy needs ", used_,
+                  " host bytes but deployHostBudgetBytes is ",
+                  limit_);
+        }
+        if (used_ > highWater_)
+            highWater_ = used_;
+    }
+
+    /** Release @p bytes charged earlier. */
+    void
+    release(std::uint64_t bytes)
+    {
+        ECSSD_ASSERT(bytes <= used_,
+                     "memory budget release exceeds charges");
+        used_ -= bytes;
+    }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t used_ = 0;
+    std::uint64_t highWater_ = 0;
+};
+
+/** RAII charge: holds @p bytes of @p budget for the scope. */
+class BudgetCharge
+{
+  public:
+    BudgetCharge(MemoryBudget &budget, std::uint64_t bytes)
+        : budget_(budget), bytes_(bytes)
+    {
+        budget_.charge(bytes_);
+    }
+
+    ~BudgetCharge() { budget_.release(bytes_); }
+
+    BudgetCharge(const BudgetCharge &) = delete;
+    BudgetCharge &operator=(const BudgetCharge &) = delete;
+
+    std::uint64_t bytes() const { return bytes_; }
+
+    /** Grow or shrink the held charge to @p bytes. */
+    void
+    resize(std::uint64_t bytes)
+    {
+        if (bytes > bytes_)
+            budget_.charge(bytes - bytes_);
+        else
+            budget_.release(bytes_ - bytes);
+        bytes_ = bytes;
+    }
+
+  private:
+    MemoryBudget &budget_;
+    std::uint64_t bytes_;
+};
+
+} // namespace sim
+} // namespace ecssd
+
+#endif // ECSSD_SIM_BUDGET_HH

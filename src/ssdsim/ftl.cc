@@ -291,6 +291,27 @@ Ftl::relocatePage(const PhysicalPage &src, Pool &dst_pool,
     return t;
 }
 
+sim::Tick
+Ftl::migrateComputedPage(const PhysicalPage &src,
+                         const PhysicalPage &dst,
+                         sim::Tick issue_at)
+{
+    if (relocationListener_)
+        relocationListener_(src);
+
+    bool unreadable = false;
+    sim::Tick t = flash_.readPage(src, issue_at, 0, 0, &unreadable);
+    if (unreadable) {
+        ++stats_.relayoutUnreadable;
+        sim::warn("re-layout migrating uncorrectable weight page on "
+                  "channel ",
+                  src.channel);
+    }
+    t = flash_.programPage(dst, t);
+    ++stats_.relayoutMigrations;
+    return t;
+}
+
 void
 Ftl::bumpEraseCount(BlockInfo &info)
 {

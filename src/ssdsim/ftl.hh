@@ -74,6 +74,12 @@ struct FtlStats
     std::uint64_t wearLevelMoves = 0;
     /** Writes rejected because the device turned read-only. */
     std::uint64_t rejectedWrites = 0;
+    /** Weight pages moved between channels by the background
+     *  re-layout task (computed-placement migrations). */
+    std::uint64_t relayoutMigrations = 0;
+    /** Re-layout migration reads that came back uncorrectable (the
+     *  stale codeword moves anyway, like GC). */
+    std::uint64_t relayoutUnreadable = 0;
 
     /** Write amplification factor. */
     double
@@ -174,6 +180,23 @@ class Ftl
      * @return Completion tick.
      */
     sim::Tick levelWear(sim::Tick issue_at, bool &progress);
+
+    /**
+     * Move one *computed-placement* weight page from @p src to
+     * @p dst: the background re-layout task's migration primitive.
+     * Accelerator-mode weight pages live outside the l2p table (the
+     * layout strategies compute their placement, mirroring the
+     * paper's DRAM-resident weight L2P), so unlike relocatePage()
+     * there is no mapping to patch — the media move is read(src) +
+     * program(dst), and the relocation listener fires on @p src
+     * first so DRAM-cached copies are dropped before the rewrite,
+     * exactly like GC / patrol-scrub relocations.
+     *
+     * @return Completion tick of the program.
+     */
+    sim::Tick migrateComputedPage(const PhysicalPage &src,
+                                  const PhysicalPage &dst,
+                                  sim::Tick issue_at);
 
     /** True once spare blocks ran out and the device refuses
      *  writes (end of life). */

@@ -70,6 +70,40 @@ TEST(Autotune, RowChunkCandidatesAreDeterministicPow2)
     }
 }
 
+TEST(Autotune, BatchQueryTileIsShapeHeuristicInContract)
+{
+    // Pure function of (shape, ISA): power of two, inside the batch
+    // kernel's [1, 16] contract, monotonically non-increasing in the
+    // row width (wider rows -> bigger widened features -> narrower
+    // tile), and never wider than the level's register budget.
+    for (const IsaLevel isa :
+         {IsaLevel::Scalar, IsaLevel::VecExt, IsaLevel::Avx2,
+          IsaLevel::Avx512}) {
+        std::size_t previous = 16;
+        for (const std::size_t bytes :
+             {0ull, 1ull, 16ull, 64ull, 256ull, 512ull, 1024ull,
+              4096ull, 65536ull}) {
+            const std::size_t tile =
+                batchQueryTile(1000, bytes, isa);
+            SCOPED_TRACE(std::string(toString(isa)) + " bytes "
+                         + std::to_string(bytes));
+            EXPECT_EQ(tile, batchQueryTile(1000, bytes, isa));
+            EXPECT_GE(tile, 1u);
+            EXPECT_LE(tile, 16u);
+            EXPECT_EQ(tile & (tile - 1), 0u);
+            EXPECT_LE(tile, previous);
+            EXPECT_LE(tile,
+                      isa == IsaLevel::Avx512 ? 16u : 8u);
+            previous = tile;
+        }
+    }
+    // AVX-512's deeper register file widens the tile on short rows.
+    EXPECT_GT(batchQueryTile(1000, 32, IsaLevel::Avx512),
+              batchQueryTile(1000, 32, IsaLevel::Avx2));
+    // Huge rows squeeze the tile down to (but never below) one.
+    EXPECT_EQ(batchQueryTile(1000, 1u << 20, IsaLevel::Avx2), 1u);
+}
+
 TEST(Autotune, PlanIsPureFunctionOfShapeAndIsa)
 {
     const Int4Matrix matrix = smallMatrix(3000, 40);

@@ -20,6 +20,8 @@
 #include <cstring>
 #include <vector>
 
+#include "numeric/cfp16.hh"
+#include "numeric/cfp32.hh"
 #include "numeric/int4.hh"
 #include "numeric/kernels.hh"
 #include "numeric/mac.hh"
@@ -353,6 +355,84 @@ TEST(KernelsDifferential, QuantizePackSpanByteIdentical)
             }
         }
     }
+}
+
+namespace
+{
+
+/** Assert both CFP pre-alignments match the scalar reference bits at
+ *  every supported level on @p values. */
+void
+expectPreAlignAgrees(const std::vector<float> &values,
+                     const char *label)
+{
+    const Cfp32Vector ref32 =
+        Cfp32Vector::preAlign(values, IsaLevel::Scalar);
+    const Cfp16Vector ref16 =
+        Cfp16Vector::preAlign(values, IsaLevel::Scalar);
+    for (const IsaLevel isa : levels()) {
+        SCOPED_TRACE(std::string(label) + " isa=" + toString(isa));
+        const Cfp32Vector got32 =
+            Cfp32Vector::preAlign(values, isa);
+        EXPECT_EQ(got32.sharedExponent(), ref32.sharedExponent());
+        EXPECT_EQ(got32.lossyElements(), ref32.lossyElements());
+        ASSERT_EQ(got32.size(), ref32.size());
+        for (std::size_t i = 0; i < ref32.size(); ++i) {
+            EXPECT_EQ(got32[i].sign, ref32[i].sign) << "elem " << i;
+            EXPECT_EQ(got32[i].significand, ref32[i].significand)
+                << "elem " << i;
+        }
+        const Cfp16Vector got16 =
+            Cfp16Vector::preAlign(values, isa);
+        EXPECT_EQ(got16.sharedExponent(), ref16.sharedExponent());
+        EXPECT_EQ(got16.lossyElements(), ref16.lossyElements());
+        ASSERT_EQ(got16.size(), ref16.size());
+        for (std::size_t i = 0; i < ref16.size(); ++i) {
+            EXPECT_EQ(got16[i].sign, ref16[i].sign) << "elem " << i;
+            EXPECT_EQ(got16[i].significand, ref16[i].significand)
+                << "elem " << i;
+        }
+    }
+}
+
+} // namespace
+
+TEST(KernelsDifferential, PreAlignAllPairsByteIdentical)
+{
+    // Sizes straddle the 8-lane blocking (tail handling) and seeds
+    // vary the exponent spread; the mixed-magnitude case pushes
+    // alignment gaps past the 31/63-bit shift cliffs.
+    for (const std::size_t n :
+         {0ull, 1ull, 5ull, 8ull, 9ull, 64ull, 127ull, 513ull}) {
+        for (const std::uint64_t seed : {11ull, 87ull}) {
+            std::vector<float> values = randomVector(n, seed);
+            expectPreAlignAgrees(values,
+                                 ("gauss n=" + std::to_string(n))
+                                     .c_str());
+            if (n >= 8) {
+                // Denormals flush, zeros of both signs, huge spread.
+                values[0] = 0.0f;
+                values[1] = -0.0f;
+                values[2] = 1e-40f;
+                values[3] = -1e-40f;
+                values[4] = 3.4e38f;
+                values[5] = 1.4e-45f;
+                values[6] = -65504.0f;
+                values[7] = 1.0f + 0x1p-23f; // lossy tail bit
+                expectPreAlignAgrees(values,
+                                     ("edge n=" + std::to_string(n))
+                                         .c_str());
+            }
+        }
+    }
+    // All-zero vector: shared exponent 0, nothing lossy.
+    expectPreAlignAgrees(std::vector<float>(33, 0.0f), "all-zero");
+    // Exact powers of two with gaps <= the compensation width stay
+    // lossless; a 40-binade spread forces total shift-out.
+    std::vector<float> spread;
+    for (int e = -20; e <= 20; ++e)
+        spread.push_back(std::ldexp(1.0f, e));
+    expectPreAlignAgrees(spread, "binade spread");
 }
 
 TEST(KernelsDifferential, ProjectGemvBitIdentical)

@@ -261,6 +261,20 @@ TEST(Baseline, MissingCurrentKeyFails)
               std::string::npos);
     EXPECT_NE(failures[0].find("absent from current run"),
               std::string::npos);
+    // The baseline value rides along, so triage never starts with a
+    // dig through the baseline file.
+    EXPECT_NE(failures[0].find("(100)"), std::string::npos);
+}
+
+TEST(Baseline, MissingKeyMessageCarriesBaselineValue)
+{
+    const std::map<std::string, double> baseline = {
+        {"latency.p99_ms", 3.25}};
+    const auto failures = compareBaselines(baseline, {});
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].find("missing metric 'latency.p99_ms'"),
+              std::string::npos);
+    EXPECT_NE(failures[0].find("(3.25)"), std::string::npos);
 }
 
 TEST(Baseline, MissingTrendKeyIsNotGated)

@@ -31,6 +31,22 @@
  *                         in MiB (0 = disabled, the default)
  *   --list                list benchmarks and architectures
  *
+ * Streaming deploy + background re-layout (MODELING.md Section 15):
+ *   --deploy-host-budget-mb N  run an out-of-core streaming weight
+ *                         deploy at benchmark scale before the
+ *                         inference pass, with transient host bytes
+ *                         hard-capped at N MiB (enforced by the
+ *                         accounting allocator; 0 = off)
+ *   --relayout            enable the background re-layout task: one
+ *                         budgeted pass runs after the inference
+ *                         batches (needs --cache-mb for the
+ *                         observed-frequency feed)
+ *   --relayout-threshold F  divergence (1 - observed balance) that
+ *                         triggers migration (default 0.25)
+ *   --relayout-pages N    migration page budget per pass (64)
+ *   --relayout-io-budget F  device-time share of the migration task
+ *                         (default 0.2)
+ *
  * Reliability model (see docs/MODELING.md, "Wear lifecycle & scrub"):
  *   --uncorrectable-read-rate P   base per-read UECC probability
  *   --read-retry-rate P           per-read retry probability
@@ -97,6 +113,7 @@
 
 #include "baselines/baselines.hh"
 #include "ecssd/server.hh"
+#include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
 #include "sim/metrics.hh"
 #include "sim/rng.hh"
@@ -151,6 +168,9 @@ usage(const char *argv0, int code)
                 "  [--trace CATS] [--seed N] [--threads N]\n"
                 "  [--isa auto|scalar|vector|avx2|avx512]\n"
                 "  [--cache-mb N] [--list]\n"
+                "  [--deploy-host-budget-mb N] [--relayout]\n"
+                "  [--relayout-threshold F] [--relayout-pages N]\n"
+                "  [--relayout-io-budget F]\n"
                 "  [--uncorrectable-read-rate P] "
                 "[--read-retry-rate P]\n"
                 "  [--erase-failure-rate P] [--wear-coefficient C]\n"
@@ -262,9 +282,47 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
 {
     EcssdSystem system(spec, options);
     system.attachObservability(metrics, spans);
+
+    // Out-of-core streaming deploy demo: build the learning-adaptive
+    // placement at benchmark scale from a procedural row source,
+    // host bytes hard-capped at the configured budget.
+    StreamingDeployResult streamed;
+    if (options.deployHostBudgetBytes > 0) {
+        const SyntheticRowSource rows(spec.categories,
+                                      spec.hiddenDim, options.seed);
+        StreamingDeployConfig config;
+        config.hostBudgetBytes = options.deployHostBudgetBytes;
+        config.rowBytes = spec.rowBytes();
+        config.seed = options.seed;
+        streamed = streamingWeightDeploy(
+            rows, spec.shrunkDim(), options.ssd.channels,
+            options.ssd, config);
+        if (metrics) {
+            metrics->gaugeSet("deploy.streaming_ms",
+                              sim::tickToMs(streamed.deployTime));
+            metrics->gaugeSet(
+                "deploy.host_peak_bytes",
+                static_cast<double>(streamed.hostPeakBytes));
+            metrics->gaugeSet(
+                "deploy.host_budget_bytes",
+                static_cast<double>(streamed.hostBudgetBytes));
+            metrics->gaugeSet(
+                "deploy.runs_spilled",
+                static_cast<double>(streamed.runsSpilled));
+        }
+    }
+
     const accel::RunResult result = system.runInference(batches);
-    if (metrics)
+
+    // Background re-layout: one budgeted pass on the traffic the
+    // batches just generated.
+    if (options.relayout.enabled)
+        system.relayoutStep(result.totalTime);
+
+    if (metrics) {
         system.publishMetrics(*metrics, result);
+        system.publishRelayoutMetrics(*metrics);
+    }
     if (quiet)
         return;
     std::printf("%-20s %-55s %10.3f ms/batch  util %5.1f%%  "
@@ -279,6 +337,30 @@ report(const xclass::BenchmarkSpec &spec, const EcssdOptions &options,
                     result.cacheHitRate() * 100.0,
                     (unsigned long long)result.cacheHitRows,
                     (unsigned long long)result.cacheMissRows);
+    }
+    if (options.deployHostBudgetBytes > 0) {
+        std::printf(
+            "  deploy: streaming %.3f ms  host peak %.2f MiB "
+            "(budget %.2f MiB)  %llu runs spilled  "
+            "%llu/%llu spill pages w/r\n",
+            sim::tickToMs(streamed.deployTime),
+            static_cast<double>(streamed.hostPeakBytes)
+                / (1 << 20),
+            static_cast<double>(streamed.hostBudgetBytes)
+                / (1 << 20),
+            (unsigned long long)streamed.runsSpilled,
+            (unsigned long long)streamed.spillPagesWritten,
+            (unsigned long long)streamed.spillPagesRead);
+    }
+    if (options.relayout.enabled) {
+        const RelayoutStats &rs = system.relayoutStats();
+        std::printf(
+            "  relayout: divergence %.3f  migrated %llu groups "
+            "(%llu pages)  balance %.3f\n",
+            rs.lastDivergence,
+            (unsigned long long)rs.rowsMigrated,
+            (unsigned long long)rs.pagesMoved,
+            rs.recoveredBalance);
     }
     if (energy) {
         const circuit::EnergyBreakdown e =
@@ -550,6 +632,26 @@ main(int argc, char **argv)
                 std::strtoull(next("--cache-mb").c_str(), nullptr,
                               10)
                 << 20;
+        } else if (arg == "--deploy-host-budget-mb") {
+            cli.device.deployHostBudgetBytes = std::strtoull(
+                next("--deploy-host-budget-mb").c_str(), nullptr,
+                10)
+                << 20;
+        } else if (arg == "--relayout") {
+            cli.device.relayout.enabled = true;
+        } else if (arg == "--relayout-threshold") {
+            cli.device.relayout.enabled = true;
+            cli.device.relayout.divergenceThreshold = std::strtod(
+                next("--relayout-threshold").c_str(), nullptr);
+        } else if (arg == "--relayout-pages") {
+            cli.device.relayout.enabled = true;
+            cli.device.relayout.pageBudget =
+                static_cast<unsigned>(std::strtoul(
+                    next("--relayout-pages").c_str(), nullptr, 10));
+        } else if (arg == "--relayout-io-budget") {
+            cli.device.relayout.enabled = true;
+            cli.device.relayout.ioBudgetFraction = std::strtod(
+                next("--relayout-io-budget").c_str(), nullptr);
         } else if (arg == "--uncorrectable-read-rate") {
             cli.device.ssd.uncorrectableReadRate = std::strtod(
                 next("--uncorrectable-read-rate").c_str(), nullptr);
