@@ -32,6 +32,7 @@
 #include <string>
 
 #include "accel/candidate_source.hh"
+#include "ecssd/multi_tenant.hh"
 #include "ecssd/server.hh"
 #include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
@@ -309,6 +310,102 @@ benchOverload(BaselineDoc &doc)
 }
 
 void
+benchMultiTenant(BaselineDoc &doc)
+{
+    // Multi-tenant noisy-neighbor pass: tenant A serves a calm
+    // stream under a p99 SLO while tenant B floods the shared
+    // device far past capacity.  The gate is containment: B must
+    // shed and brown out *its own* traffic, and A's p99 on the
+    // shared device must stay within 15% of A's solo p99 — a
+    // scheduler or quota regression that lets B's overload leak
+    // into A's latency fails the smoke run outright.
+    xclass::BenchmarkSpec spec = xclass::scaledDown(
+        xclass::benchmarkByName("GNMT-E32K"), 1024);
+    spec.hiddenDim = 128;
+    spec.batchSize = 4;
+    const EcssdOptions options = EcssdOptions::full();
+    xclass::SyntheticModel model_a(spec, options.seed);
+    xclass::SyntheticModel model_b(spec, options.seed + 1);
+
+    TenantConfig tenant_a;
+    tenant_a.name = "a";
+    tenant_a.dramBytes = 64ULL << 20;
+    tenant_a.cacheQuotaBytes = 4ULL << 20;
+    tenant_a.p99TargetMs = 5.0;
+    TenantConfig tenant_b = tenant_a;
+    tenant_b.name = "b";
+    tenant_b.p99TargetMs = 1.0;
+
+    std::vector<std::vector<float>> queries;
+    sim::Rng qrng(options.seed);
+    for (int q = 0; q < 16; ++q)
+        queries.push_back(model_a.sampleQuery(qrng));
+
+    sim::TrafficConfig calm;
+    calm.ratePerSecond = 2000.0;
+    calm.seed = 21;
+    const std::uint64_t calm_count = 400;
+    sim::TrafficConfig flood;
+    flood.ratePerSecond = 500000.0;
+    flood.seed = 22;
+
+    // Solo baseline: A alone on the device.
+    double solo_p99 = 0.0;
+    {
+        MultiTenantServer device(options);
+        const TenantHandle a =
+            device.addTenant(tenant_a, model_a.weights(), spec,
+                             ServerConfig{}, &model_a.basis());
+        device.run({{a, calm, calm_count}}, queries, 5);
+        solo_p99 = device.server(a)->latencyPercentiles().p99();
+    }
+
+    // Shared device: the same A stream next to B's flood.
+    MultiTenantServer device(options);
+    const TenantHandle a =
+        device.addTenant(tenant_a, model_a.weights(), spec,
+                         ServerConfig{}, &model_a.basis());
+    const TenantHandle b =
+        device.addTenant(tenant_b, model_b.weights(), spec,
+                         ServerConfig{}, &model_b.basis());
+    device.run({{a, calm, calm_count}, {b, flood, 4000}}, queries,
+               5);
+
+    const ServerStats &stats_a = device.server(a)->serverStats();
+    const ServerStats &stats_b = device.server(b)->serverStats();
+    const double shared_p99 =
+        device.server(a)->latencyPercentiles().p99();
+    if (stats_b.shedRequests == 0
+        || stats_b.brownoutTransitions == 0)
+        sim::fatal("multi-tenant smoke: the flooded tenant never "
+                   "degraded itself");
+    if (stats_a.shedRequests != 0)
+        sim::fatal("multi-tenant smoke: the calm tenant shed under "
+                   "its neighbour's flood");
+    if (shared_p99 > solo_p99 * 1.15)
+        sim::fatal("multi-tenant smoke: noisy neighbour leaked into "
+                   "the calm tenant's p99 (solo ", solo_p99,
+                   " ms, shared ", shared_p99, " ms)");
+
+    doc.latency["tenant.a_solo_p99_ms"] = solo_p99;
+    doc.latency["tenant.a_shared_p99_ms"] = shared_p99;
+    doc.latency["tenant.b_shared_p99_ms"] =
+        device.server(b)->latencyPercentiles().p99();
+    doc.latency["tenant.device_time_ms"] =
+        sim::tickToMs(device.deviceTime());
+    doc.counters["tenant.count"] =
+        static_cast<double>(device.registry().size());
+    doc.counters["tenant.a_sheds"] =
+        static_cast<double>(stats_a.shedRequests);
+    doc.counters["tenant.b_sheds"] =
+        static_cast<double>(stats_b.shedRequests);
+    doc.counters["tenant.b_brownout_transitions"] =
+        static_cast<double>(stats_b.brownoutTransitions);
+    doc.counters["tenant.b_admission_sheds"] =
+        static_cast<double>(stats_b.admissionSheds);
+}
+
+void
 benchStreamingDeploy(BaselineDoc &doc)
 {
     // Out-of-core streaming deploy at a scale whose hotness vector
@@ -473,6 +570,7 @@ main(int argc, char **argv)
     benchServing(e2e);
     benchRedeploy(e2e);
     benchOverload(e2e);
+    benchMultiTenant(e2e);
     benchStreamingDeploy(e2e);
     benchRelayout(e2e);
     e2e.write(out_dir + "/BENCH_e2e.json");

@@ -57,16 +57,18 @@ main()
     device.calibrateThreshold(calibration);
 
     const std::vector<float> query = model.sampleQuery(rng);
-    device.int4InputSend(query);
-    device.cfp32InputSend(query);
-    device.int4Screen();
-    device.cfp32Classify();
-    const auto top = device.getResults(3);
+    InferenceSession session = device.beginInference();
+    session.sendInt4(query);
+    session.sendCfp32(query);
+    session.screen();
+    session.classify();
+    xclass::ApproximateClassifier::Prediction top;
+    session.results(3, top);
     std::printf("[accel mode] top-3:");
     for (const std::uint64_t cat : top.topCategories)
         std::printf(" %llu", (unsigned long long)cat);
     std::printf("  (%.3f ms device latency)\n",
-                sim::tickToMs(device.lastInferenceLatency()));
+                sim::tickToMs(session.latency()));
 
     // --- Back to SSD mode ------------------------------------------
     device.ecssdDisable();

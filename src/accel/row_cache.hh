@@ -152,6 +152,25 @@ class RowCache
     /** Stored bytes of one entry. */
     std::uint64_t groupBytes() const { return groupBytes_; }
 
+    /** DRAM bytes of the currently resident entries.  The per-tenant
+     *  quota accounting reads this: a tenant's cache can never hold
+     *  more than entryCount() * groupBytes() <= its byte quota, so
+     *  residentBytes() <= the quota at all times. */
+    std::uint64_t
+    residentBytes() const
+    {
+        return occupancy_ * groupBytes_;
+    }
+
+    /** DRAM bytes the cache structure can ever hold (its byte quota
+     *  rounded down to whole page groups). */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(entries_.size())
+            * groupBytes_;
+    }
+
     /**
      * Look up @p group, recording the hit/miss and bumping its
      * observed candidate frequency.

@@ -15,6 +15,12 @@ toString(Status status)
     switch (status) {
     case Status::Ok:
         return "ok";
+    case Status::Degraded:
+        return "degraded";
+    case Status::TimedOut:
+        return "timed-out";
+    case Status::Shed:
+        return "shed";
     case Status::WrongMode:
         return "wrong-mode";
     case Status::NotDeployed:
@@ -33,12 +39,50 @@ toString(Status status)
         return "redeploy-active";
     case Status::NoRedeploy:
         return "no-redeploy";
+    case Status::UnknownTenant:
+        return "unknown-tenant";
+    case Status::TenantQuotaExceeded:
+        return "tenant-quota-exceeded";
     }
     return "?";
 }
 
 namespace
 {
+
+/**
+ * RAII span-name prefix for one tenant engine's device-side work:
+ * every span a pipeline/redeploy call opens while the scope is alive
+ * carries the tenant namespace.  A null tracer or empty prefix (the
+ * default tenant) touches nothing, so single-tenant span dumps stay
+ * byte-identical.
+ */
+class SpanPrefixScope
+{
+  public:
+    SpanPrefixScope(sim::SpanTracer *tracer,
+                    const std::string &prefix)
+        : tracer_(prefix.empty() ? nullptr : tracer)
+    {
+        if (tracer_) {
+            saved_ = tracer_->namePrefix();
+            tracer_->setNamePrefix(prefix);
+        }
+    }
+
+    ~SpanPrefixScope()
+    {
+        if (tracer_)
+            tracer_->setNamePrefix(saved_);
+    }
+
+    SpanPrefixScope(const SpanPrefixScope &) = delete;
+    SpanPrefixScope &operator=(const SpanPrefixScope &) = delete;
+
+  private:
+    sim::SpanTracer *tracer_;
+    std::string saved_;
+};
 
 /** Recent-query ring capacity (warm-up / validation material). */
 constexpr std::size_t kRecentQueryCapacity = 32;
@@ -232,7 +276,10 @@ InferenceSession::classify()
 
     // Device-side timing of the whole screened inference, on the
     // version this session is bound to (an old-epoch session keeps
-    // running on the draining device).
+    // running on the draining device).  A tenant engine stamps its
+    // namespace onto every span this run opens.
+    const SpanPrefixScope prefixed(api_->spans_,
+                                   api_->spanNamespace_);
     version.system->ssd().resetTimelines();
     accel::BatchTiming timing =
         version.system->pipeline().runBatch(candidates_, 0);
@@ -265,11 +312,22 @@ InferenceSession::results(
 
 // --- EcssdApi --------------------------------------------------------
 
-EcssdApi::EcssdApi(const EcssdOptions &options) : options_(options)
+EcssdApi::EcssdApi(const EcssdOptions &options)
+    : options_(options), tenantRegistry_(options.ssd.dramBytes)
 {
     // Pin the host-compute ISA up front so a bad request (option or
     // ECSSD_ISA) dies at construction, not mid-deploy.
     numeric::applyIsaRequest(options_.isa);
+    // Admit the configured tenants; the builder/validate() already
+    // checked each config and the partition sum, so a failure here
+    // is a construction-time error, not a caller probe.
+    for (const TenantConfig &tenant : options_.tenants) {
+        Status status = Status::Ok;
+        createTenant(tenant, &status);
+        if (status != Status::Ok)
+            sim::fatal("tenant '", tenant.name,
+                       "' admission failed: ", toString(status));
+    }
 }
 
 EcssdApi::~EcssdApi() = default;
@@ -581,6 +639,7 @@ EcssdApi::redeployAdvance()
 {
     if (!redeploy_ || !redeploy_->machine.active())
         return Status::NoRedeploy;
+    const SpanPrefixScope prefixed(spans_, spanNamespace_);
     StagedRedeploy &r = *redeploy_;
 
     switch (r.machine.phase()) {
@@ -874,6 +933,20 @@ EcssdApi::attachObservability(sim::MetricsRegistry *metrics,
         live_.system->attachObservability(metrics, spans);
     if (redeploy_)
         redeploy_->machine.attachObservability(metrics, spans);
+    // Tenant engines observe through per-tenant scoped views, so
+    // every counter/gauge/histogram they record lands in the user's
+    // registry under "tenant.<name>."; spans share the user's tracer
+    // and are prefixed at emission (SpanPrefixScope).  Re-attach
+    // before dropping the old view: the engine must never hold a
+    // dangling registry pointer.
+    for (auto &[id, engine] : tenantEngines_) {
+        std::unique_ptr<sim::MetricsRegistry> view;
+        if (metrics)
+            view = std::make_unique<sim::MetricsRegistry>(
+                *metrics, engine.ns);
+        engine.api->attachObservability(view.get(), spans);
+        engine.metricsView = std::move(view);
+    }
 }
 
 void
@@ -944,6 +1017,228 @@ EcssdApi::publishKernelMetrics(sim::MetricsRegistry &registry)
     registry.gaugeSet("kernel.ns_per_row", plan.nsPerRow);
     registry.gaugeSet("kernel.candidates",
                       static_cast<double>(plan.candidates.size()));
+}
+
+// --- Tenants ---------------------------------------------------------
+
+TenantHandle
+EcssdApi::createTenant(const TenantConfig &config, Status *status)
+{
+    if (isTenantEngine_)
+        sim::fatal("createTenant on a tenant engine: tenants do not "
+                   "nest (one level of DRAM partitioning)");
+    TenantHandle handle;
+    const Status admitted = tenantRegistry_.admit(config, handle);
+    if (status)
+        *status = admitted;
+    if (admitted != Status::Ok)
+        return TenantHandle{};
+
+    // The tenant's engine is a full device stack over its partition:
+    // the DRAM budget is cut to the partition and the row cache is
+    // sized to the byte quota, so quota isolation is mechanical —
+    // this tenant's cache *cannot* hold a byte past its quota, and
+    // its screener residency is reserve()-checked against its own
+    // partition, never the neighbours'.
+    EcssdOptions engine_options = options_;
+    engine_options.ssd.dramBytes = config.dramBytes;
+    engine_options.cache.capacityBytes = config.cacheQuotaBytes;
+    engine_options.tenants.clear();
+
+    TenantEngine engine;
+    engine.name = config.name;
+    engine.ns = config.metricNamespace();
+    engine.api = std::make_unique<EcssdApi>(engine_options);
+    engine.api->isTenantEngine_ = true;
+    engine.api->spanNamespace_ = engine.ns;
+    // Tenant work is accelerator-mode by definition.
+    engine.api->ecssdEnable();
+    if (metrics_)
+        engine.metricsView = std::make_unique<sim::MetricsRegistry>(
+            *metrics_, engine.ns);
+    engine.api->attachObservability(engine.metricsView.get(),
+                                    spans_);
+    tenantEngines_.emplace(handle.id(), std::move(engine));
+    return handle;
+}
+
+EcssdApi *
+EcssdApi::resolveTenant(TenantHandle tenant, Status *status)
+{
+    const auto it = tenant.valid()
+        ? tenantEngines_.find(tenant.id())
+        : tenantEngines_.end();
+    if (it == tenantEngines_.end()) {
+        if (status)
+            *status = Status::UnknownTenant;
+        return nullptr;
+    }
+    if (status)
+        *status = Status::Ok;
+    return it->second.api.get();
+}
+
+EcssdApi *
+EcssdApi::tenantEngine(TenantHandle tenant)
+{
+    return resolveTenant(tenant, nullptr);
+}
+
+Status
+EcssdApi::tenantDeployFits(TenantHandle tenant,
+                           const xclass::BenchmarkSpec &spec) const
+{
+    const TenantRegistry::Entry *entry =
+        tenantRegistry_.entry(tenant);
+    if (!entry)
+        return Status::UnknownTenant;
+    const std::uint64_t screener_bytes =
+        options_.int4Placement == accel::Int4Placement::Dram
+        ? spec.int4WeightBytes()
+        : 0;
+    if (screener_bytes + entry->config.cacheQuotaBytes
+        > entry->config.dramBytes)
+        return Status::TenantQuotaExceeded;
+    return Status::Ok;
+}
+
+void
+EcssdApi::syncTenantCharge(TenantHandle tenant)
+{
+    TenantEngine &engine = tenantEngines_.at(tenant.id());
+    const EcssdApi &api = *engine.api;
+    if (!api.live_.deployed()
+        || api.live_.versionId == engine.chargedVersion)
+        return;
+    const std::uint64_t screener_bytes =
+        options_.int4Placement == accel::Int4Placement::Dram
+        ? api.live_.spec->int4WeightBytes()
+        : 0;
+    tenantRegistry_.chargeScreener(tenant, screener_bytes);
+    engine.chargedVersion = api.live_.versionId;
+}
+
+Status
+EcssdApi::weightDeploy(TenantHandle tenant,
+                       const numeric::FloatMatrix &weights,
+                       const xclass::BenchmarkSpec &spec,
+                       sim::Tick &deploy_time,
+                       const numeric::FloatMatrix *trained_projection)
+{
+    Status status = Status::Ok;
+    EcssdApi *engine = resolveTenant(tenant, &status);
+    if (!engine)
+        return status;
+    if (const Status fit = tenantDeployFits(tenant, spec);
+        fit != Status::Ok)
+        return fit;
+    deploy_time =
+        engine->weightDeploy(weights, spec, trained_projection);
+    syncTenantCharge(tenant);
+    return Status::Ok;
+}
+
+Status
+EcssdApi::weightDeployStreaming(
+    TenantHandle tenant, const numeric::FloatMatrix &weights,
+    const xclass::BenchmarkSpec &spec, sim::Tick &deploy_time,
+    const numeric::FloatMatrix *trained_projection)
+{
+    Status status = Status::Ok;
+    EcssdApi *engine = resolveTenant(tenant, &status);
+    if (!engine)
+        return status;
+    if (const Status fit = tenantDeployFits(tenant, spec);
+        fit != Status::Ok)
+        return fit;
+    deploy_time = engine->weightDeployStreaming(weights, spec,
+                                                trained_projection);
+    syncTenantCharge(tenant);
+    return Status::Ok;
+}
+
+std::optional<InferenceSession>
+EcssdApi::beginInference(TenantHandle tenant, Status *status)
+{
+    EcssdApi *engine = resolveTenant(tenant, status);
+    if (!engine)
+        return std::nullopt;
+    return std::optional<InferenceSession>(engine->beginInference());
+}
+
+Status
+EcssdApi::redeployBegin(TenantHandle tenant,
+                        const numeric::FloatMatrix &weights,
+                        const xclass::BenchmarkSpec &spec,
+                        const RedeployConfig &config,
+                        const numeric::FloatMatrix *trained_projection)
+{
+    Status status = Status::Ok;
+    EcssdApi *engine = resolveTenant(tenant, &status);
+    if (!engine)
+        return status;
+    if (const Status fit = tenantDeployFits(tenant, spec);
+        fit != Status::Ok)
+        return fit;
+    return engine->redeployBegin(weights, spec, config,
+                                 trained_projection);
+}
+
+Status
+EcssdApi::redeployAdvance(TenantHandle tenant)
+{
+    Status status = Status::Ok;
+    EcssdApi *engine = resolveTenant(tenant, &status);
+    if (!engine)
+        return status;
+    const Status advanced = engine->redeployAdvance();
+    syncTenantCharge(tenant);
+    return advanced;
+}
+
+Status
+EcssdApi::redeployRun(TenantHandle tenant,
+                      sim::Tick &background_time)
+{
+    Status status = Status::Ok;
+    EcssdApi *engine = resolveTenant(tenant, &status);
+    if (!engine)
+        return status;
+    background_time = engine->redeployRun();
+    syncTenantCharge(tenant);
+    return Status::Ok;
+}
+
+Status
+EcssdApi::deployEpoch(TenantHandle tenant,
+                      std::uint64_t &epoch) const
+{
+    const TenantRegistry::Entry *entry =
+        tenantRegistry_.entry(tenant);
+    if (!entry)
+        return Status::UnknownTenant;
+    epoch = tenantEngines_.at(tenant.id()).api->deployEpoch();
+    return Status::Ok;
+}
+
+void
+EcssdApi::publishTenantMetrics(sim::MetricsRegistry &registry)
+{
+    if (tenantEngines_.empty())
+        return;
+    tenantRegistry_.publishMetrics(registry);
+    for (auto &[id, engine] : tenantEngines_) {
+        sim::MetricsRegistry view(registry, engine.ns);
+        EcssdApi &api = *engine.api;
+        view.gaugeSet("deploy_epoch",
+                      static_cast<double>(api.deployEpoch()));
+        view.gaugeSet("weight_version",
+                      static_cast<double>(api.weightVersion()));
+        view.gaugeSet("service_time_ms",
+                      sim::tickToMs(api.serviceTime()));
+        api.publishRedeployMetrics(view);
+        api.publishDeployMetrics(view);
+    }
 }
 
 // --- Table 1 wrappers ------------------------------------------------

@@ -39,8 +39,10 @@
 #include <vector>
 
 #include "ecssd/redeploy.hh"
+#include "ecssd/status.hh"
 #include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
+#include "ecssd/tenant.hh"
 #include "numeric/cfp32.hh"
 #include "xclass/screening.hh"
 
@@ -53,34 +55,6 @@ enum class Mode
     Ssd,
     Accelerator,
 };
-
-/** Outcome of an InferenceSession call. */
-enum class Status
-{
-    Ok,
-    /** The device is not in accelerator mode (call ecssdEnable()). */
-    WrongMode,
-    /** No weights deployed (call weightDeploy()). */
-    NotDeployed,
-    /** The call needs an input this session has not received. */
-    MissingInput,
-    /** classify() before a screen() produced candidates. */
-    NotScreened,
-    /** results() before a successful classify(). */
-    NotClassified,
-    /** The feature length does not match the deployed layer. */
-    DimensionMismatch,
-    /** The session's weight version is gone: it predates the current
-     *  deployment, or its drain window closed after an epoch flip. */
-    StaleSession,
-    /** A staged redeploy is already in flight (one at a time). */
-    RedeployActive,
-    /** The redeploy call has no active redeploy to act on. */
-    NoRedeploy,
-};
-
-/** Human-readable status name. */
-const char *toString(Status status);
 
 class EcssdApi;
 
@@ -325,30 +299,170 @@ class EcssdApi
      */
     InferenceSession beginInference() { return InferenceSession(*this); }
 
+    // --- Tenants --------------------------------------------------
+    //
+    // A production device serves several extreme-classification
+    // models at once; each is a *tenant* with its own DRAM partition
+    // (INT4 screener residency plus a hot-row cache byte quota
+    // carved out of it), its own deploy epoch and redeploy state
+    // machine, and its own metric/span namespace "tenant.<name>.*".
+    // Every tenant-less call above operates on the implicit *default
+    // tenant* — the device exactly as single-tenant code knows it —
+    // so configs that never create a tenant stay byte-identical.
+
+    /**
+     * Admit one tenant: checks the partition ledger (the partitions
+     * of all tenants must fit the device DRAM), carves the tenant's
+     * engine — a DRAM partition sized to its dramBytes and a private
+     * row cache sized to its cacheQuotaBytes, so the tenant can
+     * never evict another tenant's rows past its quota — and enables
+     * accelerator mode on it.
+     *
+     * @param config Partition/quota/SLO declaration.
+     * @param[out] status Ok, or TenantQuotaExceeded when the
+     *        partition does not fit (optional).
+     * @return The admitted tenant; invalid on failure.
+     */
+    TenantHandle createTenant(const TenantConfig &config,
+                              Status *status = nullptr);
+
+    /** The tenant admission/partition ledger (empty when the device
+     *  is single-tenant). */
+    const TenantRegistry &
+    tenantRegistry() const
+    {
+        return tenantRegistry_;
+    }
+
+    /**
+     * Deploy a classification layer for one tenant (the tenant twin
+     * of weightDeploy()).  The tenant's INT4 screener plus its cache
+     * quota must fit its DRAM partition: TenantQuotaExceeded without
+     * touching the device otherwise; UnknownTenant for a handle that
+     * names no admitted tenant.
+     *
+     * @param[out] deploy_time Simulated deployment time, valid only
+     *        on Ok.
+     */
+    Status weightDeploy(
+        TenantHandle tenant, const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec, sim::Tick &deploy_time,
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /** Tenant twin of weightDeployStreaming(); same quota guards as
+     *  the tenant weightDeploy(). */
+    Status weightDeployStreaming(
+        TenantHandle tenant, const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec, sim::Tick &deploy_time,
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /**
+     * Start an inference session on one tenant's engine, bound to
+     * *that tenant's* deploy epoch: the tenant's own weightDeploy()
+     * turns it stale; other tenants' deployments never do.
+     *
+     * @param[out] status UnknownTenant for a bad handle (optional).
+     * @return The session, or nullopt on failure.
+     */
+    std::optional<InferenceSession> beginInference(
+        TenantHandle tenant, Status *status = nullptr);
+
+    /** Begin a staged online redeploy on one tenant's engine (the
+     *  tenant twin of redeployBegin(), with the tenant weight
+     *  deploy's quota guards). */
+    Status redeployBegin(
+        TenantHandle tenant, const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const RedeployConfig &config = RedeployConfig{},
+        const numeric::FloatMatrix *trained_projection = nullptr);
+
+    /** Advance one tenant's active redeploy one step. */
+    Status redeployAdvance(TenantHandle tenant);
+
+    /**
+     * Drive one tenant's active redeploy to its terminal phase.
+     *
+     * @param[out] background_time Staging background time, valid
+     *        only on Ok.
+     */
+    Status redeployRun(TenantHandle tenant,
+                       sim::Tick &background_time);
+
+    /**
+     * One tenant's current deploy epoch.
+     *
+     * @param[out] epoch Valid only on Ok.
+     */
+    Status deployEpoch(TenantHandle tenant,
+                       std::uint64_t &epoch) const;
+
+    /**
+     * One tenant's engine: a full EcssdApi bound to the tenant's
+     * DRAM partition and cache quota (nullptr for unknown handles).
+     * The serving layer builds per-tenant servers over this; tests
+     * reach the tenant's system()/rowCache through it.
+     */
+    EcssdApi *tenantEngine(TenantHandle tenant);
+
+    /**
+     * Snapshot the tenant layer into @p registry: the partition
+     * ledger ("tenant.count", "tenant.committed_bytes", per-tenant
+     * partition/quota/deploy gauges) plus each tenant's deploy epoch,
+     * weight version, and service time under its namespace.  No-op
+     * while no tenant is admitted, so single-tenant metric dumps stay
+     * byte-identical.
+     */
+    void publishTenantMetrics(sim::MetricsRegistry &registry);
+
     // --- Transmission / Computation (Table 1 wrappers) ------------
     //
     // Thin delegates over one implicit session, with the original
     // fail-fast contract: sequence misuse dies via sim::fatal, a
-    // dimension mismatch panics.
+    // dimension mismatch panics.  Deprecated: the implicit-session
+    // calls predate explicit sessions and tenants — migrate to
+    // `auto session = api.beginInference()` (or the TenantHandle
+    // overload) and drive sendInt4/sendCfp32/screen/classify/results
+    // on the session, which reports misuse via Status instead of
+    // dying.
 
-    /** Send the 4-bit projected input for one query (INT4_input_send). */
+    /** Send the 4-bit projected input for one query (INT4_input_send).
+     *  @deprecated Use beginInference() and
+     *  InferenceSession::sendInt4(). */
+    [[deprecated("use beginInference() and "
+                 "InferenceSession::sendInt4()")]]
     void int4InputSend(std::span<const float> feature);
 
-    /** Send the pre-aligned 32-bit input (CFP32_input_send). */
+    /** Send the pre-aligned 32-bit input (CFP32_input_send).
+     *  @deprecated Use beginInference() and
+     *  InferenceSession::sendCfp32(). */
+    [[deprecated("use beginInference() and "
+                 "InferenceSession::sendCfp32()")]]
     void cfp32InputSend(std::span<const float> feature);
 
-    /** Run low-precision screening + filtering (INT4_screen). */
+    /** Run low-precision screening + filtering (INT4_screen).
+     *  @deprecated Use beginInference() and
+     *  InferenceSession::screen(). */
+    [[deprecated("use beginInference() and "
+                 "InferenceSession::screen()")]]
     void int4Screen();
 
     /** Run candidate-only full-precision classification
-     *  (CFP32_classify). */
+     *  (CFP32_classify).
+     *  @deprecated Use beginInference() and
+     *  InferenceSession::classify(). */
+    [[deprecated("use beginInference() and "
+                 "InferenceSession::classify()")]]
     void cfp32Classify();
 
     /**
      * Fetch the final top-k prediction (Get_results).
      *
      * @param k Result count.
+     * @deprecated Use beginInference() and
+     * InferenceSession::results().
      */
+    [[deprecated("use beginInference() and "
+                 "InferenceSession::results()")]]
     xclass::ApproximateClassifier::Prediction getResults(
         std::size_t k);
 
@@ -465,8 +579,39 @@ class EcssdApi
         sim::Tick drainElapsed = 0;
     };
 
+    /** One admitted tenant's backing engine: a private EcssdApi over
+     *  a DRAM partition of this device, plus the persistent scoped
+     *  metrics view its instrumentation writes through. */
+    struct TenantEngine
+    {
+        std::string name;
+        /** "tenant.<name>." — metric and span prefix. */
+        std::string ns;
+        /** Scoped view over the user's registry (null until
+         *  attachObservability provides one).  Declared before the
+         *  engine so it outlives the engine's teardown. */
+        std::unique_ptr<sim::MetricsRegistry> metricsView;
+        std::unique_ptr<EcssdApi> api;
+        /** Weight version the registry ledger last charged for
+         *  (0 = none): syncTenantCharge() re-charges on change. */
+        std::uint64_t chargedVersion = 0;
+    };
+
     void requireAccelerator(const char *api) const;
     void requireDeployed(const char *api) const;
+
+    /** The tenant's engine, reporting UnknownTenant into @p status
+     *  (when given) for a bad handle; nullptr on failure. */
+    EcssdApi *resolveTenant(TenantHandle tenant, Status *status);
+
+    /** Pre-check a tenant deploy: @p spec's INT4 screener plus the
+     *  tenant's cache quota must fit its DRAM partition. */
+    Status tenantDeployFits(TenantHandle tenant,
+                            const xclass::BenchmarkSpec &spec) const;
+
+    /** Mirror the tenant engine's serving screener residency into
+     *  the partition ledger once per weight version. */
+    void syncTenantCharge(TenantHandle tenant);
 
     /** The implicit session backing the Table 1 wrappers. */
     InferenceSession &implicitSession();
@@ -555,6 +700,16 @@ class EcssdApi
     /** Most recent streaming-deploy outcome (layout consumed). */
     StreamingDeployResult lastStreaming_;
     bool streamingDeployed_ = false;
+    /** Tenant admission/partition ledger (budget: the device DRAM). */
+    TenantRegistry tenantRegistry_;
+    /** Admitted tenants' engines, id-ordered (deterministic). */
+    std::map<TenantId, TenantEngine> tenantEngines_;
+    /** Set on engines created by createTenant: an engine hosts no
+     *  tenants of its own (one level of partitioning). */
+    bool isTenantEngine_ = false;
+    /** Span-name prefix this engine stamps while its device-side
+     *  work runs ("" for the default tenant: tracer untouched). */
+    std::string spanNamespace_;
     /**
      * The Table 1 wrappers' session (reset on weightDeploy).
      * Declared last: its destructor notifies sessionClosed(), which

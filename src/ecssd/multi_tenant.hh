@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Multi-tenant serving: several models time-multiplexed on one
+ * physical ECSSD.
+ *
+ * Each admitted tenant gets a serving *lane*: an InferenceServer over
+ * an EcssdSystem whose DRAM budget is the tenant's partition and
+ * whose row cache is sized to the tenant's byte quota — so cache
+ * isolation is mechanical (a tenant's cache cannot hold a byte past
+ * its quota, and can therefore never evict another tenant's rows),
+ * and each lane keeps its own deploy epoch, admission controller, and
+ * brownout ladder.
+ *
+ * The lanes share one device clock.  run() merges every tenant's
+ * open-loop arrival stream into one time-ordered sequence and serves
+ * batch quanta round-robin: a lane aligns to the shared clock before
+ * its quantum and pushes it forward after, so the tenants observe a
+ * common device timeline instead of private ones.  SLO enforcement is
+ * per tenant and rides the existing stack: a tenant's p99 target
+ * derives its admission delay target and brownout thresholds, so an
+ * overloaded tenant sheds and browns out *its own* traffic first
+ * while a healthy neighbour keeps its latency.
+ *
+ * A MultiTenantServer with a single tenant behaves exactly like a
+ * lone InferenceServer with the same options; the layer adds no
+ * device-side behaviour of its own.
+ */
+
+#ifndef ECSSD_ECSSD_MULTI_TENANT_HH
+#define ECSSD_ECSSD_MULTI_TENANT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecssd/server.hh"
+#include "ecssd/tenant.hh"
+
+namespace ecssd
+{
+
+/** The shared-device multi-tenant serving scheduler. */
+class MultiTenantServer
+{
+  public:
+    /**
+     * @param options Device architecture every lane inherits; each
+     *        lane's copy gets its DRAM budget cut to the tenant's
+     *        partition and its cache sized to the tenant's quota.
+     */
+    explicit MultiTenantServer(
+        const EcssdOptions &options = EcssdOptions::full());
+
+    ~MultiTenantServer();
+
+    /**
+     * Admit one tenant and bring up its serving lane.
+     *
+     * The tenant's SLO fills the lane's serving policy wherever
+     * @p server_config leaves a knob unset: requestDeadline maps
+     * directly; a p99 target derives the admission delay target and
+     * the brownout enter/exit/guard thresholds (0.8/0.4/0.2 of the
+     * target), so overload degrades this tenant before it can hurt a
+     * neighbour.
+     *
+     * @param config Partition/quota/SLO declaration.
+     * @param weights The tenant's deployed L x D layer (must outlive
+     *        the server).
+     * @param spec The tenant's benchmark parameters.
+     * @param server_config Explicit serving-policy knobs (override
+     *        the SLO derivation where set).
+     * @param trained_projection Optional learned projection.
+     * @param[out] status TenantQuotaExceeded when the partition does
+     *        not fit the device DRAM or the tenant's screener plus
+     *        cache quota does not fit the partition (optional).
+     * @return The admitted tenant; invalid on failure.
+     */
+    TenantHandle addTenant(
+        const TenantConfig &config,
+        const numeric::FloatMatrix &weights,
+        const xclass::BenchmarkSpec &spec,
+        const ServerConfig &server_config = ServerConfig{},
+        const numeric::FloatMatrix *trained_projection = nullptr,
+        Status *status = nullptr);
+
+    /** The tenant admission/partition ledger. */
+    const TenantRegistry &registry() const { return registry_; }
+
+    /** One tenant's lane server (nullptr for unknown handles). */
+    InferenceServer *server(TenantHandle tenant);
+
+    /** One tenant's traffic stream for run(). */
+    struct TenantTraffic
+    {
+        TenantHandle tenant;
+        sim::TrafficConfig traffic;
+        /** Arrivals to draw from this tenant's stream. */
+        std::uint64_t count = 0;
+    };
+
+    /** One tenant's terminal responses from a run() mix. */
+    struct TenantOutcome
+    {
+        std::string name;
+        std::vector<InferenceServer::Response> responses;
+    };
+
+    /**
+     * Serve a per-tenant open-loop traffic mix on the shared device:
+     * arrivals merge time-ordered across tenants, each lane serves
+     * batch quanta against the shared clock, and the final drain
+     * round-robins until every queue is empty (finishing in-flight
+     * hot swaps and recovering every brownout ladder).
+     *
+     * @param mix One stream per entry; a tenant may appear once.
+     * @param queries Query pool shared by all tenants; each
+     *        arrival's querySeed selects one deterministically.
+     * @param k Top-k per request.
+     * @return One outcome per mix entry, same order.
+     */
+    std::vector<TenantOutcome> run(
+        const std::vector<TenantTraffic> &mix,
+        const std::vector<std::vector<float>> &queries,
+        std::size_t k);
+
+    /** The shared device timeline (max over lanes). */
+    sim::Tick deviceTime() const { return sharedClock_; }
+
+    /**
+     * Attach (or detach, with nullptr) observability sinks.  Every
+     * lane records through a "tenant.<name>."-scoped view of
+     * @p metrics, and its serving quanta prefix their spans the same
+     * way — all tenant telemetry is namespaced, none of it collides.
+     */
+    void attachObservability(sim::MetricsRegistry *metrics,
+                             sim::SpanTracer *spans);
+
+    /**
+     * Snapshot the tenant layer into @p registry: the partition
+     * ledger plus, per tenant, the lane's full "server.*" gauge set
+     * and its SLO view (p99_ms, p99_target_ms, sheds) under
+     * "tenant.<name>.".
+     */
+    void publishMetrics(sim::MetricsRegistry &registry) const;
+
+  private:
+    /** One tenant's serving lane. */
+    struct Lane
+    {
+        std::string name;
+        /** "tenant.<name>." metric/span namespace. */
+        std::string ns;
+        TenantConfig config;
+        /** Device batch size of the lane's deployed spec (the
+         *  quantum trigger). */
+        std::size_t batchSize = 1;
+        /** Scoped view the lane's server records through. */
+        std::unique_ptr<sim::MetricsRegistry> metricsView;
+        std::unique_ptr<InferenceServer> server;
+    };
+
+    /** Fill unset serving knobs from the tenant's SLO record. */
+    static ServerConfig deriveServerConfig(const TenantConfig &tenant,
+                                           ServerConfig base);
+
+    /** Serve one quantum on @p lane against the shared clock,
+     *  appending its terminal responses to @p sink. */
+    void serveQuantum(Lane &lane, std::size_t k,
+                      std::vector<InferenceServer::Response> &sink);
+
+    EcssdOptions options_;
+    TenantRegistry registry_;
+    /** Lanes in tenant-id order (deterministic round-robin). */
+    std::map<TenantId, Lane> lanes_;
+    sim::Tick sharedClock_ = 0;
+    sim::MetricsRegistry *metrics_ = nullptr;
+    sim::SpanTracer *spans_ = nullptr;
+};
+
+} // namespace ecssd
+
+#endif // ECSSD_ECSSD_MULTI_TENANT_HH

@@ -191,6 +191,10 @@ InferenceServer::recordResponse(Response::Status status,
     case Response::Status::Shed:
         metrics_->counterAdd("server.responses_shed");
         break;
+    default:
+        // The server only emits the four terminal outcomes above;
+        // the rest of the unified Status vocabulary is API-side.
+        break;
     }
     if (latency_ms >= 0.0) {
         metrics_->histogramSample("server.latency_ms", 0.0, 500.0,
@@ -715,6 +719,23 @@ InferenceServer::processAll(std::size_t k)
     while (config_.brownout.enabled()
            && level_ != BrownoutLevel::Full)
         idleRecoverStep();
+    for (Response &response : unservedResponses_)
+        responses.push_back(std::move(response));
+    unservedResponses_.clear();
+    return responses;
+}
+
+std::vector<InferenceServer::Response>
+InferenceServer::serveBatch(std::size_t k)
+{
+    std::vector<Response> responses;
+    if (!pending_.empty()) {
+        std::vector<Response> batch = serveOneBatch(k);
+        for (Response &response : batch)
+            responses.push_back(std::move(response));
+    }
+    // Drain terminal responses produced outside the batch (admission
+    // sheds, expiry drops) so the scheduler sees every outcome once.
     for (Response &response : unservedResponses_)
         responses.push_back(std::move(response));
     unservedResponses_.clear();

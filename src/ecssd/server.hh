@@ -198,20 +198,10 @@ class InferenceServer
     /** One finished request. */
     struct Response
     {
-        /** How the request left the server. */
-        enum class Status
-        {
-            /** Served at full precision before the deadline. */
-            Ok,
-            /** Served, but some candidate rows carry screener scores
-             *  (uncorrectable FP32 pages). */
-            Degraded,
-            /** Deadline missed: either dropped unserved (empty
-             *  prediction) or completed late. */
-            TimedOut,
-            /** Rejected at admission by the bounded queue. */
-            Shed,
-        };
+        /** How the request left the server: the unified ecssd::Status
+         *  vocabulary (Response::Status::Ok etc. keep compiling; the
+         *  server only ever emits Ok / Degraded / TimedOut / Shed). */
+        using Status = ecssd::Status;
 
         RequestId id = 0;
         xclass::ApproximateClassifier::Prediction prediction;
@@ -324,6 +314,28 @@ class InferenceServer
 
     /** Total simulated device time consumed so far. */
     sim::Tick deviceTime() const { return deviceClock_; }
+
+    /**
+     * Advance the device clock to at least @p at (never backwards).
+     * The multi-tenant scheduler time-multiplexes several servers on
+     * one physical device: each tenant's server aligns to the shared
+     * device clock before its quantum, so tenants observe a common
+     * timeline instead of private ones.
+     */
+    void
+    alignDeviceClock(sim::Tick at)
+    {
+        if (at > deviceClock_)
+            deviceClock_ = at;
+    }
+
+    /**
+     * Serve one scheduler quantum: the oldest <= batch-size pending
+     * requests as a single device batch, plus any terminal responses
+     * produced outside it (admission sheds, deadline drops).  Empty
+     * when nothing was pending and nothing terminal accumulated.
+     */
+    std::vector<Response> serveBatch(std::size_t k);
 
     /** Fault/health counters. */
     const ServerStats &serverStats() const { return stats_; }

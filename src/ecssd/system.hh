@@ -11,9 +11,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "accel/pipeline.hh"
 #include "circuit/energy.hh"
+#include "ecssd/tenant.hh"
 #include "layout/strategy.hh"
 #include "sim/event_queue.hh"
 #include "sim/thread_pool.hh"
@@ -110,6 +113,12 @@ struct EcssdOptions
     std::uint64_t deployHostBudgetBytes = 0;
     /** Background re-layout policy (disabled by default). */
     RelayoutConfig relayout;
+    /**
+     * Tenants to admit at construction (EcssdApi::createTenant runs
+     * for each).  Empty (the default) is the single-tenant device,
+     * byte-identical to a build without the tenant layer.
+     */
+    std::vector<TenantConfig> tenants;
 
     /**
      * Validate the option set, dying fatally (sim::FatalError) on an
@@ -140,7 +149,182 @@ struct EcssdOptions
         options.int4Placement = accel::Int4Placement::Flash;
         return options;
     }
+
+    class Builder;
+
+    /** Start a validated option build (see EcssdOptions::Builder). */
+    static Builder builder();
 };
+
+/**
+ * Fluent, validated construction of an option set:
+ *
+ *   EcssdOptions options = EcssdOptions::builder()
+ *                              .threads(8)
+ *                              .cacheMb(64)
+ *                              .tenant(tenant_a)
+ *                              .build();
+ *
+ * build() runs validate() exactly once — replacing the ad-hoc
+ * mutate-then-maybe-validate pattern where half the call sites forgot
+ * the validate and the other half ran it twice.
+ */
+class EcssdOptions::Builder
+{
+  public:
+    Builder() = default;
+
+    /** Start from an explicit base (e.g. startingBaseline()). */
+    explicit Builder(EcssdOptions base) : options_(std::move(base)) {}
+
+    Builder &
+    mac(circuit::FpMacKind kind)
+    {
+        options_.fpKind = kind;
+        return *this;
+    }
+
+    Builder &
+    layout(layout::LayoutKind kind)
+    {
+        options_.layoutKind = kind;
+        return *this;
+    }
+
+    Builder &
+    int4Placement(accel::Int4Placement placement)
+    {
+        options_.int4Placement = placement;
+        return *this;
+    }
+
+    Builder &
+    overlapStages(bool on)
+    {
+        options_.overlapStages = on;
+        return *this;
+    }
+
+    Builder &
+    screening(bool on)
+    {
+        options_.screening = on;
+        return *this;
+    }
+
+    Builder &
+    weightPrecision(accel::WeightPrecision precision)
+    {
+        options_.weightPrecision = precision;
+        return *this;
+    }
+
+    Builder &
+    degradedPolicy(accel::DegradedReadPolicy policy)
+    {
+        options_.degradedPolicy = policy;
+        return *this;
+    }
+
+    Builder &
+    predictorNoise(double noise)
+    {
+        options_.predictorNoise = noise;
+        return *this;
+    }
+
+    Builder &
+    threads(unsigned count)
+    {
+        options_.threads = count;
+        return *this;
+    }
+
+    Builder &
+    isa(std::string level)
+    {
+        options_.isa = std::move(level);
+        return *this;
+    }
+
+    Builder &
+    seed(std::uint64_t value)
+    {
+        options_.seed = value;
+        return *this;
+    }
+
+    Builder &
+    ssd(const ssdsim::SsdConfig &config)
+    {
+        options_.ssd = config;
+        return *this;
+    }
+
+    Builder &
+    cacheBytes(std::uint64_t bytes)
+    {
+        options_.cache.capacityBytes = bytes;
+        return *this;
+    }
+
+    Builder &
+    cacheMb(std::uint64_t mib)
+    {
+        return cacheBytes(mib << 20);
+    }
+
+    Builder &
+    cacheAdmission(accel::CacheConfig::Admission admission)
+    {
+        options_.cache.admission = admission;
+        return *this;
+    }
+
+    Builder &
+    deployHostBudgetBytes(std::uint64_t bytes)
+    {
+        options_.deployHostBudgetBytes = bytes;
+        return *this;
+    }
+
+    Builder &
+    relayout(const RelayoutConfig &config)
+    {
+        options_.relayout = config;
+        return *this;
+    }
+
+    /** Admit one tenant (repeatable). */
+    Builder &
+    tenant(TenantConfig config)
+    {
+        options_.tenants.push_back(std::move(config));
+        return *this;
+    }
+
+    /**
+     * Finish: validates the assembled option set exactly once
+     * (dying fatally on an inconsistent configuration) and returns
+     * it.  The builder stays usable — build() again after further
+     * setters re-validates.
+     */
+    EcssdOptions
+    build() const
+    {
+        options_.validate();
+        return options_;
+    }
+
+  private:
+    EcssdOptions options_;
+};
+
+inline EcssdOptions::Builder
+EcssdOptions::builder()
+{
+    return Builder{};
+}
 
 /** Human-readable one-line description of an option set. */
 std::string describe(const EcssdOptions &options);

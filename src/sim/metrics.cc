@@ -11,12 +11,16 @@ namespace sim
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
+    if (parent_)
+        return parent_->counter(prefix_ + name);
     return counters_[name];
 }
 
 Scalar &
 MetricsRegistry::gauge(const std::string &name)
 {
+    if (parent_)
+        return parent_->gauge(prefix_ + name);
     return gauges_[name];
 }
 
@@ -24,6 +28,8 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name, double lo,
                            double hi, std::size_t buckets)
 {
+    if (parent_)
+        return parent_->histogram(prefix_ + name, lo, hi, buckets);
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) {
         ECSSD_ASSERT(it->second.lo() == lo && it->second.hi() == hi
@@ -39,14 +45,14 @@ MetricsRegistry::histogram(const std::string &name, double lo,
 void
 MetricsRegistry::counterAdd(const std::string &name, std::uint64_t n)
 {
-    if (enabled_)
+    if (enabled())
         counter(name) += n;
 }
 
 void
 MetricsRegistry::gaugeSet(const std::string &name, double v)
 {
-    if (enabled_)
+    if (enabled())
         gauge(name).set(v);
 }
 
@@ -55,13 +61,15 @@ MetricsRegistry::histogramSample(const std::string &name, double lo,
                                  double hi, std::size_t buckets,
                                  double v)
 {
-    if (enabled_)
+    if (enabled())
         histogram(name, lo, hi, buckets).sample(v);
 }
 
 bool
 MetricsRegistry::has(const std::string &name) const
 {
+    if (parent_)
+        return parent_->has(prefix_ + name);
     return counters_.count(name) != 0 || gauges_.count(name) != 0
         || histograms_.count(name) != 0;
 }
@@ -69,17 +77,22 @@ MetricsRegistry::has(const std::string &name) const
 void
 MetricsRegistry::reset()
 {
-    for (auto &[name, counter] : counters_)
+    MetricsRegistry &r = root();
+    for (auto &[name, counter] : r.counters_)
         counter.reset();
-    for (auto &[name, gauge] : gauges_)
+    for (auto &[name, gauge] : r.gauges_)
         gauge.reset();
-    for (auto &[name, histogram] : histograms_)
+    for (auto &[name, histogram] : r.histograms_)
         histogram.reset();
 }
 
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
+    if (parent_) {
+        root().writeJson(os);
+        return;
+    }
     JsonWriter w(os);
     w.beginObject();
 
@@ -153,6 +166,10 @@ promName(const std::string &name)
 void
 MetricsRegistry::writePrometheus(std::ostream &os) const
 {
+    if (parent_) {
+        root().writePrometheus(os);
+        return;
+    }
     for (const auto &[name, counter] : counters_) {
         const std::string flat = promName(name);
         os << "# TYPE " << flat << " counter\n";

@@ -18,6 +18,14 @@
  * Iteration order is name-sorted (std::map), so two registries fed
  * the same samples dump byte-identical output regardless of
  * registration order.
+ *
+ * Namespacing: a registry can also be constructed as a *scoped view*
+ * onto another registry — every instrument name is prepended with a
+ * fixed prefix and the sample lands in the parent.  Multi-tenant
+ * layers hand each tenant's subsystems a "tenant.<name>."-scoped view
+ * of the one export registry, so the components themselves stay
+ * namespace-blind and a single-tenant run (no view) keeps its metric
+ * names byte-identical.
  */
 
 #ifndef ECSSD_SIM_METRICS_HH
@@ -41,16 +49,35 @@ class MetricsRegistry
   public:
     MetricsRegistry() = default;
 
+    /**
+     * A scoped view: instrument lookups and samples forward to
+     * @p parent with @p prefix prepended to every name ("tenant.a."
+     * turns "pipeline.batches" into "tenant.a.pipeline.batches").
+     * The view owns no instruments; @p parent must outlive it.
+     * Views may nest (prefixes concatenate).
+     */
+    MetricsRegistry(MetricsRegistry &parent, std::string prefix)
+        : parent_(&parent), prefix_(std::move(prefix))
+    {
+    }
+
     MetricsRegistry(const MetricsRegistry &) = delete;
     MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
     /**
      * Master switch: while disabled, the instruments still exist but
      * counterAdd/gaugeSet/histogramSample become no-ops.  Attaching no
-     * registry at all is the truly free path.
+     * registry at all is the truly free path.  On a scoped view the
+     * switch is the parent's.
      */
-    void setEnabled(bool enabled) { enabled_ = enabled; }
-    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { root().enabled_ = enabled; }
+    bool enabled() const { return root().enabled_; }
+
+    /** True when this registry is a scoped view onto another. */
+    bool scoped() const { return parent_ != nullptr; }
+
+    /** The name prefix of this view ("" on a root registry). */
+    const std::string &prefix() const { return prefix_; }
 
     /** Look up (creating on first use) a counter. */
     Counter &counter(const std::string &name);
@@ -72,12 +99,15 @@ class MetricsRegistry
     void histogramSample(const std::string &name, double lo, double hi,
                          std::size_t buckets, double v);
 
-    /** True when @p name exists (any instrument kind). */
+    /** True when @p name exists (any instrument kind); a view asks
+     *  its root about the *prefixed* name. */
     bool has(const std::string &name) const;
 
     std::size_t size() const
     {
-        return counters_.size() + gauges_.size() + histograms_.size();
+        const MetricsRegistry &r = root();
+        return r.counters_.size() + r.gauges_.size()
+            + r.histograms_.size();
     }
 
     /** Zero every instrument (registrations survive). */
@@ -99,6 +129,29 @@ class MetricsRegistry
     void writePrometheus(std::ostream &os) const;
 
   private:
+    /** The registry that actually stores the instruments. */
+    MetricsRegistry &
+    root()
+    {
+        MetricsRegistry *r = this;
+        while (r->parent_)
+            r = r->parent_;
+        return *r;
+    }
+
+    const MetricsRegistry &
+    root() const
+    {
+        const MetricsRegistry *r = this;
+        while (r->parent_)
+            r = r->parent_;
+        return *r;
+    }
+
+    /** Non-null when this registry is a scoped view. */
+    MetricsRegistry *parent_ = nullptr;
+    /** Name prefix a view prepends before forwarding. */
+    std::string prefix_;
     bool enabled_ = true;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Scalar> gauges_;

@@ -106,7 +106,9 @@ SpanTracer::begin(const std::string &name, Tick at)
 {
     const SpanId id = nextId_++;
     const SpanId parent = stack_.empty() ? 0 : stack_.back().id;
-    stack_.push_back(OpenSpan{id, parent, name, at});
+    stack_.push_back(OpenSpan{
+        id, parent,
+        namePrefix_.empty() ? name : namePrefix_ + name, at});
     return id;
 }
 

@@ -117,8 +117,23 @@ class SpanTracer
         : maxSpans_(max_spans)
     {}
 
-    /** Open a span at simulated tick @p at; returns its id. */
+    /** Open a span at simulated tick @p at; returns its id.  The
+     *  recorded name is namePrefix() + @p name. */
     SpanId begin(const std::string &name, Tick at);
+
+    /**
+     * Namespace prefix prepended to every span name recorded while it
+     * is set ("tenant.a." turns "pipeline.batch" into
+     * "tenant.a.pipeline.batch").  Multi-tenant layers set it around
+     * each tenant-scoped call; the empty default records names
+     * unchanged, keeping single-tenant dumps byte-identical.
+     */
+    void setNamePrefix(std::string prefix)
+    {
+        namePrefix_ = std::move(prefix);
+    }
+
+    const std::string &namePrefix() const { return namePrefix_; }
 
     /**
      * Close span @p id at tick @p at.  @p id must be the innermost
@@ -155,6 +170,8 @@ class SpanTracer
     };
 
     std::size_t maxSpans_;
+    /** Namespace prefix applied by begin() ("" = names unchanged). */
+    std::string namePrefix_;
     SpanId nextId_ = 1;
     std::vector<OpenSpan> stack_;
     std::vector<SpanRecord> records_;

@@ -102,6 +102,20 @@
  *   --batch-max-wait-us U    dynamic batching: partial batches wait
  *                         up to U for more arrivals (0 = eager)
  *   --retry-jitter F      seeded retry-backoff jitter fraction
+ *
+ * Multi-tenant serving (MODELING.md Section 16):
+ *   --tenant SPEC         admit one tenant for the serving pass;
+ *                         repeatable.  SPEC is
+ *                         name:dramMb:cacheMb[:p99ms] — the tenant's
+ *                         SSD-DRAM partition and row-cache quota in
+ *                         MiB, plus an optional serving p99 target
+ *                         that derives its admission and brownout
+ *                         thresholds.  With tenants the serving pass
+ *                         runs every tenant's open-loop stream on
+ *                         the shared device (--serve-requests N =
+ *                         arrivals per tenant) and reports per
+ *                         tenant; metrics land under
+ *                         "tenant.<name>.*"
  */
 
 #include <cstdio>
@@ -112,6 +126,7 @@
 #include <string>
 
 #include "baselines/baselines.hh"
+#include "ecssd/multi_tenant.hh"
 #include "ecssd/server.hh"
 #include "ecssd/streaming_deploy.hh"
 #include "ecssd/system.hh"
@@ -144,6 +159,7 @@ struct CliOptions
     sim::TrafficConfig trafficConfig;
     bool trafficSeedSet = false;
     ServerConfig serverConfig;
+    std::vector<TenantConfig> tenants;
     EcssdOptions device = EcssdOptions::full();
 
     bool
@@ -187,7 +203,8 @@ usage(const char *argv0, int code)
                 "  [--admission-target-us U] [--brownout-enter-us U]\n"
                 "  [--brownout-exit-us U] [--brownout-guard-us U]\n"
                 "  [--brownout-reduced-fraction F]\n"
-                "  [--batch-max-wait-us U] [--retry-jitter F]\n",
+                "  [--batch-max-wait-us U] [--retry-jitter F]\n"
+                "  [--tenant name:dramMb:cacheMb[:p99ms]]...\n",
                 argv0);
     std::exit(code);
 }
@@ -230,6 +247,36 @@ parseTrafficProcess(const std::string &value)
         return sim::ArrivalProcess::BurstySpike;
     sim::fatal("unknown traffic process '", value,
                "' (poisson|diurnal|bursty)");
+}
+
+/** Parse one --tenant SPEC: name:dramMb:cacheMb[:p99ms]. */
+TenantConfig
+parseTenantSpec(const std::string &value)
+{
+    std::vector<std::string> fields;
+    std::string::size_type start = 0;
+    while (start <= value.size()) {
+        const std::string::size_type colon = value.find(':', start);
+        if (colon == std::string::npos) {
+            fields.push_back(value.substr(start));
+            break;
+        }
+        fields.push_back(value.substr(start, colon - start));
+        start = colon + 1;
+    }
+    if (fields.size() < 3 || fields.size() > 4)
+        sim::fatal("--tenant needs name:dramMb:cacheMb[:p99ms], "
+                   "got '", value, "'");
+    TenantConfig config;
+    config.name = fields[0];
+    config.dramBytes =
+        std::strtoull(fields[1].c_str(), nullptr, 10) << 20;
+    config.cacheQuotaBytes =
+        std::strtoull(fields[2].c_str(), nullptr, 10) << 20;
+    if (fields.size() == 4)
+        config.p99TargetMs = std::strtod(fields[3].c_str(), nullptr);
+    config.validate();
+    return config;
 }
 
 circuit::FpMacKind
@@ -548,6 +595,76 @@ runServingPass(const xclass::BenchmarkSpec &spec,
         server.publishMetrics(*metrics);
 }
 
+/**
+ * Multi-tenant serving pass: one model and one open-loop stream per
+ * --tenant, all lanes time-multiplexed on the shared device.  Each
+ * tenant's metrics land under "tenant.<name>.*"; the report is one
+ * line per tenant so noisy-neighbor containment is visible at a
+ * glance.
+ */
+void
+runMultiTenantPass(const xclass::BenchmarkSpec &spec,
+                   const CliOptions &cli,
+                   sim::MetricsRegistry *metrics,
+                   sim::SpanTracer *spans)
+{
+    constexpr std::uint64_t kMaxWeightBytes = 256ULL << 20;
+    if (spec.fp32WeightBytes() > kMaxWeightBytes) {
+        sim::warn("--tenant serving skipped: ", spec.name,
+                  " weights (", spec.fp32WeightBytes(),
+                  " bytes) exceed the in-memory serving limit; "
+                  "use --scale");
+        return;
+    }
+
+    MultiTenantServer device(cli.device);
+    device.attachObservability(metrics, spans);
+    std::vector<std::unique_ptr<xclass::SyntheticModel>> models;
+    std::vector<MultiTenantServer::TenantTraffic> mix;
+    std::vector<std::vector<float>> queries;
+    for (std::size_t t = 0; t < cli.tenants.size(); ++t) {
+        models.push_back(std::make_unique<xclass::SyntheticModel>(
+            spec, cli.device.seed + t));
+        Status status = Status::Ok;
+        const TenantHandle handle = device.addTenant(
+            cli.tenants[t], models.back()->weights(), spec,
+            cli.serverConfig, &models.back()->basis(), &status);
+        if (status != Status::Ok)
+            sim::fatal("--tenant ", cli.tenants[t].name,
+                       " refused: ", toString(status));
+        sim::TrafficConfig traffic = cli.trafficConfig;
+        traffic.seed = cli.trafficConfig.seed + t;
+        mix.push_back({handle, traffic, cli.serveRequests});
+    }
+    sim::Rng rng(cli.device.seed);
+    for (int q = 0; q < 16; ++q)
+        queries.push_back(models.front()->sampleQuery(rng));
+
+    const auto outcomes = device.run(mix, queries, /*k=*/5);
+    std::printf("  multi-tenant serving: %zu tenants  %u arrivals "
+                "each  shared device time %.3f ms\n",
+                cli.tenants.size(), cli.serveRequests,
+                sim::tickToMs(device.deviceTime()));
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+        const InferenceServer &lane = *device.server(mix[t].tenant);
+        const ServerStats &stats = lane.serverStats();
+        char target[48] = "";
+        if (cli.tenants[t].p99TargetMs > 0.0)
+            std::snprintf(target, sizeof(target),
+                          " (target %.1f ms)",
+                          cli.tenants[t].p99TargetMs);
+        std::printf("  tenant %-12s p50/p99 %7.3f/%7.3f ms%s  "
+                    "shed %llu  brownout transitions %llu\n",
+                    outcomes[t].name.c_str(),
+                    lane.latencyPercentiles().p50(),
+                    lane.latencyPercentiles().p99(), target,
+                    (unsigned long long)stats.shedRequests,
+                    (unsigned long long)stats.brownoutTransitions);
+    }
+    if (metrics)
+        device.publishMetrics(*metrics);
+}
+
 /** Write @p write's output to @p path ("-" = stdout). */
 template <typename WriteFn>
 void
@@ -745,6 +862,8 @@ main(int argc, char **argv)
         } else if (arg == "--retry-jitter") {
             cli.serverConfig.retryJitterFraction = std::strtod(
                 next("--retry-jitter").c_str(), nullptr);
+        } else if (arg == "--tenant") {
+            cli.tenants.push_back(parseTenantSpec(next("--tenant")));
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -760,6 +879,15 @@ main(int argc, char **argv)
     if (cli.redeployAt > 0 && cli.serveRequests == 0)
         sim::fatal("--redeploy-at needs a serving pass; add "
                    "--serve-requests N");
+    if (!cli.tenants.empty()) {
+        if (cli.serveRequests == 0)
+            sim::fatal("--tenant needs a serving pass; add "
+                       "--serve-requests N (arrivals per tenant)");
+        if (cli.redeployAt > 0)
+            sim::fatal("--redeploy-at and --tenant are exclusive; "
+                       "tenant redeploys run through the tenant "
+                       "API");
+    }
     if (!cli.traffic.empty()) {
         if (cli.serveRequests == 0)
             sim::fatal("--traffic needs a serving pass; add "
@@ -817,7 +945,9 @@ main(int argc, char **argv)
         const bool quiet = cli.metricsJson == "-";
         report(spec, cli.device, cli.batches, cli.energy,
                cli.health, &registry, &tracer, quiet);
-        if (cli.serveRequests > 0)
+        if (!cli.tenants.empty())
+            runMultiTenantPass(spec, cli, &registry, &tracer);
+        else if (cli.serveRequests > 0)
             runServingPass(spec, cli, &registry, &tracer);
         if (!cli.metricsJson.empty())
             writeDump(cli.metricsJson, [&](std::ostream &os) {
